@@ -1,0 +1,40 @@
+"""Benchmark-harness configuration.
+
+Each benchmark regenerates one table or figure of the paper and prints
+the same rows/series the paper reports.  Scale is controlled with
+``--repro-requests`` (requests per simulation run); the default keeps
+the full bench suite to a few minutes while preserving every
+qualitative result.
+
+Run with output::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-requests",
+        action="store",
+        type=int,
+        default=2500,
+        help="requests per simulation run in the paper benches",
+    )
+
+
+@pytest.fixture(scope="session")
+def requests_per_run(request):
+    return request.config.getoption("--repro-requests")
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a report block under benchmark output."""
+
+    def _emit(text: str) -> None:
+        print()
+        print(text)
+
+    return _emit

@@ -1,0 +1,28 @@
+"""Figure 2: response-time CDFs — MD vs HC-SD for all four workloads.
+
+Paper shape: naive consolidation collapses Financial, Websearch and
+TPC-C, while TPC-H (light load) is barely affected.
+"""
+
+from repro.experiments.limit_study import format_figure2, run_limit_study
+
+
+def test_bench_fig2(benchmark, emit, requests_per_run):
+    results = benchmark.pedantic(
+        run_limit_study,
+        kwargs={"requests": requests_per_run},
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_figure2(results))
+    # Severe degradation for the three intense workloads ...
+    for name in ("financial", "websearch", "tpcc"):
+        result = results[name]
+        assert (
+            result.hcsd.mean_response_ms > 3 * result.md.mean_response_ms
+        )
+        # HC-SD pushes substantial mass past the paper's axis.
+        assert result.hcsd.response_cdf()[2] < result.md.response_cdf()[2]
+    # ... but TPC-H is nearly unaffected.
+    tpch = results["tpch"]
+    assert tpch.hcsd.mean_response_ms < 3 * tpch.md.mean_response_ms

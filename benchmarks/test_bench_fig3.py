@@ -1,0 +1,27 @@
+"""Figure 3: the power gap between MD and HC-SD.
+
+Paper shape: migrating to a single drive cuts storage power by an
+order of magnitude, and a large fraction of MD power is burnt idle.
+"""
+
+from repro.experiments.limit_study import format_figure3, run_limit_study
+
+
+def test_bench_fig3(benchmark, emit, requests_per_run):
+    results = benchmark.pedantic(
+        run_limit_study,
+        kwargs={"requests": requests_per_run},
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_figure3(results))
+    for name, result in results.items():
+        # The saving scales with the consolidated array's size: large
+        # arrays (Financial: 24 disks, TPC-H: 15) save an order of
+        # magnitude; even TPC-C's small 4-disk array saves >2.5x.
+        assert result.power_ratio > 2.5, name
+        # Idle dominates the MD arrays (paper's observed trend).
+        md = result.md.power
+        assert md.idle_watts > 0.5 * md.total_watts, name
+    assert results["financial"].power_ratio > 10
+    assert results["tpch"].power_ratio > 8

@@ -1,0 +1,38 @@
+"""Figure 4: bottleneck analysis of HC-SD performance.
+
+Paper shape: scaling rotational latency moves the CDFs far more than
+scaling seek time; (1/4)R surpasses MD for Websearch/TPC-C/TPC-H;
+eliminating seeks entirely does not rescue the intense workloads.
+"""
+
+from repro.experiments.bottleneck import (
+    format_figure4,
+    run_bottleneck_study,
+)
+
+
+def test_bench_fig4(benchmark, emit, requests_per_run):
+    results = benchmark.pedantic(
+        run_bottleneck_study,
+        kwargs={"requests": requests_per_run},
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_figure4(results))
+    for name, result in results.items():
+        # Rotational latency is the primary bottleneck everywhere.
+        assert result.rotation_is_primary, name
+    for name in ("websearch", "tpcc", "tpch"):
+        result = results[name]
+        # (1/4)R matches or surpasses MD (paper's key observation).
+        assert (
+            result.runs["(1/4)R"].mean_response_ms
+            <= result.md.mean_response_ms * 1.1
+        ), name
+    for name in ("financial", "websearch", "tpcc"):
+        result = results[name]
+        # Seek elimination alone does not recover MD performance.
+        assert (
+            result.runs["S=0"].mean_response_ms
+            > result.md.mean_response_ms
+        ), name

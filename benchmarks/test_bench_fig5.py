@@ -1,0 +1,50 @@
+"""Figure 5: HC-SD-SA(n) response-time CDFs and rotational-latency PDFs.
+
+Paper shape: each added arm assembly improves response time with
+diminishing returns; Websearch/TPC-C approach MD by SA(2)–SA(3) and
+beat it by SA(3)–SA(4); Financial improves hugely but never catches
+MD; the rotational-latency PDF tail shortens with actuator count.
+"""
+
+from repro.experiments.parallel_study import (
+    format_figure5_cdf,
+    format_figure5_pdf,
+    run_parallel_study,
+)
+
+
+def test_bench_fig5(benchmark, emit, requests_per_run):
+    results = benchmark.pedantic(
+        run_parallel_study,
+        kwargs={"requests": requests_per_run},
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_figure5_cdf(results))
+    emit(format_figure5_pdf(results))
+    for name, result in results.items():
+        means = {
+            n: run.mean_response_ms
+            for n, run in result.by_actuators.items()
+        }
+        assert means[2] < means[1], name
+        assert means[3] < means[2], name
+        assert means[4] <= means[3] * 1.05, name  # diminishing returns
+        # Mean rotational latency decreases with actuator count.
+        rots = {
+            n: run.collector.mean_rotational_ms
+            for n, run in result.by_actuators.items()
+        }
+        assert rots[4] < rots[2] < rots[1], name
+    # Websearch/TPC-C beat MD by SA(4); Financial never does.
+    for name in ("websearch", "tpcc"):
+        result = results[name]
+        assert (
+            result.by_actuators[4].mean_response_ms
+            <= result.md.mean_response_ms
+        ), name
+    financial = results["financial"]
+    assert (
+        financial.by_actuators[4].mean_response_ms
+        > financial.md.mean_response_ms
+    )

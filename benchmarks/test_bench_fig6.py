@@ -1,0 +1,34 @@
+"""Figure 6: average power of the reduced-RPM SA(n) designs.
+
+Paper shape: RPM has a near-cubic effect, so 4200-RPM intra-disk
+parallel drives draw less average power than the 7200-RPM conventional
+HC-SD, while multi-actuator designs at the same RPM stay comparable to
+HC-SD.
+"""
+
+from repro.experiments.rpm_study import format_figure6, run_rpm_study
+
+
+def test_bench_fig6(benchmark, emit, requests_per_run):
+    results = benchmark.pedantic(
+        run_rpm_study,
+        kwargs={"requests": requests_per_run},
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_figure6(results))
+    for name, result in results.items():
+        watts = {
+            label: run.power.total_watts
+            for label, run in result.runs.items()
+        }
+        base = watts["HC-SD"]
+        # Same-RPM parallel designs are comparable to conventional
+        # (within a few watts — paper reports 2-6 W deltas).
+        assert watts["SA(4)/7200"] <= base + 6.0, name
+        # Reduced-RPM designs save power monotonically.
+        assert watts["SA(4)/6200"] < watts["SA(4)/7200"], name
+        assert watts["SA(4)/5200"] < watts["SA(4)/6200"], name
+        assert watts["SA(4)/4200"] < watts["SA(4)/5200"], name
+        # The 4200-RPM parallel drive beats the conventional drive.
+        assert watts["SA(4)/4200"] < base, name

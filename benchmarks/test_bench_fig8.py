@@ -1,0 +1,36 @@
+"""Figure 8: RAID arrays built from intra-disk parallel drives.
+
+Paper shape: SA arrays reach steady-state performance with roughly
+half (SA(2)) / a quarter (SA(4)) of the conventional disks; at the
+heavy 1 ms load, the iso-performance SA(2)/SA(4) arrays consume about
+41 % / 60 % less power than the conventional array.
+"""
+
+from repro.experiments.raid_study import (
+    format_figure8_performance,
+    format_figure8_power,
+    run_raid_study,
+)
+
+
+def test_bench_fig8(benchmark, emit, requests_per_run):
+    result = benchmark.pedantic(
+        run_raid_study,
+        kwargs={"requests": max(1500, requests_per_run // 2)},
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_figure8_performance(result))
+    emit(format_figure8_power(result))
+
+    # Light load (8 ms): one SA(4) drive ≈ four conventional drives.
+    assert result.p90(8.0, 4, 1) <= result.p90(8.0, 1, 4) * 1.25
+    # SA(2) with two disks ≈ conventional with four (paper text).
+    assert result.p90(8.0, 2, 2) <= result.p90(8.0, 1, 4) * 1.25
+
+    # Heavy load (1 ms): the iso-performance sets hold and save power.
+    assert result.p90(1.0, 2, 8) <= result.p90(1.0, 1, 16) * 1.35
+    assert result.p90(1.0, 4, 4) <= result.p90(1.0, 1, 16) * 1.35
+    savings_sa2, savings_sa4 = result.power_savings(1.0)
+    assert 0.30 <= savings_sa2 <= 0.55  # paper: 41 %
+    assert 0.50 <= savings_sa4 <= 0.75  # paper: 60 %

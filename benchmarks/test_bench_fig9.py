@@ -1,0 +1,32 @@
+"""Table 9a / Figure 9b: the cost-benefit analysis.
+
+Paper numbers, verbatim: drive material costs $67.7–80.8 /
+$100.4–116.6 / $165.8–188.2 for 1/2/4 actuators; at iso-performance
+two 2-actuator drives cost 27 % less and one 4-actuator drive 40 %
+less than four conventional drives.
+"""
+
+import pytest
+
+from repro.cost.components import drive_material_cost
+from repro.experiments.cost_study import (
+    format_figure9b,
+    format_table9a,
+    run_cost_study,
+)
+
+
+def test_bench_fig9(benchmark, emit):
+    configs = benchmark.pedantic(run_cost_study, rounds=1, iterations=1)
+    emit(format_table9a())
+    emit(format_figure9b())
+
+    # Table 9a totals.
+    assert drive_material_cost(4, 1).low == pytest.approx(67.7)
+    assert drive_material_cost(4, 2).high == pytest.approx(116.6)
+    assert drive_material_cost(4, 4).low == pytest.approx(165.8)
+
+    # Figure 9b savings.
+    baseline = configs[0]
+    assert configs[1].savings_vs(baseline) == pytest.approx(0.27, abs=0.01)
+    assert configs[2].savings_vs(baseline) == pytest.approx(0.40, abs=0.01)

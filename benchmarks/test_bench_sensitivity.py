@@ -1,0 +1,39 @@
+"""Sensitivity bench: robustness of the story to arrival intensity.
+
+Not a paper figure — this probes the one knob this reproduction had to
+calibrate itself (the unpublished trace intensities; see
+EXPERIMENTS.md).  The paper's qualitative structure must hold across a
+band of intensities: heavier load widens the MD → HC-SD gap and
+raises (never lowers) the actuator count needed to match MD.
+"""
+
+from repro.experiments.sensitivity import (
+    format_sensitivity,
+    run_sensitivity_study,
+)
+from repro.workloads.commercial import TPCC, WEBSEARCH
+
+
+def test_bench_sensitivity(benchmark, emit, requests_per_run):
+    result = benchmark.pedantic(
+        run_sensitivity_study,
+        kwargs={
+            "workloads": [WEBSEARCH, TPCC],
+            "requests": max(1200, requests_per_run // 2),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_sensitivity(result))
+    for name in ("websearch", "tpcc"):
+        cells = {cell.scale: cell for cell in result.for_workload(name)}
+        # The gap grows monotonically with intensity...
+        gaps = [cells[scale].gap_factor for scale in sorted(cells)]
+        assert gaps == sorted(gaps, reverse=True), name
+        # ...and the consolidation story holds at nominal intensity.
+        assert cells[1.0].gap_factor > 3, name
+        # Actuator need is monotone in intensity.
+        assert result.monotone_actuator_need(name), name
+        # At half intensity (scale 2.0) a modest design matches MD.
+        light_need = cells[2.0].actuators_to_match()
+        assert light_need is not None and light_need <= 2, name

@@ -1,0 +1,29 @@
+"""Table 2: workloads and their original storage systems.
+
+Verifies the workload models encode the published array configurations
+and that generated traces exhibit the documented arrival intensity.
+"""
+
+import pytest
+
+from repro.experiments.technology import format_table2, table2_rows
+from repro.workloads.commercial import COMMERCIAL_WORKLOADS
+
+
+def test_bench_table2(benchmark, emit):
+    rows = benchmark.pedantic(table2_rows, rounds=1, iterations=1)
+    emit(format_table2())
+    assert [row["workload"] for row in rows] == [
+        "financial",
+        "websearch",
+        "tpcc",
+        "tpch",
+    ]
+    assert rows[0]["disks"] == 24
+    assert rows[3]["platters"] == 6
+    # Generated traces must honour each model's arrival intensity.
+    for workload in COMMERCIAL_WORKLOADS.values():
+        trace = workload.generate(4000)
+        assert trace.mean_interarrival_ms == pytest.approx(
+            workload.mean_interarrival_ms, rel=0.1
+        )

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Black-box drive characterisation and analytic validation.
+
+Treats a simulated drive the way DIXtrac treats a real one: probe it
+through timed I/O only, recover its rotation period, seek curve and
+zone bandwidths, and compare against the spec that built it.  Then
+cross-check the simulator's queueing behaviour against the M/G/1
+Pollaczek-Khinchine prediction.
+
+Run:  python examples/characterize_drive.py
+"""
+
+from repro.disk.specs import BARRACUDA_ES, CHEETAH_10K
+from repro.metrics.report import format_table
+from repro.tools.characterize import characterize_drive
+from repro.tools.validate import validate_against_mg1
+
+
+def main():
+    for spec in (BARRACUDA_ES, CHEETAH_10K):
+        print(f"=== {spec.name} ===")
+        report = characterize_drive(spec)
+        print(report.summary())
+        truth = [
+            ("rotation period (ms)", 60000.0 / spec.rpm,
+             report.rotation_period_ms),
+            ("RPM", spec.rpm, report.rpm_estimate),
+        ]
+        print(
+            format_table(
+                ["quantity", "spec", "probed"],
+                truth,
+                title="probe vs spec",
+                float_format="{:.2f}",
+            )
+        )
+        print()
+
+    print("=== M/G/1 cross-validation (Barracuda-class, FCFS) ===")
+    rows = []
+    for interarrival in (60.0, 30.0, 20.0):
+        result = validate_against_mg1(
+            BARRACUDA_ES, interarrival, requests=2000
+        )
+        rows.append(
+            (
+                interarrival,
+                result.utilisation,
+                result.predicted_mean_ms,
+                result.simulated_mean_ms,
+                result.relative_error,
+            )
+        )
+    print(
+        format_table(
+            ["interarrival_ms", "utilisation", "P-K_predicted_ms",
+             "simulated_ms", "rel_error"],
+            rows,
+            float_format="{:.3f}",
+        )
+    )
+    print(
+        "\nThe simulator tracks queueing theory at light-to-moderate "
+        "load; deviations\ngrow with utilisation because successive "
+        "service times are correlated\nthrough the head position "
+        "(a real-disk effect M/G/1 ignores)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""RAID-5 failure, degraded service, and online rebuild.
+
+Runs a steady read workload against a 4-drive RAID-5 array, fails a
+member mid-run, keeps serving in degraded mode (reads reconstruct from
+the survivors), then rebuilds onto a hot spare while the workload
+continues — and reports how response time moves through the three
+phases.
+
+Run:  python examples/degraded_array.py
+"""
+
+import random
+
+from repro.disk.drive import ConventionalDrive
+from repro.disk.request import IORequest
+from repro.disk.scheduler import FCFSScheduler
+from repro.disk.specs import BARRACUDA_ES
+from repro.metrics.report import format_table
+from repro.raid.array import DiskArray
+from repro.raid.layout import Raid5Layout
+from repro.sim.engine import Environment
+
+PHASE_REQUESTS = 250
+INTERARRIVAL_MS = 4.0
+
+
+def main():
+    env = Environment()
+    members = [
+        ConventionalDrive(env, BARRACUDA_ES, scheduler=FCFSScheduler())
+        for _ in range(4)
+    ]
+    # A modest logical region keeps the rebuild demo quick.
+    layout = Raid5Layout(4, 400_000, stripe_unit=2048)
+    array = DiskArray(env, members, layout, label="raid5-demo")
+    spare = ConventionalDrive(env, BARRACUDA_ES, scheduler=FCFSScheduler())
+
+    rng = random.Random(11)
+    phases = {"healthy": [], "degraded": [], "rebuilt": []}
+
+    def read(phase):
+        request = IORequest(
+            lba=rng.randrange(layout.capacity_sectors() - 64),
+            size=16,
+            is_read=True,
+            arrival_time=env.now,
+        )
+        done = array.submit(request)
+        yield done
+        phases[phase].append(request.response_time)
+
+    def scenario():
+        for _ in range(PHASE_REQUESTS):
+            yield env.timeout(INTERARRIVAL_MS)
+            yield from read("healthy")
+
+        print(f"t={env.now / 1000:7.1f}s  drive 2 fails -> degraded mode")
+        array.fail_drive(2)
+        for _ in range(PHASE_REQUESTS):
+            yield env.timeout(INTERARRIVAL_MS)
+            yield from read("degraded")
+
+        print(f"t={env.now / 1000:7.1f}s  rebuild onto hot spare begins")
+        rebuild = array.rebuild(spare)
+        yield rebuild
+        print(
+            f"t={env.now / 1000:7.1f}s  rebuild complete "
+            f"({array.rebuild_progress:.0%})"
+        )
+        for _ in range(PHASE_REQUESTS):
+            yield env.timeout(INTERARRIVAL_MS)
+            yield from read("rebuilt")
+
+    env.process(scenario())
+    env.run()
+
+    rows = []
+    for phase, samples in phases.items():
+        samples.sort()
+        rows.append(
+            (
+                phase,
+                len(samples),
+                sum(samples) / len(samples),
+                samples[int(0.9 * len(samples))],
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["phase", "reads", "mean_ms", "p90_ms"],
+            rows,
+            title="Read latency through failure and recovery",
+            float_format="{:.2f}",
+        )
+    )
+    print(
+        "\nDegraded reads reconstruct from all survivors (fan-out), so "
+        "latency rises;\nafter the online rebuild the array returns to "
+        "its healthy profile."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Size a RAID array: conventional vs intra-disk parallel members.
+
+A capacity-planning exercise built on the §7.3 study: given a target
+I/O load and a 90th-percentile response-time SLO, find the smallest
+array of conventional, 2-actuator, and 4-actuator drives that meets
+it, then compare their power draw and material cost.
+
+Run:  python examples/green_raid_sizing.py  [interarrival_ms] [slo_ms]
+"""
+
+import sys
+
+from repro.cost.components import drive_material_cost
+from repro.experiments.configs import build_raid0_system
+from repro.experiments.runner import run_trace
+from repro.metrics.report import format_table
+from repro.sim.engine import Environment
+from repro.workloads.synthetic import SyntheticWorkload
+
+DISK_COUNTS = (1, 2, 4, 8, 16)
+
+
+def smallest_meeting_slo(actuators, interarrival_ms, slo_ms, requests=3000):
+    """First array size whose p90 meets the SLO, with its run result."""
+    for disks in DISK_COUNTS:
+        env = Environment()
+        system = build_raid0_system(env, disks, actuators=actuators)
+        workload = SyntheticWorkload(
+            capacity_sectors=system.capacity_sectors(),
+            mean_interarrival_ms=interarrival_ms,
+            footprint_fraction=0.02,
+            seed=23,
+        )
+        result = run_trace(env, system, workload.generate(requests))
+        if result.percentile(90) <= slo_ms:
+            return disks, result
+    return None, None
+
+
+def main():
+    interarrival_ms = float(sys.argv[1]) if len(sys.argv) > 1 else 2.0
+    slo_ms = float(sys.argv[2]) if len(sys.argv) > 2 else 25.0
+    print(
+        f"Load: exponential arrivals, mean {interarrival_ms} ms "
+        f"({1000 / interarrival_ms:.0f} IOPS offered); "
+        f"SLO: p90 <= {slo_ms} ms\n"
+    )
+    rows = []
+    for actuators in (1, 2, 4):
+        disks, result = smallest_meeting_slo(
+            actuators, interarrival_ms, slo_ms
+        )
+        label = "conventional" if actuators == 1 else f"{actuators}-actuator"
+        if disks is None:
+            rows.append((label, "-", "-", "-", "-"))
+            continue
+        cost = drive_material_cost(platters=4, actuators=actuators) * disks
+        rows.append(
+            (
+                label,
+                disks,
+                result.percentile(90),
+                result.power.total_watts,
+                f"${cost.low:.0f}-{cost.high:.0f}",
+            )
+        )
+    print(
+        format_table(
+            ["drive type", "disks_needed", "p90_ms", "power_W", "cost"],
+            rows,
+            title="Smallest array meeting the SLO",
+            float_format="{:.1f}",
+        )
+    )
+    print(
+        "\nIntra-disk parallel members hit the SLO with fewer spindles, "
+        "which is\nwhere the power savings come from: spindle motors, not "
+        "actuators,\ndominate a drive's power budget."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Closed-loop capacity planning: how many concurrent users fit?
+
+Open-loop trace replay diverges once a drive saturates; interactive
+systems instead behave closed-loop — each user waits for their I/O and
+thinks before issuing the next.  This example asks: for a target mean
+response time, how many concurrent users can one drive sustain, and
+how much does intra-disk parallelism raise that ceiling?
+
+Run:  python examples/interactive_capacity_planning.py [target_ms]
+"""
+
+import sys
+
+from repro.core.parallel_disk import ParallelDisk
+from repro.core.taxonomy import DashConfig
+from repro.disk.scheduler import FCFSScheduler
+from repro.disk.specs import BARRACUDA_ES
+from repro.metrics.report import format_table, hbar
+from repro.sim.engine import Environment
+from repro.workloads.closedloop import ClosedLoopClients
+
+CLIENT_STEPS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def capacity(actuators: int, target_ms: float):
+    """Largest client count whose mean response meets the target."""
+    best = 0
+    curve = []
+    for clients in CLIENT_STEPS:
+        env = Environment()
+        drive = ParallelDisk(
+            env,
+            BARRACUDA_ES,
+            config=DashConfig(arm_assemblies=actuators),
+            scheduler=FCFSScheduler(),
+        )
+        loop = ClosedLoopClients(
+            env,
+            drive,
+            clients=clients,
+            capacity_sectors=drive.geometry.total_sectors // 50,
+            think_time_ms=30.0,
+            seed=5,
+        )
+        result = loop.run(40)
+        curve.append(
+            (clients, result.mean_response_ms, result.throughput_iops)
+        )
+        if result.mean_response_ms <= target_ms:
+            best = clients
+    return best, curve
+
+
+def main():
+    target_ms = float(sys.argv[1]) if len(sys.argv) > 1 else 15.0
+    print(f"Target: mean response <= {target_ms:g} ms, "
+          "30 ms think time, 4 KB requests\n")
+    summary = []
+    for actuators in (1, 2, 4):
+        best, curve = capacity(actuators, target_ms)
+        label = "conventional" if actuators == 1 else f"SA({actuators})"
+        print(
+            format_table(
+                ["clients", "mean_ms", "IOPS"],
+                curve,
+                title=f"{label} drive",
+                float_format="{:.1f}",
+            )
+        )
+        print()
+        summary.append((label, best))
+    peak = max(best for _, best in summary) or 1
+    print(f"Users sustained at <= {target_ms:g} ms:")
+    for label, best in summary:
+        print(f"  {label:>12}: {best:3d}  {hbar(best, peak, width=30)}")
+
+
+if __name__ == "__main__":
+    main()

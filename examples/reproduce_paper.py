@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper in one run.
+
+Produces plain-text versions of Tables 1/2/9a and Figures 2/3/4/5/6/
+7/8/9b, in paper order.  This is the full evaluation; expect a few
+minutes at the default scale.
+
+Run:  python examples/reproduce_paper.py  [requests_per_run]
+"""
+
+import sys
+import time
+
+from repro.experiments import (
+    run_bottleneck_study,
+    run_limit_study,
+    run_parallel_study,
+    run_raid_study,
+    run_rpm_study,
+)
+from repro.experiments.bottleneck import format_figure4
+from repro.experiments.cost_study import format_figure9b, format_table9a
+from repro.experiments.limit_study import format_figure2, format_figure3
+from repro.experiments.parallel_study import (
+    format_figure5_cdf,
+    format_figure5_pdf,
+)
+from repro.experiments.raid_study import (
+    format_figure8_performance,
+    format_figure8_power,
+)
+from repro.experiments.rpm_study import format_figure6, format_figure7
+from repro.experiments.technology import format_table1, format_table2
+
+
+def banner(text: str) -> None:
+    print("\n" + "=" * 72)
+    print(text)
+    print("=" * 72)
+
+
+def main():
+    requests = int(sys.argv[1]) if len(sys.argv) > 1 else 4000
+    start = time.time()
+
+    banner("Table 1 / Table 2")
+    print(format_table1())
+    print()
+    print(format_table2())
+
+    banner("Figures 2 and 3: limit study")
+    limit = run_limit_study(requests=requests)
+    print(format_figure2(limit))
+    print()
+    print(format_figure3(limit))
+
+    banner("Figure 4: bottleneck analysis")
+    bottleneck = run_bottleneck_study(requests=requests)
+    print(format_figure4(bottleneck))
+
+    banner("Figure 5: HC-SD-SA(n)")
+    parallel = run_parallel_study(requests=requests)
+    print(format_figure5_cdf(parallel))
+    print()
+    print(format_figure5_pdf(parallel))
+
+    banner("Figures 6 and 7: reduced-RPM designs")
+    rpm = run_rpm_study(requests=requests)
+    print(format_figure6(rpm))
+    print()
+    print(format_figure7(rpm))
+
+    banner("Figure 8: RAID arrays of intra-disk parallel drives")
+    raid = run_raid_study(requests=max(2000, requests // 2))
+    print(format_figure8_performance(raid))
+    print()
+    print(format_figure8_power(raid))
+
+    banner("Table 9a / Figure 9b: cost-benefit analysis")
+    print(format_table9a())
+    print()
+    print(format_figure9b())
+
+    print(f"\nTotal wall time: {time.time() - start:.1f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Setuptools shim for environments with legacy pip/setuptools.
+
+All project metadata lives in ``pyproject.toml``; this file only
+enables ``pip install -e . --no-use-pep517`` on toolchains that cannot
+build editable installs through PEP 517/660.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

@@ -1,0 +1,50 @@
+"""repro — a reproduction of *Intra-Disk Parallelism: An Idea Whose
+Time Has Come* (Sankar, Gurumurthi, Stan; ISCA 2008).
+
+The package is a complete storage-system simulator in Python:
+
+* :mod:`repro.sim` — discrete-event kernel (SimPy-style).
+* :mod:`repro.disk` — conventional disk substrate: zoned geometry,
+  seek/rotation mechanics, on-board cache, queue schedulers, published
+  drive specs.
+* :mod:`repro.core` — the paper's contribution: the DASH taxonomy and
+  multi-actuator (intra-disk parallel) drive models.
+* :mod:`repro.power` — electromechanical power models and per-mode
+  energy accounting.
+* :mod:`repro.raid` — array layouts (JBOD, concatenation, RAID-0/5)
+  and the array controller.
+* :mod:`repro.workloads` — traces, the DiskSim-style synthetic
+  generator, and models of the paper's four commercial workloads.
+* :mod:`repro.metrics` — the paper's CDF/PDF buckets and reporting.
+* :mod:`repro.cost` — the Table-9a cost data and analysis.
+* :mod:`repro.experiments` — one driver per paper table/figure.
+
+Quickstart::
+
+    from repro.sim import Environment
+    from repro.workloads import WEBSEARCH
+    from repro.experiments import build_hcsd_system, run_trace
+
+    trace = WEBSEARCH.generate(5000)
+    env = Environment()
+    system = build_hcsd_system(env, WEBSEARCH, actuators=4)
+    result = run_trace(env, system, trace)
+    print(result.mean_response_ms, result.power.total_watts)
+"""
+
+from repro.disk.request import IORequest
+from repro.core.taxonomy import DashConfig
+from repro.core.parallel_disk import ParallelDisk
+from repro.disk.drive import ConventionalDrive
+from repro.sim.engine import Environment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConventionalDrive",
+    "DashConfig",
+    "Environment",
+    "IORequest",
+    "ParallelDisk",
+    "__version__",
+]

@@ -1,0 +1,351 @@
+"""Command-line interface: regenerate paper artifacts and run sweeps.
+
+Usage (``python -m repro <command> ...``)::
+
+    python -m repro list                      # available artifacts
+    python -m repro table1
+    python -m repro fig5 --requests 6000
+    python -m repro all --requests 2000
+    python -m repro workloads                 # trace-model summaries
+    python -m repro simulate --workload websearch --actuators 4
+
+Every command prints the same plain-text tables the benchmark harness
+asserts against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["main"]
+
+
+def _table1(args) -> None:
+    from repro.experiments.technology import format_table1
+
+    print(format_table1())
+
+
+def _table2(args) -> None:
+    from repro.experiments.technology import format_table2
+
+    print(format_table2())
+
+
+def _fig2(args) -> None:
+    from repro.experiments.limit_study import (
+        format_figure2,
+        run_limit_study,
+    )
+    from repro.metrics.cdf import RESPONSE_TIME_EDGES_MS
+    from repro.metrics.plot import ascii_chart
+
+    results = run_limit_study(requests=args.requests)
+    print(format_figure2(results))
+    labels = [f"{edge:g}" for edge in RESPONSE_TIME_EDGES_MS] + ["200+"]
+    for name, result in results.items():
+        print()
+        print(
+            ascii_chart(
+                labels,
+                [
+                    ("MD", result.md.response_cdf()),
+                    ("HC-SD", result.hcsd.response_cdf()),
+                ],
+                title=f"Figure 2 [{name}] (chart)",
+            )
+        )
+
+
+def _fig3(args) -> None:
+    from repro.experiments.limit_study import (
+        format_figure3,
+        run_limit_study,
+    )
+
+    print(format_figure3(run_limit_study(requests=args.requests)))
+
+
+def _fig4(args) -> None:
+    from repro.experiments.bottleneck import (
+        format_figure4,
+        run_bottleneck_study,
+    )
+
+    print(format_figure4(run_bottleneck_study(requests=args.requests)))
+
+
+def _fig5(args) -> None:
+    from repro.experiments.parallel_study import (
+        format_figure5_cdf,
+        format_figure5_pdf,
+        run_parallel_study,
+    )
+
+    from repro.metrics.cdf import RESPONSE_TIME_EDGES_MS
+    from repro.metrics.plot import ascii_chart
+
+    results = run_parallel_study(requests=args.requests)
+    print(format_figure5_cdf(results))
+    print()
+    print(format_figure5_pdf(results))
+    labels = [f"{edge:g}" for edge in RESPONSE_TIME_EDGES_MS] + ["200+"]
+    for name, result in results.items():
+        series = [
+            (result.label(n), run.response_cdf())
+            for n, run in sorted(result.by_actuators.items())
+        ]
+        series.append(("MD", result.md.response_cdf()))
+        print()
+        print(
+            ascii_chart(
+                labels, series, title=f"Figure 5 [{name}] (chart)"
+            )
+        )
+
+
+def _fig6(args) -> None:
+    from repro.experiments.rpm_study import format_figure6, run_rpm_study
+
+    print(format_figure6(run_rpm_study(requests=args.requests)))
+
+
+def _fig7(args) -> None:
+    from repro.experiments.rpm_study import format_figure7, run_rpm_study
+
+    print(format_figure7(run_rpm_study(requests=args.requests)))
+
+
+def _fig8(args) -> None:
+    from repro.experiments.raid_study import (
+        format_figure8_performance,
+        format_figure8_power,
+        run_raid_study,
+    )
+
+    result = run_raid_study(requests=args.requests)
+    print(format_figure8_performance(result))
+    print()
+    print(format_figure8_power(result))
+
+
+def _fig9(args) -> None:
+    from repro.experiments.cost_study import (
+        format_figure9b,
+        format_table9a,
+    )
+
+    print(format_table9a())
+    print()
+    print(format_figure9b())
+
+
+ARTIFACTS: Dict[str, Callable] = {
+    "table1": _table1,
+    "table2": _table2,
+    "fig2": _fig2,
+    "fig3": _fig3,
+    "fig4": _fig4,
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "fig9": _fig9,
+}
+
+
+def _all(args) -> None:
+    for name, runner in ARTIFACTS.items():
+        print("=" * 72)
+        print(name)
+        print("=" * 72)
+        runner(args)
+        print()
+
+
+def _list(args) -> None:
+    print("artifacts:", ", ".join(ARTIFACTS))
+    print(
+        "other commands: all, report, scorecard, workloads, simulate, list"
+    )
+
+
+def _report(args) -> None:
+    """Write a self-contained markdown results report."""
+    import contextlib
+    import io
+
+    sections = []
+    for name, runner in ARTIFACTS.items():
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            runner(args)
+        sections.append((name, buffer.getvalue().rstrip()))
+
+    lines = [
+        "# Reproduction results",
+        "",
+        "Regenerated tables and figures of *Intra-Disk Parallelism: An "
+        "Idea Whose Time Has Come* (ISCA 2008).",
+        "",
+        f"Scale: {args.requests} requests per simulation run.",
+        "",
+    ]
+    for name, body in sections:
+        lines.append(f"## {name}")
+        lines.append("")
+        lines.append("```")
+        lines.append(body)
+        lines.append("```")
+        lines.append("")
+    text = "\n".join(lines)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output} ({len(text)} bytes)")
+    else:
+        print(text)
+
+
+def _workloads(args) -> None:
+    from repro.workloads.analysis import profile_trace
+    from repro.workloads.commercial import COMMERCIAL_WORKLOADS
+
+    for workload in COMMERCIAL_WORKLOADS.values():
+        trace = workload.generate(args.requests)
+        profile = profile_trace(trace)
+        print("\n".join(profile.summary_lines()))
+        print()
+
+
+def _scorecard(args) -> None:
+    from repro.experiments.scorecard import (
+        format_scorecard,
+        run_scorecard,
+    )
+
+    print(format_scorecard(run_scorecard(requests=args.requests)))
+
+
+def _simulate(args) -> None:
+    from repro.experiments.configs import (
+        build_hcsd_system,
+        build_md_system,
+    )
+    from repro.experiments.runner import run_trace
+    from repro.metrics.report import format_table
+    from repro.sim.engine import Environment
+    from repro.workloads.commercial import COMMERCIAL_WORKLOADS
+
+    try:
+        workload = COMMERCIAL_WORKLOADS[args.workload]
+    except KeyError:
+        raise SystemExit(
+            f"unknown workload {args.workload!r}; choose from "
+            f"{sorted(COMMERCIAL_WORKLOADS)}"
+        )
+    trace = workload.generate(args.requests)
+    rows = []
+    if args.md:
+        env = Environment()
+        result = run_trace(env, build_md_system(env, workload), trace)
+        rows.append(
+            ("MD", result.mean_response_ms, result.percentile(90),
+             result.power.total_watts)
+        )
+    env = Environment()
+    system = build_hcsd_system(
+        env, workload, actuators=args.actuators, rpm=args.rpm
+    )
+    result = run_trace(env, system, trace)
+    rows.append(
+        (
+            system.label,
+            result.mean_response_ms,
+            result.percentile(90),
+            result.power.total_watts,
+        )
+    )
+    print(
+        format_table(
+            ["system", "mean_ms", "p90_ms", "power_W"],
+            rows,
+            title=f"{workload.name}: {args.requests} requests",
+            float_format="{:.2f}",
+        )
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Intra-Disk Parallelism' (ISCA 2008): "
+            "regenerate paper artifacts and run custom simulations."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add(name: str, handler: Callable, help_text: str):
+        command = sub.add_parser(name, help=help_text)
+        command.set_defaults(handler=handler)
+        command.add_argument(
+            "--requests",
+            type=int,
+            default=4000,
+            help="requests per simulation run (default 4000)",
+        )
+        return command
+
+    for name in ARTIFACTS:
+        add(name, ARTIFACTS[name], f"regenerate paper artifact {name}")
+    add("all", _all, "regenerate every table and figure")
+    report = add(
+        "report", _report, "write a markdown report of every artifact"
+    )
+    report.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="output file (default: stdout)",
+    )
+    add("workloads", _workloads, "summarise the trace models")
+    add(
+        "scorecard",
+        _scorecard,
+        "evaluate DESIGN.md's success criteria in one pass",
+    )
+    listing = sub.add_parser("list", help="list available artifacts")
+    listing.set_defaults(handler=_list)
+
+    simulate = add("simulate", _simulate, "run one custom configuration")
+    simulate.add_argument(
+        "--workload",
+        default="websearch",
+        help="financial | websearch | tpcc | tpch",
+    )
+    simulate.add_argument(
+        "--actuators", type=int, default=1, help="arm assemblies (1-4)"
+    )
+    simulate.add_argument(
+        "--rpm", type=float, default=None, help="override spindle RPM"
+    )
+    simulate.add_argument(
+        "--md",
+        action="store_true",
+        help="also simulate the original multi-disk array",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.handler(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

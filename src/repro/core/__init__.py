@@ -1,0 +1,28 @@
+"""Intra-disk parallelism — the paper's primary contribution.
+
+* :mod:`repro.core.taxonomy` — the DASH design-space taxonomy
+  (``D_k A_l S_m H_n``).
+* :mod:`repro.core.actuator` — independent arm-assembly state.
+* :mod:`repro.core.parallel_disk` — the HC-SD-SA(n) multi-actuator
+  drive: SPTF arm selection under the paper's two conventional-drive
+  restrictions (one arm in motion, one head transferring).
+* :mod:`repro.core.extensions` — the technical-report relaxations:
+  multiple arms in motion (MA) and multiple data channels (MC).
+* :mod:`repro.core.factory` — build any DASH configuration (including
+  the D-dimension, realised as an array of smaller stacks).
+"""
+
+from repro.core.taxonomy import DashConfig, CONVENTIONAL
+from repro.core.actuator import ArmAssembly
+from repro.core.parallel_disk import ParallelDisk
+from repro.core.extensions import OverlappedParallelDisk
+from repro.core.factory import build_dash_drive
+
+__all__ = [
+    "ArmAssembly",
+    "CONVENTIONAL",
+    "DashConfig",
+    "OverlappedParallelDisk",
+    "ParallelDisk",
+    "build_dash_drive",
+]

@@ -1,0 +1,119 @@
+"""Build a drive (or drive assembly) for any DASH configuration.
+
+The A, S, and H dimensions live inside a single
+:class:`~repro.core.parallel_disk.ParallelDisk`.  The D dimension —
+multiple platter stacks, each with its own spindle, inside one
+enclosure (§4, Level 1) — is realised here as a RAID-0 of ``k``
+sub-stacks with platters shrunk by ``1/sqrt(k)``: per-platter capacity
+scales with diameter squared, so total capacity is preserved while the
+strong (D^4.6) platter-size dependence of spindle power makes the
+multi-stack design fit the single-drive power envelope, exactly the
+argument the paper makes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional, Union
+
+from repro.core.parallel_disk import ParallelDisk
+from repro.core.taxonomy import DashConfig
+from repro.disk.scheduler import QueueScheduler
+from repro.disk.specs import DriveSpec
+from repro.raid.array import DiskArray
+from repro.raid.layout import Raid0Layout
+from repro.sim.engine import Environment
+
+__all__ = ["build_dash_drive", "shrink_spec_for_stacks"]
+
+
+def shrink_spec_for_stacks(spec: DriveSpec, stacks: int) -> DriveSpec:
+    """The per-stack spec for a ``k``-stack DASH drive.
+
+    Platter diameter scales by ``1/sqrt(k)`` (areal capacity per platter
+    scales with diameter², so ``k`` stacks preserve total capacity);
+    track length — and hence sectors per track — scales with diameter.
+    """
+    if stacks <= 1:
+        return spec
+    shrink = 1.0 / math.sqrt(stacks)
+    return dataclasses.replace(
+        spec,
+        name=f"{spec.name}/stack{stacks}",
+        capacity_bytes=spec.capacity_bytes // stacks,
+        diameter_inches=spec.diameter_inches * shrink,
+        spt_outer=max(8, round(spec.spt_outer * shrink)),
+        spt_inner=max(8, round(spec.spt_inner * shrink)),
+        cache_bytes=max(64 * 1024, spec.cache_bytes // stacks),
+        # Shorter stroke: full-stroke and average seeks shrink with the
+        # radius while the settle-dominated track-to-track time holds.
+        seek_average_ms=spec.seek_average_ms * shrink,
+        seek_full_stroke_ms=max(
+            spec.seek_full_stroke_ms * shrink,
+            spec.seek_average_ms * shrink,
+        ),
+    )
+
+
+def build_dash_drive(
+    env: Environment,
+    spec: DriveSpec,
+    config: Union[DashConfig, str],
+    scheduler_factory=None,
+    seek_scale: float = 1.0,
+    rotation_scale: float = 1.0,
+    stripe_unit: int = 128,
+    label: Optional[str] = None,
+):
+    """Construct the storage object for a DASH configuration.
+
+    Returns a :class:`ParallelDisk` when ``disk_stacks == 1``; otherwise
+    a :class:`~repro.raid.array.DiskArray` of per-stack parallel disks
+    behind RAID-0.  ``scheduler_factory`` (``() -> QueueScheduler``) is
+    called once per stack so stateful schedulers are not shared.
+    """
+    if isinstance(config, str):
+        config = DashConfig.parse(config)
+
+    def make_scheduler() -> Optional[QueueScheduler]:
+        return scheduler_factory() if scheduler_factory else None
+
+    inner = DashConfig(
+        disk_stacks=1,
+        arm_assemblies=config.arm_assemblies,
+        surfaces=config.surfaces,
+        heads_per_arm=config.heads_per_arm,
+    )
+    if config.disk_stacks == 1:
+        return ParallelDisk(
+            env,
+            spec,
+            config=inner,
+            scheduler=make_scheduler(),
+            seek_scale=seek_scale,
+            rotation_scale=rotation_scale,
+            label=label,
+        )
+
+    stack_spec = shrink_spec_for_stacks(spec, config.disk_stacks)
+    stacks = [
+        ParallelDisk(
+            env,
+            stack_spec,
+            config=inner,
+            scheduler=make_scheduler(),
+            seek_scale=seek_scale,
+            rotation_scale=rotation_scale,
+            label=f"stack{index}",
+        )
+        for index in range(config.disk_stacks)
+    ]
+    layout = Raid0Layout(
+        disk_count=config.disk_stacks,
+        disk_capacity=min(s.geometry.total_sectors for s in stacks),
+        stripe_unit=stripe_unit,
+    )
+    return DiskArray(
+        env, stacks, layout, label=label or f"{spec.name}-{config.notation}"
+    )

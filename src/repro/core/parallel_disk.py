@@ -1,0 +1,307 @@
+"""The multi-actuator intra-disk parallel drive — HC-SD-SA(n).
+
+``ParallelDisk`` extends the conventional drive of
+:mod:`repro.disk.drive` with the A, S and H dimensions of the DASH
+taxonomy while retaining the paper's two conventional restrictions
+(§7.2):
+
+1. only a single arm assembly may be in motion at any time, and
+2. only a single head may transfer data over the channel.
+
+Requests are therefore still serviced one at a time, but for each
+request the SPTF-based arm scheduler chooses *whichever idle assembly
+minimises the overall positioning time* — the assemblies sit at
+distinct angular mounts and distinct cylinders, so the nearest one wins
+on both seek and rotational latency.  This is the mechanism behind the
+paper's Figure 5: the rotational-latency PDF tail shortens from a full
+revolution toward ``period / n``.
+
+The relaxations of the two restrictions (multiple arms in motion,
+multiple channels) live in :mod:`repro.core.extensions`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.actuator import ArmAssembly
+from repro.core.taxonomy import DashConfig
+from repro.disk.drive import ConventionalDrive
+from repro.disk.geometry import PhysicalAddress
+from repro.disk.request import IORequest
+from repro.disk.scheduler import QueueScheduler
+from repro.disk.specs import DriveSpec
+from repro.sim.engine import Environment
+
+__all__ = ["ParallelDisk"]
+
+
+class ParallelDisk(ConventionalDrive):
+    """A drive with ``config.arm_assemblies`` independent actuators.
+
+    Parameters
+    ----------
+    env, spec, scheduler, seek_scale, rotation_scale, cache_segments:
+        As for :class:`~repro.disk.drive.ConventionalDrive`.
+    config:
+        The DASH configuration.  ``disk_stacks`` must be 1 here — the
+        D-dimension is realised by :func:`repro.core.factory.build_dash_drive`
+        as an array of stacks.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: DriveSpec,
+        config: Optional[DashConfig] = None,
+        scheduler: Optional[QueueScheduler] = None,
+        seek_scale: float = 1.0,
+        rotation_scale: float = 1.0,
+        cache_segments: int = 16,
+        label: Optional[str] = None,
+    ):
+        config = config or DashConfig(arm_assemblies=spec.actuators)
+        if config.disk_stacks != 1:
+            raise ValueError(
+                "ParallelDisk models a single stack; use build_dash_drive() "
+                f"for {config.notation}"
+            )
+        super().__init__(
+            env,
+            spec,
+            scheduler=scheduler,
+            seek_scale=seek_scale,
+            rotation_scale=rotation_scale,
+            cache_segments=cache_segments,
+            label=label or f"{spec.name}-{config.notation}",
+        )
+        self.config = config
+        if config.surfaces > self.geometry.surfaces:
+            raise ValueError(
+                f"{config.notation}: cannot access {config.surfaces} "
+                f"surfaces in parallel on a {self.geometry.surfaces}-surface "
+                "drive"
+            )
+        head_offsets = config.head_offset_angles()
+        start = self.geometry.cylinders // 2
+        self.arms: List[ArmAssembly] = [
+            ArmAssembly(
+                arm_id=index,
+                mount_angle=angle,
+                initial_cylinder=start,
+                head_offsets=head_offsets,
+            )
+            for index, angle in enumerate(config.arm_mount_angles())
+        ]
+        #: Enable firmware-style pre-positioning of idle assemblies
+        #: (see :meth:`_preposition`); the knob exists for ablation.
+        self.preposition_idle_arms = True
+        #: Count of background repositioning moves performed.
+        self.repositions = 0
+
+    # -- arm selection ------------------------------------------------------
+    @property
+    def actuator_count(self) -> int:
+        return len(self.arms)
+
+    def best_arm_for(
+        self,
+        request: IORequest,
+        at_time: float,
+        include_busy: bool = False,
+    ) -> Tuple[ArmAssembly, float, float, int]:
+        """The (arm, seek, rotation, head) minimising positioning time.
+
+        Considers every arm that is idle at ``at_time``; in the base
+        SA(n) drive service is serialised, so all arms are idle at each
+        decision point.  With ``include_busy`` the search ignores
+        busy/idle state — used by the overlapped extensions to judge
+        whether waiting for a busy arm would beat dispatching now.
+        """
+        address = self.geometry.to_physical(request.lba)
+        sector_angle = self.geometry.sector_angle(address)
+        best: Optional[Tuple[float, ArmAssembly, float, float, int]] = None
+        for arm in self.arms:
+            if not include_busy and not arm.is_idle(at_time):
+                continue
+            seek = (
+                self.seek_model.seek_time(arm.cylinder, address.cylinder)
+                * self.seek_scale
+            )
+            rotation, head = arm.best_head_latency(
+                self.spindle.latency_to, at_time + seek, sector_angle
+            )
+            rotation *= self.rotation_scale
+            total = seek + rotation
+            key = (total, arm.arm_id)
+            if best is None or key < (best[0], best[1].arm_id):
+                best = (total, arm, seek, rotation, head)
+        if best is None:
+            raise RuntimeError("no idle arm available")
+        _, arm, seek, rotation, head = best
+        return arm, seek, rotation, head
+
+    def positioning_estimate(self, request: IORequest) -> float:
+        if request.is_read and self.cache.contains(request.lba, request.size):
+            return 0.0
+        _, seek, rotation, _ = self.best_arm_for(request, self.env.now)
+        return seek + rotation
+
+    def _preposition(self, active_arm: ArmAssembly, target_cylinder: int) -> None:
+        """Background repositioning of a stranded idle assembly.
+
+        A far-away assembly can never win the SPTF arm choice: its seek
+        penalty exceeds the largest possible rotational gain (one
+        revolution).  Drive firmware therefore shuttles idle assemblies
+        toward the active region while the servicing arm is stationary
+        (rotational-latency and transfer phases) — the servicing arm
+        stops moving once its seek ends, so the single-arm-in-motion
+        restriction is preserved for *servicing* seeks.
+
+        The move's VCM activity is billed to the seek-mode energy,
+        which is why the paper sees the fraction of non-zero-seek
+        requests (and seek power) grow with actuator count (§7.2).
+        """
+        if not self.preposition_idle_arms:
+            return
+        now = self.env.now
+        candidates = [
+            arm
+            for arm in self.arms
+            if arm is not active_arm and arm.is_idle(now)
+        ]
+        if not candidates:
+            return
+        farthest = max(
+            candidates,
+            key=lambda arm: abs(arm.cylinder - target_cylinder),
+        )
+        move = (
+            self.seek_model.seek_time(farthest.cylinder, target_cylinder)
+            * self.seek_scale
+        )
+        # Only shuttle assemblies whose seek handicap exceeds the
+        # typical rotational stake (half a revolution): any farther and
+        # the assembly can rarely win the SPTF arm choice.
+        if move <= self.spindle.average_latency_ms:
+            return
+        farthest.busy_until = now + move
+        farthest.move_to(target_cylinder)
+        farthest.seek_time_ms += move
+        farthest.seeks += 1
+        self.stats.seek_ms += move
+        self.stats.record_arm_seek(farthest.arm_id, move)
+        self.repositions += 1
+
+    # -- service ------------------------------------------------------------
+    def _service_media(self, request: IORequest, overhead: float):
+        address = self.geometry.to_physical(request.lba)
+        settle = (
+            0.0 if request.is_read else self.spec.write_settle_ms
+        )
+        # The head is ready overhead (+ settle) + seek after now;
+        # evaluate the rotational gap for that instant so the charged
+        # latency matches the platter's true phase.
+        arm, seek, rotation, _head = self.best_arm_for(
+            request, self.env.now + overhead + settle
+        )
+        seek += settle
+        self._preposition(arm, address.cylinder)
+
+        yield self.env.timeout(overhead + seek)
+        self.stats.transfer_ms += overhead
+        self.stats.seek_ms += seek
+        self.stats.record_arm_seek(arm.arm_id, seek)
+        if seek > 0.0:
+            self.stats.nonzero_seeks += 1
+
+        # Rotation was estimated at decision time; the wait is
+        # unchanged because the platter and the clock advanced together
+        # during the seek (latency_to was evaluated at now + seek).
+        yield self.env.timeout(rotation)
+        self.stats.rotational_latency_ms += rotation
+
+        transfer = self._transfer_time(request)
+        yield self.env.timeout(transfer)
+        self.stats.transfer_ms += transfer
+        self.stats.sectors_transferred += request.size
+
+        request.seek_time = seek
+        request.rotational_latency = rotation
+        request.transfer_time = transfer
+        request.arm_id = arm.arm_id
+        arm.record_service(seek)
+        arm.move_to(
+            self.geometry.to_physical(request.lba + request.size - 1).cylinder
+        )
+        self._current_cylinder = arm.cylinder
+        self._update_cache(request, address)
+
+    def _transfer_time(self, request: IORequest) -> float:
+        """Transfer time, accelerated by surface-level parallelism.
+
+        With ``m`` surfaces readable simultaneously (S-dimension) the
+        streaming time divides by ``m`` and intra-cylinder head
+        switches disappear; the paper assumes the data channel has
+        sufficient bandwidth for all evaluated designs (§4).
+        """
+        base = super()._transfer_time(request)
+        m = self.config.surfaces
+        if m <= 1:
+            return base
+        spt, track_crossings, cylinder_crossings = (
+            self.geometry.transfer_geometry(request.lba, request.size)
+        )
+        head_switches = track_crossings - cylinder_crossings
+        streaming = self.spindle.transfer_time(request.size, spt) / m
+        hidden_switches = max(0, head_switches - cylinder_crossings * (m - 1))
+        del hidden_switches  # switches inside a cylinder are parallelised
+        return (
+            streaming
+            + cylinder_crossings * self.spec.seek_track_to_track_ms
+        )
+
+    # -- graceful degradation (paper §8) --------------------------------------
+    @property
+    def healthy_arm_count(self) -> int:
+        return sum(1 for arm in self.arms if not arm.failed)
+
+    def deconfigure_arm(self, arm_id: int) -> None:
+        """Remove a (failing) assembly from service permanently.
+
+        Models the paper's reliability answer (§8): SMART-style sensors
+        predict an impending head/assembly failure and firmware
+        deconfigures the component, degrading the drive gracefully to
+        SA(n-1) behaviour instead of failing outright.  At least one
+        healthy assembly must remain.
+        """
+        matches = [arm for arm in self.arms if arm.arm_id == arm_id]
+        if not matches:
+            raise ValueError(
+                f"no arm with id {arm_id}; have "
+                f"{[arm.arm_id for arm in self.arms]}"
+            )
+        arm = matches[0]
+        if arm.failed:
+            return
+        if self.healthy_arm_count <= 1:
+            raise ValueError(
+                "cannot deconfigure the last healthy arm assembly"
+            )
+        arm.failed = True
+
+    # -- diagnostics ----------------------------------------------------------
+    def arm_report(self) -> List[dict]:
+        """Per-arm utilisation summary (requests, seeks, seek time)."""
+        return [
+            {
+                "arm_id": arm.arm_id,
+                "mount_angle": arm.mount_angle,
+                "requests": arm.requests_serviced,
+                "seeks": arm.seeks,
+                "seek_time_ms": arm.seek_time_ms,
+                "cylinder": arm.cylinder,
+                "failed": arm.failed,
+            }
+            for arm in self.arms
+        ]

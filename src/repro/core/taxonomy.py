@@ -1,0 +1,150 @@
+"""The DASH taxonomy for the intra-disk parallelism design space.
+
+The paper (§4) expresses a disk configuration as a 4-tuple
+``D_k A_l S_m H_n`` — the degree of parallelism in, from coarse to
+fine:
+
+* **D** — disk stacks (independent spindles inside one enclosure),
+* **A** — arm assemblies (independent actuators),
+* **S** — surfaces accessed simultaneously,
+* **H** — heads per arm per surface.
+
+A conventional drive is ``D1 A1 S1 H1``; the drive of the paper's
+Figure 1(b) is ``D1 A2 S1 H2`` (two assemblies, two heads per arm, up
+to four data paths).  The evaluated HC-SD-SA(n) family is
+``D1 An S1 H1``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["CONVENTIONAL", "DashConfig"]
+
+_NOTATION = re.compile(
+    r"^\s*D(?P<d>\d+)\s*A(?P<a>\d+)\s*S(?P<s>\d+)\s*H(?P<h>\d+)\s*$",
+    re.IGNORECASE,
+)
+
+
+@dataclass(frozen=True)
+class DashConfig:
+    """One point in the DASH design space.
+
+    Attributes
+    ----------
+    disk_stacks:
+        Independent platter stacks, each with its own spindle (k).
+    arm_assemblies:
+        Independent actuators per stack (l).
+    surfaces:
+        Surfaces accessible simultaneously per assembly (m).
+    heads_per_arm:
+        Read/write heads per arm per surface (n); heads beyond the
+        first sit at distinct angular offsets along the arm.
+    """
+
+    disk_stacks: int = 1
+    arm_assemblies: int = 1
+    surfaces: int = 1
+    heads_per_arm: int = 1
+
+    def __post_init__(self) -> None:
+        for name in (
+            "disk_stacks",
+            "arm_assemblies",
+            "surfaces",
+            "heads_per_arm",
+        ):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 1:
+                raise ValueError(f"{name} must be a positive int, got {value!r}")
+
+    @classmethod
+    def parse(cls, notation: str) -> "DashConfig":
+        """Parse ``"D1A2S1H2"``-style notation (case-insensitive)."""
+        match = _NOTATION.match(notation)
+        if match is None:
+            raise ValueError(
+                f"invalid DASH notation {notation!r}; expected e.g. 'D1A2S1H1'"
+            )
+        return cls(
+            disk_stacks=int(match.group("d")),
+            arm_assemblies=int(match.group("a")),
+            surfaces=int(match.group("s")),
+            heads_per_arm=int(match.group("h")),
+        )
+
+    @property
+    def notation(self) -> str:
+        return (
+            f"D{self.disk_stacks}A{self.arm_assemblies}"
+            f"S{self.surfaces}H{self.heads_per_arm}"
+        )
+
+    @property
+    def max_data_paths(self) -> int:
+        """Maximum simultaneous platter↔electronics transfer paths.
+
+        The product of the four degrees: ``D1A2S1H2`` offers up to four
+        (paper, Figure 1b).
+        """
+        return (
+            self.disk_stacks
+            * self.arm_assemblies
+            * self.surfaces
+            * self.heads_per_arm
+        )
+
+    @property
+    def is_conventional(self) -> bool:
+        return self.max_data_paths == 1
+
+    @property
+    def extra_actuators(self) -> int:
+        """Actuators added relative to a conventional drive (per stack)."""
+        return self.arm_assemblies - 1
+
+    def arm_mount_angles(self) -> list:
+        """Angular placement of the assemblies around the spindle.
+
+        Assemblies are spread at equal offsets — diagonal for two
+        (paper, Figure 1), which both maximises the rotational-latency
+        benefit and keeps head-region air turbulence independent (§8).
+        """
+        count = self.arm_assemblies
+        return [index / count for index in range(count)]
+
+    def head_offset_angles(self) -> list:
+        """Angular offsets of each head along one arm (H-dimension).
+
+        Heads are placed equidistant from the axis of actuation
+        (Figure 1b), spreading them across half a revolution so that
+        the worst-case rotational gap shrinks with head count.
+        """
+        count = self.heads_per_arm
+        if count == 1:
+            return [0.0]
+        return [index / (2 * count) for index in range(count)]
+
+    def describe(self) -> str:
+        """Human-readable summary of what each dimension contributes."""
+        parts = [f"{self.notation}:"]
+        parts.append(
+            f"{self.disk_stacks} disk stack(s)"
+            + (" (RAID-style internal striping)" if self.disk_stacks > 1 else "")
+        )
+        parts.append(f"{self.arm_assemblies} arm assembl"
+                     + ("ies" if self.arm_assemblies != 1 else "y"))
+        parts.append(f"{self.surfaces} surface(s) in parallel")
+        parts.append(f"{self.heads_per_arm} head(s) per arm")
+        parts.append(f"max {self.max_data_paths} data path(s)")
+        return " ".join(parts)
+
+    def __str__(self) -> str:
+        return self.notation
+
+
+#: The conventional-drive configuration, ``D1 A1 S1 H1``.
+CONVENTIONAL = DashConfig()

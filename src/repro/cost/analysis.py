@@ -1,0 +1,79 @@
+"""Iso-performance cost comparison (paper Figure 9b).
+
+The §7.3 array study found three storage configurations that deliver
+equivalent performance: four conventional drives, two 2-actuator
+drives, and one 4-actuator drive.  This module prices those
+configurations from the Table-9a material costs and reports the
+relative savings the paper highlights (≈27 % for the 2-actuator pair,
+≈40 % for the single 4-actuator drive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.cost.components import CostRange, drive_material_cost
+
+__all__ = ["ConfigurationCost", "iso_performance_comparison"]
+
+#: The iso-performance configurations of Figure 9b:
+#: (label, drive count, actuators per drive).
+ISO_PERFORMANCE_CONFIGS: Sequence[Tuple[str, int, int]] = (
+    ("4x conventional", 4, 1),
+    ("2x 2-actuator", 2, 2),
+    ("1x 4-actuator", 1, 4),
+)
+
+
+@dataclass(frozen=True)
+class ConfigurationCost:
+    """Priced storage configuration."""
+
+    label: str
+    drives: int
+    actuators_per_drive: int
+    per_drive: CostRange
+    total: CostRange
+
+    @property
+    def mean_total(self) -> float:
+        return self.total.mean
+
+    def savings_vs(self, baseline: "ConfigurationCost") -> float:
+        """Fractional mean-cost saving relative to ``baseline``."""
+        if baseline.mean_total <= 0:
+            raise ValueError("baseline cost must be positive")
+        return 1.0 - self.mean_total / baseline.mean_total
+
+
+def configuration_cost(
+    label: str, drives: int, actuators_per_drive: int, platters: int = 4
+) -> ConfigurationCost:
+    if drives <= 0:
+        raise ValueError(f"drives must be positive, got {drives}")
+    per_drive = drive_material_cost(
+        platters=platters, actuators=actuators_per_drive
+    )
+    return ConfigurationCost(
+        label=label,
+        drives=drives,
+        actuators_per_drive=actuators_per_drive,
+        per_drive=per_drive,
+        total=per_drive * drives,
+    )
+
+
+def iso_performance_comparison(
+    platters: int = 4,
+    configs: Sequence[Tuple[str, int, int]] = ISO_PERFORMANCE_CONFIGS,
+) -> List[ConfigurationCost]:
+    """Price the iso-performance configurations (Figure 9b).
+
+    The first configuration is the conventional baseline the savings
+    are measured against.
+    """
+    return [
+        configuration_cost(label, drives, actuators, platters=platters)
+        for label, drives, actuators in configs
+    ]

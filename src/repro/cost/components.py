@@ -1,0 +1,166 @@
+"""Component cost data (paper Table 9a).
+
+Per-component supply prices (US dollars, volume basis) obtained by the
+paper's authors from component manufacturers, together with the
+multiplicity rules that roll them up into whole-drive material costs
+for a four-platter drive with ``k`` actuators.  The multiplicities are
+chosen to reproduce the paper's own arithmetic exactly:
+
+* media scales with platters; spindle motor and controller are fixed;
+* VCM, pivot bearing and preamplifier scale with actuators;
+* heads scale with ``2 × platters × actuators`` (every surface gets a
+  head on every assembly);
+* head suspensions scale at 4 per actuator (the paper's Table 9a rate);
+* the motor driver is affine in actuators — a spindle-driver base plus
+  a per-VCM-driver increment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+__all__ = [
+    "COMPONENT_COSTS",
+    "ComponentCost",
+    "CostRange",
+    "drive_material_cost",
+]
+
+
+@dataclass(frozen=True)
+class CostRange:
+    """A low–high price range in US dollars."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low < 0 or self.high < self.low:
+            raise ValueError(
+                f"need 0 <= low <= high, got {self.low}/{self.high}"
+            )
+
+    @property
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def __add__(self, other: "CostRange") -> "CostRange":
+        return CostRange(self.low + other.low, self.high + other.high)
+
+    def __mul__(self, factor: float) -> "CostRange":
+        if factor < 0:
+            raise ValueError(f"factor must be non-negative, got {factor}")
+        return CostRange(self.low * factor, self.high * factor)
+
+    __rmul__ = __mul__
+
+    def __str__(self) -> str:
+        return f"${self.low:.1f}-${self.high:.1f}"
+
+    @classmethod
+    def zero(cls) -> "CostRange":
+        return cls(0.0, 0.0)
+
+
+@dataclass(frozen=True)
+class ComponentCost:
+    """One Table-9a row: unit price plus its multiplicity rule.
+
+    ``count(platters, actuators)`` returns how many units a drive
+    needs; ``extra(actuators)`` adds any affine correction (used only
+    by the motor driver, whose per-actuator increment differs from its
+    unit price).
+    """
+
+    name: str
+    unit: CostRange
+    count: Callable[[int, int], float]
+    extra: Callable[[int], CostRange] = lambda actuators: CostRange.zero()
+
+    def drive_cost(self, platters: int, actuators: int) -> CostRange:
+        return self.unit * self.count(platters, actuators) + self.extra(
+            actuators
+        )
+
+
+def _motor_driver_extra(actuators: int) -> CostRange:
+    # Base spindle-driver cost (2, 2) + per-actuator VCM-driver
+    # increment (1.5, 2): k=1 ⇒ 3.5–4, k=2 ⇒ 5–6, k=4 ⇒ 8–10 (Table 9a).
+    return CostRange(2.0, 2.0) + CostRange(1.5, 2.0) * actuators
+
+
+#: Table 9a, in presentation order.
+COMPONENT_COSTS: List[ComponentCost] = [
+    ComponentCost(
+        "media", CostRange(6.0, 7.0), lambda platters, actuators: platters
+    ),
+    ComponentCost(
+        "spindle_motor", CostRange(5.0, 10.0), lambda platters, actuators: 1
+    ),
+    ComponentCost(
+        "voice_coil_motor",
+        CostRange(1.0, 2.0),
+        lambda platters, actuators: actuators,
+    ),
+    ComponentCost(
+        "head_suspension",
+        CostRange(0.50, 0.90),
+        lambda platters, actuators: 4 * actuators,
+    ),
+    ComponentCost(
+        "head",
+        CostRange(3.0, 3.0),
+        lambda platters, actuators: 2 * platters * actuators,
+    ),
+    ComponentCost(
+        "pivot_bearing",
+        CostRange(3.0, 3.0),
+        lambda platters, actuators: actuators,
+    ),
+    ComponentCost(
+        "disk_controller",
+        CostRange(4.0, 5.0),
+        lambda platters, actuators: 1,
+    ),
+    ComponentCost(
+        "motor_driver",
+        CostRange(0.0, 0.0),
+        lambda platters, actuators: 0,
+        extra=_motor_driver_extra,
+    ),
+    ComponentCost(
+        "preamplifier",
+        CostRange(1.2, 1.2),
+        lambda platters, actuators: actuators,
+    ),
+]
+
+
+def drive_material_cost(
+    platters: int = 4, actuators: int = 1
+) -> CostRange:
+    """Total material cost of one drive (Table 9a bottom row).
+
+    For a four-platter drive this reproduces the paper's totals:
+    $67.7–80.8 conventional, $100.4–116.6 for two actuators,
+    $165.8–188.2 for four.
+    """
+    if platters <= 0:
+        raise ValueError(f"platters must be positive, got {platters}")
+    if actuators <= 0:
+        raise ValueError(f"actuators must be positive, got {actuators}")
+    total = CostRange.zero()
+    for component in COMPONENT_COSTS:
+        total = total + component.drive_cost(platters, actuators)
+    return total
+
+
+def cost_breakdown(
+    platters: int = 4, actuators: int = 1
+) -> Dict[str, CostRange]:
+    """Per-component costs for one drive configuration."""
+    return {
+        component.name: component.drive_cost(platters, actuators)
+        for component in COMPONENT_COSTS
+    }

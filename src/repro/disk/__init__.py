@@ -1,0 +1,83 @@
+"""Conventional disk-drive substrate (a DiskSim-equivalent in Python).
+
+This package models a single-actuator hard disk drive at the level of
+detail the paper's methodology requires:
+
+* :mod:`repro.disk.geometry` — zoned platter geometry and LBA→PBA maps.
+* :mod:`repro.disk.seek` — seek-time curve models.
+* :mod:`repro.disk.rotation` — spindle mechanics and rotational latency.
+* :mod:`repro.disk.cache` — the segmented on-board cache with read-ahead.
+* :mod:`repro.disk.scheduler` — queue schedulers (FCFS/SSTF/SPTF/C-LOOK).
+* :mod:`repro.disk.specs` — published drive specifications (Table 1 et al.).
+* :mod:`repro.disk.drive` — the conventional drive service model.
+"""
+
+from repro.disk.request import IORequest
+from repro.disk.geometry import DiskGeometry, PhysicalAddress, Zone
+from repro.disk.seek import (
+    ConstantSeekModel,
+    LinearSeekModel,
+    SeekModel,
+    ThreePointSeekModel,
+    TwoPhaseSeekModel,
+)
+from repro.disk.rotation import Spindle
+from repro.disk.cache import DiskCache
+from repro.disk.scheduler import (
+    CLookScheduler,
+    FCFSScheduler,
+    ForegroundFirstScheduler,
+    QueueScheduler,
+    SPTFScheduler,
+    SSTFScheduler,
+    make_scheduler,
+)
+from repro.disk.freeblock import FreeblockDrive
+from repro.disk.drpm import DynamicRpmDrive
+from repro.disk.defects import DefectMap, RemappingDrive
+from repro.disk.specs import (
+    BARRACUDA_ES,
+    CHEETAH_10K,
+    CONNERS_CP3100,
+    DriveSpec,
+    FUJITSU_M2361A,
+    IBM_3380_AK4,
+    SPEC_CATALOG,
+    TPCH_DRIVE,
+)
+from repro.disk.drive import ConventionalDrive, DriveStats
+
+__all__ = [
+    "BARRACUDA_ES",
+    "CHEETAH_10K",
+    "CLookScheduler",
+    "CONNERS_CP3100",
+    "ConstantSeekModel",
+    "ConventionalDrive",
+    "DefectMap",
+    "DiskCache",
+    "DiskGeometry",
+    "DriveSpec",
+    "DriveStats",
+    "DynamicRpmDrive",
+    "FCFSScheduler",
+    "ForegroundFirstScheduler",
+    "FreeblockDrive",
+    "FUJITSU_M2361A",
+    "IBM_3380_AK4",
+    "IORequest",
+    "LinearSeekModel",
+    "PhysicalAddress",
+    "QueueScheduler",
+    "SPEC_CATALOG",
+    "SPTFScheduler",
+    "SSTFScheduler",
+    "RemappingDrive",
+    "SeekModel",
+    "Spindle",
+    "ThreePointSeekModel",
+    "TwoPhaseSeekModel",
+    "TPCH_DRIVE",
+    "Zone",
+    "make_scheduler",
+]

@@ -1,0 +1,187 @@
+"""Grown-defect management: sector remapping to spare regions.
+
+Production drives reserve spare sectors and transparently remap grown
+defects to them (P-list/G-list).  Remapping preserves capacity but
+breaks locality: an access that touches a remapped sector detours to
+the spare region and back, paying extra seeks — which is why heavily
+remapped drives get slow before they fail.
+
+:class:`RemappingDrive` adds a :class:`DefectMap` to the conventional
+drive.  Defects can be present from construction or *grown* at runtime
+(:meth:`grow_defect`), modelling media degradation experiments; the
+SMART-style counterpart for multi-actuator drives is arm
+deconfiguration (:meth:`repro.core.parallel_disk.ParallelDisk.deconfigure_arm`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.disk.drive import ConventionalDrive
+from repro.disk.request import IORequest
+from repro.disk.scheduler import QueueScheduler
+from repro.disk.specs import DriveSpec
+from repro.sim.engine import Environment
+
+__all__ = ["DefectMap", "RemappingDrive"]
+
+
+class DefectMap:
+    """Sector → spare-sector remap table.
+
+    The spare pool is the drive's last ``spare_sectors`` sectors, which
+    the remapping drive withholds from the usable address space (as
+    real drives do).
+    """
+
+    def __init__(self, spare_pool_start: int, spare_sectors: int):
+        if spare_sectors <= 0:
+            raise ValueError(
+                f"spare_sectors must be positive, got {spare_sectors}"
+            )
+        if spare_pool_start < 0:
+            raise ValueError("spare_pool_start must be non-negative")
+        self.spare_pool_start = spare_pool_start
+        self.spare_sectors = spare_sectors
+        self._table: Dict[int, int] = {}
+        self._next_spare = spare_pool_start
+
+    @property
+    def remapped_count(self) -> int:
+        return len(self._table)
+
+    @property
+    def spares_remaining(self) -> int:
+        return self.spare_pool_start + self.spare_sectors - self._next_spare
+
+    def is_remapped(self, lba: int) -> bool:
+        return lba in self._table
+
+    def remap(self, lba: int) -> int:
+        """Assign (or return) the spare location for a defective sector."""
+        if lba in self._table:
+            return self._table[lba]
+        if self.spares_remaining <= 0:
+            raise RuntimeError(
+                "spare pool exhausted: the drive can no longer remap"
+            )
+        spare = self._next_spare
+        self._next_spare += 1
+        self._table[lba] = spare
+        return spare
+
+    def translate(self, lba: int) -> int:
+        """Physical location of a (possibly remapped) sector."""
+        return self._table.get(lba, lba)
+
+    def remapped_in(self, lba: int, size: int) -> List[int]:
+        """The remapped sectors inside ``[lba, lba+size)``."""
+        if size <= 8:  # small request: direct probes beat scanning
+            return [
+                sector
+                for sector in range(lba, lba + size)
+                if sector in self._table
+            ]
+        return [
+            sector
+            for sector in self._table
+            if lba <= sector < lba + size
+        ]
+
+
+class RemappingDrive(ConventionalDrive):
+    """A conventional drive with grown-defect remapping.
+
+    Parameters
+    ----------
+    spare_fraction:
+        Fraction of the geometry reserved as the spare pool (withheld
+        from :attr:`usable_sectors`).
+    initial_defects:
+        Sectors already remapped when the drive ships.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: DriveSpec,
+        scheduler: Optional[QueueScheduler] = None,
+        spare_fraction: float = 0.01,
+        initial_defects: Optional[Iterable[int]] = None,
+        **kwargs,
+    ):
+        if not 0.0 < spare_fraction < 0.5:
+            raise ValueError(
+                f"spare_fraction must be in (0, 0.5), got {spare_fraction}"
+            )
+        super().__init__(env, spec, scheduler=scheduler, **kwargs)
+        total = self.geometry.total_sectors
+        spare_sectors = max(1, int(total * spare_fraction))
+        self.defects = DefectMap(total - spare_sectors, spare_sectors)
+        self.usable_sectors = total - spare_sectors
+        self.remap_detours = 0
+        for sector in initial_defects or ():
+            self.grow_defect(sector)
+
+    def grow_defect(self, lba: int) -> int:
+        """Mark a sector defective; returns its spare location."""
+        if not 0 <= lba < self.usable_sectors:
+            raise ValueError(
+                f"lba {lba} outside the usable space "
+                f"[0, {self.usable_sectors})"
+            )
+        return self.defects.remap(lba)
+
+    def submit(self, request: IORequest):
+        if request.lba + request.size > self.usable_sectors:
+            raise ValueError(
+                f"{request} exceeds usable capacity "
+                f"({self.usable_sectors} sectors; "
+                f"{self.defects.spare_sectors} reserved as spares)"
+            )
+        return super().submit(request)
+
+    def _service_media(self, request: IORequest, overhead: float):
+        """Service the request, detouring for any remapped sectors.
+
+        The main extent is serviced normally; each remapped sector then
+        costs a detour — seek to the spare region, rotational latency,
+        single-sector transfer and seek back — appended to the
+        request's service (how real drives handle reassigned blocks in
+        the middle of a transfer).
+        """
+        yield from super()._service_media(request, overhead)
+        remapped = self.defects.remapped_in(request.lba, request.size)
+        for sector in remapped:
+            spare = self.defects.translate(sector)
+            yield from self._detour(request, spare)
+            self.remap_detours += 1
+
+    def _detour(self, request: IORequest, spare_lba: int):
+        address = self.geometry.to_physical(spare_lba)
+        seek = (
+            self.seek_model.seek_time(
+                self._current_cylinder, address.cylinder
+            )
+            * self.seek_scale
+        )
+        yield self.env.timeout(seek)
+        self.stats.seek_ms += seek
+        self.stats.record_arm_seek(request.arm_id, seek)
+        rotation = (
+            self.spindle.latency_to(
+                self.env.now, self.geometry.sector_angle(address)
+            )
+            * self.rotation_scale
+        )
+        yield self.env.timeout(rotation)
+        self.stats.rotational_latency_ms += rotation
+        zone = self.geometry.zone_of_cylinder(address.cylinder)
+        transfer = self.spindle.transfer_time(1, zone.sectors_per_track)
+        yield self.env.timeout(transfer)
+        self.stats.transfer_ms += transfer
+        self.stats.sectors_transferred += 1
+        request.seek_time += seek
+        request.rotational_latency += rotation
+        request.transfer_time += transfer
+        self._current_cylinder = address.cylinder

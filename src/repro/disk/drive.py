@@ -1,0 +1,333 @@
+"""The conventional (single-actuator) disk-drive service model.
+
+A :class:`ConventionalDrive` is a discrete-event process that services
+one request at a time, exactly as the paper describes the baseline
+(§2): for every media access, the request is *serialised* through
+controller overhead, seek, rotational latency, and transfer — the arm
+and spindle are used in a tightly coupled manner.
+
+The drive exposes two hooks that implement the paper's limit-study
+methodology (§7.1): ``seek_scale`` and ``rotation_scale`` multiply the
+computed seek time and rotational latency (½, ¼, or 0), matching the
+paper's artificial modification of the simulator's latencies.
+
+Mode accounting (idle / seek / rotational latency / transfer) feeds the
+power model in :mod:`repro.power`.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.disk.cache import DiskCache
+from repro.disk.geometry import DiskGeometry, PhysicalAddress
+from repro.disk.request import IORequest
+from repro.disk.rotation import Spindle
+from repro.disk.scheduler import (
+    QueueScheduler,
+    SchedulingContext,
+    SPTFScheduler,
+)
+from repro.disk.seek import SeekModel
+from repro.disk.specs import DriveSpec
+from repro.sim.engine import Environment, Event
+
+__all__ = ["ConventionalDrive", "DriveStats"]
+
+
+@dataclass
+class DriveStats:
+    """Aggregate per-drive activity, split by operating mode.
+
+    Times are total milliseconds spent in each mode across the run.
+    ``idle_time(elapsed)`` derives idle residency, which dominates MD
+    power in the paper's Figure 3.
+    """
+
+    seek_ms: float = 0.0
+    rotational_latency_ms: float = 0.0
+    transfer_ms: float = 0.0
+    requests_completed: int = 0
+    reads_completed: int = 0
+    cache_hits: int = 0
+    sectors_transferred: int = 0
+    #: Per-arm seek-time totals (index = arm id); conventional drives
+    #: only ever populate index 0.
+    per_arm_seek_ms: List[float] = field(default_factory=lambda: [0.0])
+    #: Requests whose seek time was non-zero (paper §7.2 reports this
+    #: fraction rising with actuator count for Websearch).
+    nonzero_seeks: int = 0
+
+    @property
+    def busy_ms(self) -> float:
+        return self.seek_ms + self.rotational_latency_ms + self.transfer_ms
+
+    def idle_ms(self, elapsed_ms: float) -> float:
+        return max(0.0, elapsed_ms - self.busy_ms)
+
+    def mode_fractions(self, elapsed_ms: float) -> Dict[str, float]:
+        """Residency fraction per mode over ``elapsed_ms``."""
+        if elapsed_ms <= 0:
+            return {"idle": 1.0, "seek": 0.0, "rotational": 0.0,
+                    "transfer": 0.0}
+        return {
+            "idle": self.idle_ms(elapsed_ms) / elapsed_ms,
+            "seek": self.seek_ms / elapsed_ms,
+            "rotational": self.rotational_latency_ms / elapsed_ms,
+            "transfer": self.transfer_ms / elapsed_ms,
+        }
+
+    def record_arm_seek(self, arm_id: int, seek_ms: float) -> None:
+        while len(self.per_arm_seek_ms) <= arm_id:
+            self.per_arm_seek_ms.append(0.0)
+        self.per_arm_seek_ms[arm_id] += seek_ms
+
+
+class ConventionalDrive:
+    """A single-actuator drive attached to a simulation environment.
+
+    Parameters
+    ----------
+    env:
+        The simulation environment.
+    spec:
+        Drive specification (geometry, mechanics, cache).
+    scheduler:
+        Queue scheduling policy; defaults to SPTF as in the paper.
+    seek_scale / rotation_scale:
+        Limit-study multipliers applied to computed seek times and
+        rotational latencies (1.0 = realistic; 0.5/0.25/0.0 reproduce
+        the paper's (1/2)S … R=0 experiments).
+    cache_segments:
+        Segment count for the on-board cache.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: DriveSpec,
+        scheduler: Optional[QueueScheduler] = None,
+        seek_scale: float = 1.0,
+        rotation_scale: float = 1.0,
+        cache_segments: int = 16,
+        label: Optional[str] = None,
+    ):
+        if seek_scale < 0 or rotation_scale < 0:
+            raise ValueError("latency scales must be non-negative")
+        self.env = env
+        self.spec = spec
+        self.label = label or spec.name
+        self.scheduler = scheduler or SPTFScheduler()
+        self.seek_scale = seek_scale
+        self.rotation_scale = rotation_scale
+
+        self.geometry: DiskGeometry = spec.build_geometry()
+        self.seek_model: SeekModel = spec.build_seek_model(self.geometry)
+        self.spindle: Spindle = spec.build_spindle()
+        # Each physical drive spins at its own phase: without this,
+        # the members of an array would be rotationally synchronised
+        # and parallel accesses to the same sector (RAID mirroring,
+        # parity reconstruction) would be artificially free.  The
+        # phase derives from the label plus a per-environment
+        # occurrence counter, so runs stay deterministic (fresh
+        # environment ⇒ fresh counters) and same-labelled members of
+        # one array still decorrelate.
+        counters = getattr(env, "_drive_label_counts", None)
+        if counters is None:
+            counters = {}
+            env._drive_label_counts = counters
+        occurrence = counters.get(self.label, 0)
+        counters[self.label] = occurrence + 1
+        seed_text = f"{self.label}#{occurrence}".encode()
+        self.spindle.phase = (zlib.crc32(seed_text) % 9973) / 9973.0
+        self.cache: DiskCache = spec.build_cache(segments=cache_segments)
+
+        self.stats = DriveStats()
+        #: Callbacks invoked with each completed request.
+        self.on_complete: List[Callable[[IORequest], None]] = []
+
+        self._pending: List[IORequest] = []
+        self._completions: Dict[int, Event] = {}
+        self._wakeup: Optional[Event] = None
+        self._current_cylinder = self.geometry.cylinders // 2
+        self._cylinder_cache: Dict[int, int] = {}
+        self._server = env.process(self._serve_loop())
+
+    # -- public API --------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting (not counting the one in service)."""
+        return len(self._pending)
+
+    @property
+    def outstanding(self) -> int:
+        """Requests submitted but not yet completed."""
+        return len(self._completions)
+
+    @property
+    def current_cylinder(self) -> int:
+        return self._current_cylinder
+
+    def submit(self, request: IORequest) -> Event:
+        """Queue a request; returns an event that fires on completion."""
+        if request.lba + request.size > self.geometry.total_sectors:
+            raise ValueError(
+                f"{request} exceeds drive capacity "
+                f"({self.geometry.total_sectors} sectors)"
+            )
+        completion = self.env.event()
+        self._completions[request.request_id] = completion
+        self._pending.append(request)
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+        return completion
+
+    def positioning_estimate(self, request: IORequest) -> float:
+        """Estimated seek + rotational latency if dispatched right now.
+
+        Used by SPTF; cache hits estimate to zero so they are always
+        preferred.
+        """
+        if request.is_read and self.cache.contains(request.lba, request.size):
+            return 0.0
+        address = self.geometry.to_physical(request.lba)
+        seek = (
+            self.seek_model.seek_time(self._current_cylinder, address.cylinder)
+            * self.seek_scale
+        )
+        rotation = (
+            self.spindle.latency_to(
+                self.env.now + seek, self.geometry.sector_angle(address)
+            )
+            * self.rotation_scale
+        )
+        return seek + rotation
+
+    # -- internals ----------------------------------------------------------
+    def _cylinder_of(self, request: IORequest) -> int:
+        cached = self._cylinder_cache.get(request.request_id)
+        if cached is None:
+            cached = self.geometry.to_physical(request.lba).cylinder
+            self._cylinder_cache[request.request_id] = cached
+        return cached
+
+    def _context(self) -> SchedulingContext:
+        return SchedulingContext(
+            current_cylinder=self._current_cylinder,
+            cylinder_of=self._cylinder_of,
+            positioning_time=self.positioning_estimate,
+        )
+
+    def _serve_loop(self):
+        while True:
+            while not self._pending:
+                self._wakeup = self.env.event()
+                yield self._wakeup
+                self._wakeup = None
+            request = self.scheduler.select(self._pending, self._context())
+            self._pending.remove(request)
+            self._cylinder_cache.pop(request.request_id, None)
+            yield from self._service(request)
+
+    def _service(self, request: IORequest):
+        request.start_service = self.env.now
+        overhead = self.spec.controller_overhead_ms
+        if request.is_read and self.cache.lookup_read(
+            request.lba, request.size
+        ):
+            yield from self._service_cache_hit(request, overhead)
+        else:
+            yield from self._service_media(request, overhead)
+        self._complete(request)
+
+    def _service_cache_hit(self, request: IORequest, overhead: float):
+        bus_ms = (request.size * 512 / self.spec.bus_bytes_per_s) * 1000.0
+        total = overhead + bus_ms
+        yield self.env.timeout(total)
+        request.cache_hit = True
+        request.transfer_time = bus_ms
+        self.stats.transfer_ms += total
+        self.stats.cache_hits += 1
+
+    def _service_media(self, request: IORequest, overhead: float):
+        address = self.geometry.to_physical(request.lba)
+        seek = (
+            self.seek_model.seek_time(self._current_cylinder, address.cylinder)
+            * self.seek_scale
+        )
+        if not request.is_read and self.spec.write_settle_ms > 0.0:
+            # Writes need a tighter servo settle before the transfer.
+            seek += self.spec.write_settle_ms
+        yield self.env.timeout(overhead + seek)
+        self.stats.transfer_ms += overhead  # overhead billed as transfer
+        self.stats.seek_ms += seek
+        self.stats.record_arm_seek(request.arm_id, seek)
+        if seek > 0.0:
+            self.stats.nonzero_seeks += 1
+
+        rotation = (
+            self.spindle.latency_to(
+                self.env.now, self.geometry.sector_angle(address)
+            )
+            * self.rotation_scale
+        )
+        yield self.env.timeout(rotation)
+        self.stats.rotational_latency_ms += rotation
+
+        transfer = self._transfer_time(request)
+        yield self.env.timeout(transfer)
+        self.stats.transfer_ms += transfer
+        self.stats.sectors_transferred += request.size
+
+        request.seek_time = seek
+        request.rotational_latency = rotation
+        request.transfer_time = transfer
+        self._current_cylinder = self.geometry.to_physical(
+            request.lba + request.size - 1
+        ).cylinder
+        self._update_cache(request, address)
+
+    def _transfer_time(self, request: IORequest) -> float:
+        spt, track_crossings, cylinder_crossings = (
+            self.geometry.transfer_geometry(request.lba, request.size)
+        )
+        time = self.spindle.transfer_time(request.size, spt)
+        head_switches = track_crossings - cylinder_crossings
+        time += head_switches * self.spec.head_switch_ms
+        time += cylinder_crossings * self.spec.seek_track_to_track_ms
+        return time
+
+    def _update_cache(
+        self, request: IORequest, address: PhysicalAddress
+    ) -> None:
+        if request.is_read:
+            zone = self.geometry.zone_of_cylinder(address.cylinder)
+            end = self.geometry.to_physical(request.lba + request.size - 1)
+            end_zone = self.geometry.zone_of_cylinder(end.cylinder)
+            remaining_on_track = end_zone.sectors_per_track - end.sector - 1
+            # Don't read ahead past the end of the disk.
+            remaining_on_track = min(
+                remaining_on_track,
+                self.geometry.total_sectors - request.end_lba,
+            )
+            del zone  # start zone only needed for symmetry/debugging
+            self.cache.install_read(
+                request.lba, request.size, read_ahead_limit=remaining_on_track
+            )
+        else:
+            if self.cache.cache_writes:
+                self.cache.install_write(request.lba, request.size)
+            else:
+                self.cache.invalidate(request.lba, request.size)
+
+    def _complete(self, request: IORequest) -> None:
+        request.completion_time = self.env.now
+        self.stats.requests_completed += 1
+        if request.is_read:
+            self.stats.reads_completed += 1
+        completion = self._completions.pop(request.request_id)
+        completion.succeed(request)
+        for callback in self.on_complete:
+            callback(request)

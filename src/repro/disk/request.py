@@ -1,0 +1,110 @@
+"""The I/O request object exchanged between workloads and storage models.
+
+A single :class:`IORequest` flows from a workload generator (or trace
+reader), optionally through a RAID controller that splits it, down to a
+drive, which stamps it with per-phase service measurements on the way
+back.  All times are in milliseconds; addresses are 512-byte sectors.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["IORequest", "SECTOR_BYTES"]
+
+#: Size of one logical sector, in bytes.
+SECTOR_BYTES = 512
+
+_request_ids = itertools.count()
+
+
+@dataclass
+class IORequest:
+    """One logical I/O: ``size`` sectors at ``lba``, read or write.
+
+    Measurement fields are filled in by whichever drive services the
+    request; they remain at their defaults for cache hits (other than
+    ``completion_time``).
+    """
+
+    lba: int
+    size: int
+    is_read: bool
+    arrival_time: float = 0.0
+    #: Index of the source disk in the original multi-disk trace; used by
+    #: the MD→HC-SD concatenated layout and by RAID address translation.
+    source_disk: int = 0
+    #: Background (best-effort) work, e.g. scrubbing or defragmentation.
+    #: Freeblock scheduling services these inside foreground rotational
+    #: latency windows; intra-disk parallel drives can dedicate an arm.
+    background: bool = False
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+
+    # -- measurements (stamped by the servicing drive) --------------------
+    start_service: Optional[float] = None
+    completion_time: Optional[float] = None
+    seek_time: float = 0.0
+    rotational_latency: float = 0.0
+    transfer_time: float = 0.0
+    cache_hit: bool = False
+    #: Which arm assembly serviced the request (always 0 on a
+    #: conventional drive).
+    arm_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.lba < 0:
+            raise ValueError(f"lba must be non-negative, got {self.lba}")
+        if self.size <= 0:
+            raise ValueError(f"size must be positive, got {self.size}")
+
+    @property
+    def end_lba(self) -> int:
+        """One past the last sector touched."""
+        return self.lba + self.size
+
+    @property
+    def response_time(self) -> float:
+        """Arrival-to-completion latency; raises if not yet complete."""
+        if self.completion_time is None:
+            raise ValueError(f"request {self.request_id} not complete")
+        return self.completion_time - self.arrival_time
+
+    @property
+    def service_time(self) -> float:
+        """Time spent in actual service (excludes queueing delay)."""
+        if self.completion_time is None or self.start_service is None:
+            raise ValueError(f"request {self.request_id} not complete")
+        return self.completion_time - self.start_service
+
+    @property
+    def queue_delay(self) -> float:
+        """Time spent waiting before service began."""
+        if self.start_service is None:
+            raise ValueError(f"request {self.request_id} not started")
+        return self.start_service - self.arrival_time
+
+    def clone(self, **overrides) -> "IORequest":
+        """A fresh request (new id, cleared measurements) with overrides.
+
+        Used by the RAID layer to fan a logical request out into
+        per-disk physical requests.
+        """
+        fields = {
+            "lba": self.lba,
+            "size": self.size,
+            "is_read": self.is_read,
+            "arrival_time": self.arrival_time,
+            "source_disk": self.source_disk,
+            "background": self.background,
+        }
+        fields.update(overrides)
+        return IORequest(**fields)
+
+    def __str__(self) -> str:
+        kind = "R" if self.is_read else "W"
+        return (
+            f"IORequest#{self.request_id}({kind} lba={self.lba} "
+            f"size={self.size} t={self.arrival_time:.3f})"
+        )

@@ -1,0 +1,276 @@
+"""Published drive specifications and the spec → model factory.
+
+The catalog covers the five drives of the paper's Table 1 plus the
+drives of the original trace arrays (Table 2):
+
+* ``IBM_3380_AK4``, ``FUJITSU_M2361A``, ``CONNERS_CP3100`` — the 1988
+  RAID-paper drives used in the historical retrospective.
+* ``BARRACUDA_ES`` — the 750 GB / 7200 RPM SATA drive that defines the
+  HC-SD configuration.
+* ``CHEETAH_10K`` — a 10 000 RPM enterprise drive standing in for the
+  drives of the Financial / Websearch / TPC-C arrays.
+* ``TPCH_DRIVE`` — the 7200 RPM, 6-platter drive of the TPC-H array.
+
+A :class:`DriveSpec` is pure data; ``build_*`` methods construct the
+mechanical models, so a spec is the single source of truth for a drive.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.disk.cache import DiskCache
+from repro.disk.geometry import DiskGeometry
+from repro.disk.rotation import Spindle
+from repro.disk.seek import SeekModel, ThreePointSeekModel
+
+__all__ = [
+    "BARRACUDA_ES",
+    "CHEETAH_10K",
+    "CONNERS_CP3100",
+    "DriveSpec",
+    "FUJITSU_M2361A",
+    "IBM_3380_AK4",
+    "SPEC_CATALOG",
+    "TPCH_DRIVE",
+]
+
+GB = 1_000_000_000
+MB = 1_000_000
+
+
+@dataclass(frozen=True)
+class DriveSpec:
+    """Everything needed to instantiate one drive model.
+
+    Times in milliseconds, sizes in bytes, diameter in inches.
+    """
+
+    name: str
+    capacity_bytes: int
+    platters: int
+    rpm: float
+    diameter_inches: float
+    spt_outer: int
+    spt_inner: int
+    zones: int
+    seek_track_to_track_ms: float
+    seek_average_ms: float
+    seek_full_stroke_ms: float
+    cache_bytes: int
+    #: Per-request controller/firmware overhead.
+    controller_overhead_ms: float = 0.2
+    #: Head (surface) switch time within a cylinder.
+    head_switch_ms: float = 0.8
+    #: Extra servo settle time before a write transfer may begin
+    #: (writes need tighter on-track tolerance than reads).  0 by
+    #: default: the paper's model does not separate write settling.
+    write_settle_ms: float = 0.0
+    #: Interface bus bandwidth, bytes/s (prices cache hits).
+    bus_bytes_per_s: int = 300 * MB
+    #: Number of independent arm assemblies (1 = conventional).
+    actuators: int = 1
+    #: Multiplier covering motor/electronics efficiency of older eras;
+    #: 1.0 for modern drives.  Used only by the power model.
+    technology_factor: float = 1.0
+    #: Manufacturer-reported total power, if known (Table 1 column);
+    #: kept for validation against the model, never used by it.
+    reference_power_watts: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        if self.platters <= 0:
+            raise ValueError("platters must be positive")
+        if self.actuators <= 0:
+            raise ValueError("actuators must be positive")
+
+    @property
+    def surfaces(self) -> int:
+        return 2 * self.platters
+
+    @property
+    def capacity_sectors(self) -> int:
+        return self.capacity_bytes // 512
+
+    @property
+    def rotation_ms(self) -> float:
+        return 60000.0 / self.rpm
+
+    @property
+    def avg_rotational_latency_ms(self) -> float:
+        return self.rotation_ms / 2.0
+
+    @property
+    def peak_transfer_mb_s(self) -> float:
+        """Media rate at the outer zone, MB/s."""
+        return self.spt_outer * 512 * (self.rpm / 60.0) / MB
+
+    def build_geometry(self) -> DiskGeometry:
+        return DiskGeometry(
+            capacity_sectors=self.capacity_sectors,
+            surfaces=self.surfaces,
+            spt_outer=self.spt_outer,
+            spt_inner=self.spt_inner,
+            zones=self.zones,
+        )
+
+    def build_seek_model(self, geometry: DiskGeometry) -> SeekModel:
+        return ThreePointSeekModel(
+            track_to_track_ms=self.seek_track_to_track_ms,
+            average_ms=self.seek_average_ms,
+            full_stroke_ms=self.seek_full_stroke_ms,
+            cylinders=geometry.cylinders,
+        )
+
+    def build_spindle(self) -> Spindle:
+        return Spindle(self.rpm)
+
+    def build_cache(self, segments: int = 16) -> DiskCache:
+        return DiskCache(
+            capacity_sectors=max(segments, self.cache_bytes // 512),
+            segments=segments,
+        )
+
+    def with_rpm(self, rpm: float) -> "DriveSpec":
+        """Same drive designed for a different spindle speed.
+
+        Used by the reduced-RPM study (§7.2): 6200/5200/4200 RPM
+        variants of the HC-SD-SA(n) drive.
+        """
+        return dataclasses.replace(
+            self, name=f"{self.name}@{rpm:g}rpm", rpm=rpm
+        )
+
+    def with_actuators(self, actuators: int) -> "DriveSpec":
+        """Same drive extended to ``actuators`` arm assemblies."""
+        return dataclasses.replace(
+            self, name=f"{self.name}-SA({actuators})", actuators=actuators
+        )
+
+    def with_cache_bytes(self, cache_bytes: int) -> "DriveSpec":
+        return dataclasses.replace(self, cache_bytes=cache_bytes)
+
+
+#: The 750 GB Seagate Barracuda ES–class drive: the HC-SD configuration.
+BARRACUDA_ES = DriveSpec(
+    name="barracuda-es-750",
+    capacity_bytes=750 * GB,
+    platters=4,
+    rpm=7200,
+    diameter_inches=3.7,
+    spt_outer=1172,  # ⇒ ~72 MB/s outer-zone media rate (Table 1)
+    spt_inner=700,
+    zones=16,
+    seek_track_to_track_ms=0.8,
+    seek_average_ms=8.5,
+    seek_full_stroke_ms=17.0,
+    cache_bytes=8 * MB,
+    reference_power_watts=13.0,
+)
+
+#: 10 000 RPM enterprise drive (Cheetah class) for the MD arrays of
+#: Financial, Websearch and TPC-C.  Capacity is overridden per workload.
+CHEETAH_10K = DriveSpec(
+    name="cheetah-10k",
+    capacity_bytes=int(19.07 * GB),
+    platters=4,
+    rpm=10000,
+    diameter_inches=3.0,
+    spt_outer=470,
+    spt_inner=280,
+    zones=12,
+    seek_track_to_track_ms=0.6,
+    seek_average_ms=5.2,
+    seek_full_stroke_ms=10.5,
+    cache_bytes=4 * MB,
+)
+
+#: 7200 RPM, 6-platter drive of the TPC-H array (Table 2).
+TPCH_DRIVE = DriveSpec(
+    name="tpch-array-drive",
+    capacity_bytes=int(35.96 * GB),
+    platters=6,
+    rpm=7200,
+    diameter_inches=3.7,
+    spt_outer=520,
+    spt_inner=310,
+    zones=12,
+    seek_track_to_track_ms=0.9,
+    seek_average_ms=8.9,
+    seek_full_stroke_ms=17.5,
+    cache_bytes=4 * MB,
+)
+
+#: Conner CP3100 (1988 personal-computer drive; Table 1).
+CONNERS_CP3100 = DriveSpec(
+    name="conner-cp3100",
+    capacity_bytes=100 * MB,
+    platters=4,
+    rpm=3575,
+    diameter_inches=3.5,
+    spt_outer=33,
+    spt_inner=33,
+    zones=1,
+    seek_track_to_track_ms=8.0,
+    seek_average_ms=25.0,
+    seek_full_stroke_ms=45.0,
+    cache_bytes=32 * 1024,
+    bus_bytes_per_s=1 * MB,
+    technology_factor=1.17,
+    reference_power_watts=10.0,
+)
+
+#: IBM 3380 AK4 (1980 mainframe drive, 4 actuators; Table 1).
+IBM_3380_AK4 = DriveSpec(
+    name="ibm-3380-ak4",
+    capacity_bytes=7500 * MB,
+    platters=12,
+    rpm=3620,
+    diameter_inches=14.0,
+    spt_outer=60,
+    spt_inner=60,
+    zones=1,
+    seek_track_to_track_ms=3.0,
+    seek_average_ms=16.0,
+    seek_full_stroke_ms=30.0,
+    cache_bytes=0x10000,
+    bus_bytes_per_s=3 * MB,
+    actuators=4,
+    technology_factor=4.18,
+    reference_power_watts=6600.0,
+)
+
+#: Fujitsu M2361A (1988 minicomputer drive; Table 1).
+FUJITSU_M2361A = DriveSpec(
+    name="fujitsu-m2361a",
+    capacity_bytes=600 * MB,
+    platters=6,
+    rpm=3600,
+    diameter_inches=10.5,
+    spt_outer=40,
+    spt_inner=40,
+    zones=1,
+    seek_track_to_track_ms=4.0,
+    seek_average_ms=18.0,
+    seek_full_stroke_ms=35.0,
+    cache_bytes=0x10000,
+    bus_bytes_per_s=2 * MB + MB // 2,
+    technology_factor=3.17,
+    reference_power_watts=640.0,
+)
+
+#: Name → spec lookup for configuration files and CLIs.
+SPEC_CATALOG: Dict[str, DriveSpec] = {
+    spec.name: spec
+    for spec in (
+        BARRACUDA_ES,
+        CHEETAH_10K,
+        TPCH_DRIVE,
+        CONNERS_CP3100,
+        IBM_3380_AK4,
+        FUJITSU_M2361A,
+    )
+}

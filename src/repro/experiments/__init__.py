@@ -1,0 +1,42 @@
+"""Experiment drivers: one module per paper table/figure.
+
+* :mod:`repro.experiments.configs` — MD / HC-SD / HC-SD-SA(n) storage
+  system factories for each workload.
+* :mod:`repro.experiments.runner` — the open-loop trace driver.
+* :mod:`repro.experiments.limit_study` — Figures 2 and 3.
+* :mod:`repro.experiments.bottleneck` — Figure 4.
+* :mod:`repro.experiments.parallel_study` — Figure 5.
+* :mod:`repro.experiments.rpm_study` — Figures 6 and 7.
+* :mod:`repro.experiments.raid_study` — Figure 8.
+* :mod:`repro.experiments.technology` — Tables 1 and 2.
+* :mod:`repro.experiments.cost_study` — Table 9a / Figure 9b.
+"""
+
+from repro.experiments.configs import (
+    build_hcsd_drive,
+    build_hcsd_system,
+    build_md_system,
+    build_raid0_system,
+)
+from repro.experiments.runner import RunResult, run_trace
+from repro.experiments.limit_study import run_limit_study
+from repro.experiments.bottleneck import run_bottleneck_study
+from repro.experiments.parallel_study import run_parallel_study
+from repro.experiments.rpm_study import run_rpm_study
+from repro.experiments.raid_study import run_raid_study
+from repro.experiments.cost_study import run_cost_study
+
+__all__ = [
+    "RunResult",
+    "build_hcsd_drive",
+    "build_hcsd_system",
+    "build_md_system",
+    "build_raid0_system",
+    "run_bottleneck_study",
+    "run_cost_study",
+    "run_limit_study",
+    "run_parallel_study",
+    "run_raid_study",
+    "run_rpm_study",
+    "run_trace",
+]

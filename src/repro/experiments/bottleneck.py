@@ -1,0 +1,115 @@
+"""Figure 4: the bottleneck analysis of HC-SD performance.
+
+Reruns HC-SD with the simulator's computed seek times scaled to ½, ¼
+and 0 of their value, and likewise for rotational latencies — exactly
+the paper's methodology for isolating which mechanical delay causes
+the MD → HC-SD gap.  The paper's conclusion, which this experiment
+verifies, is that rotational latency is the primary bottleneck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.experiments.configs import build_hcsd_system, build_md_system
+from repro.experiments.runner import RunResult, run_trace
+from repro.metrics.cdf import RESPONSE_TIME_EDGES_MS
+from repro.metrics.report import format_cdf_table
+from repro.sim.engine import Environment
+from repro.workloads.commercial import (
+    COMMERCIAL_WORKLOADS,
+    CommercialWorkload,
+)
+
+__all__ = ["BottleneckResult", "format_figure4", "run_bottleneck_study"]
+
+DEFAULT_REQUESTS = 6000
+
+#: The scaling points of Figure 4 (label, seek scale, rotation scale).
+SCALING_POINTS = (
+    ("HC-SD", 1.0, 1.0),
+    ("(1/2)S", 0.5, 1.0),
+    ("(1/4)S", 0.25, 1.0),
+    ("S=0", 0.0, 1.0),
+    ("(1/2)R", 1.0, 0.5),
+    ("(1/4)R", 1.0, 0.25),
+    ("R=0", 1.0, 0.0),
+)
+
+
+@dataclass
+class BottleneckResult:
+    """All scaling-point runs plus the MD reference for one workload."""
+
+    workload: str
+    md: RunResult
+    runs: Dict[str, RunResult] = field(default_factory=dict)
+
+    def mean_response(self, label: str) -> float:
+        return self.runs[label].mean_response_ms
+
+    @property
+    def rotation_is_primary(self) -> bool:
+        """The paper's headline finding for this workload: scaling
+        rotation helps more than scaling seeks by the same factor."""
+        return (
+            self.mean_response("(1/2)R") < self.mean_response("(1/2)S")
+        )
+
+
+def run_bottleneck_study(
+    workloads: Optional[Iterable[CommercialWorkload]] = None,
+    requests: int = DEFAULT_REQUESTS,
+) -> Dict[str, BottleneckResult]:
+    results: Dict[str, BottleneckResult] = {}
+    for workload in workloads or COMMERCIAL_WORKLOADS.values():
+        trace = workload.generate(requests)
+        env = Environment()
+        md = run_trace(env, build_md_system(env, workload), trace)
+        result = BottleneckResult(workload=workload.name, md=md)
+        for label, seek_scale, rotation_scale in SCALING_POINTS:
+            env = Environment()
+            system = build_hcsd_system(
+                env,
+                workload,
+                seek_scale=seek_scale,
+                rotation_scale=rotation_scale,
+            )
+            result.runs[label] = run_trace(env, system, trace, label=label)
+        results[workload.name] = result
+    return results
+
+
+def format_figure4(results: Dict[str, BottleneckResult]) -> str:
+    """Figure 4: CDFs under seek scaling (top) and rotation scaling
+    (bottom), per workload, with the MD reference."""
+    edge_labels = [f"{edge:g}" for edge in RESPONSE_TIME_EDGES_MS]
+    edge_labels.append("200+")
+    blocks = []
+    for name, result in results.items():
+        seek_series = [
+            (label, result.runs[label].response_cdf())
+            for label in ("HC-SD", "(1/2)S", "(1/4)S", "S=0")
+        ]
+        seek_series.append(("MD", result.md.response_cdf()))
+        rotation_series = [
+            (label, result.runs[label].response_cdf())
+            for label in ("HC-SD", "(1/2)R", "(1/4)R", "R=0")
+        ]
+        rotation_series.append(("MD", result.md.response_cdf()))
+        blocks.append(
+            format_cdf_table(
+                edge_labels,
+                seek_series,
+                title=f"Figure 4 [{name}]: impact of seek time",
+            )
+        )
+        blocks.append(
+            format_cdf_table(
+                edge_labels,
+                rotation_series,
+                title=f"Figure 4 [{name}]: impact of rotational latency",
+            )
+        )
+    return "\n\n".join(blocks)

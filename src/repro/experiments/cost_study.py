@@ -1,0 +1,79 @@
+"""Table 9a and Figure 9b: the cost-benefit analysis.
+
+Thin reporting layer over :mod:`repro.cost`: renders the component
+cost table for conventional / 2-actuator / 4-actuator drives and the
+iso-performance configuration cost comparison.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cost.analysis import (
+    ConfigurationCost,
+    iso_performance_comparison,
+)
+from repro.cost.components import (
+    COMPONENT_COSTS,
+    drive_material_cost,
+)
+from repro.metrics.report import format_table
+
+__all__ = ["format_figure9b", "format_table9a", "run_cost_study"]
+
+_ACTUATOR_COLUMNS = (1, 2, 4)
+
+
+def format_table9a(platters: int = 4) -> str:
+    """Table 9a: per-component and total material costs."""
+    headers = ["component", "unit_cost"] + [
+        {1: "conventional", 2: "2-actuator", 4: "4-actuator"}[k]
+        for k in _ACTUATOR_COLUMNS
+    ]
+    rows = []
+    for component in COMPONENT_COSTS:
+        row = [component.name]
+        unit = component.unit
+        if unit.low == unit.high == 0.0:
+            row.append("(affine)")
+        else:
+            row.append(str(unit))
+        for actuators in _ACTUATOR_COLUMNS:
+            row.append(str(component.drive_cost(platters, actuators)))
+        rows.append(row)
+    total_row = ["TOTAL", ""]
+    for actuators in _ACTUATOR_COLUMNS:
+        total_row.append(str(drive_material_cost(platters, actuators)))
+    rows.append(total_row)
+    return format_table(
+        headers,
+        rows,
+        title="Table 9a: estimated component and drive costs (USD)",
+    )
+
+
+def run_cost_study(platters: int = 4) -> List[ConfigurationCost]:
+    """The iso-performance configuration costs of Figure 9b."""
+    return iso_performance_comparison(platters=platters)
+
+
+def format_figure9b(platters: int = 4) -> str:
+    configs = run_cost_study(platters=platters)
+    baseline = configs[0]
+    headers = ["configuration", "cost_range", "mean_cost", "savings"]
+    rows = []
+    for config in configs:
+        rows.append(
+            (
+                config.label,
+                str(config.total),
+                config.mean_total,
+                config.savings_vs(baseline),
+            )
+        )
+    return format_table(
+        headers,
+        rows,
+        title="Figure 9b: iso-performance cost comparison",
+        float_format="{:.2f}",
+    )

@@ -1,0 +1,117 @@
+"""Figure 5: performance of the HC-SD-SA(n) designs.
+
+Runs HC-SD-SA(n) for n = 1..4 on each workload and reports the
+response-time CDFs (Figure 5, top row) and the rotational-latency PDFs
+(Figure 5, bottom row), against the MD reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.experiments.configs import build_hcsd_system, build_md_system
+from repro.experiments.runner import RunResult, run_trace
+from repro.metrics.cdf import (
+    RESPONSE_TIME_EDGES_MS,
+    ROTATIONAL_LATENCY_EDGES_MS,
+)
+from repro.metrics.report import format_cdf_table
+from repro.sim.engine import Environment
+from repro.workloads.commercial import (
+    COMMERCIAL_WORKLOADS,
+    CommercialWorkload,
+)
+
+__all__ = [
+    "ParallelStudyResult",
+    "format_figure5_cdf",
+    "format_figure5_pdf",
+    "run_parallel_study",
+]
+
+DEFAULT_REQUESTS = 6000
+DEFAULT_ACTUATOR_COUNTS = (1, 2, 3, 4)
+
+
+@dataclass
+class ParallelStudyResult:
+    """SA(1..n) runs plus the MD reference for one workload."""
+
+    workload: str
+    md: RunResult
+    by_actuators: Dict[int, RunResult] = field(default_factory=dict)
+
+    def label(self, actuators: int) -> str:
+        return "HC-SD" if actuators == 1 else f"HC-SD-SA({actuators})"
+
+    def improvement_over_single(self, actuators: int) -> float:
+        """Mean-response speedup of SA(n) over the single-actuator drive."""
+        base = self.by_actuators[1].mean_response_ms
+        return base / self.by_actuators[actuators].mean_response_ms
+
+
+def run_parallel_study(
+    workloads: Optional[Iterable[CommercialWorkload]] = None,
+    actuator_counts: Iterable[int] = DEFAULT_ACTUATOR_COUNTS,
+    requests: int = DEFAULT_REQUESTS,
+) -> Dict[str, ParallelStudyResult]:
+    results: Dict[str, ParallelStudyResult] = {}
+    counts = list(actuator_counts)
+    for workload in workloads or COMMERCIAL_WORKLOADS.values():
+        trace = workload.generate(requests)
+        env = Environment()
+        md = run_trace(env, build_md_system(env, workload), trace)
+        result = ParallelStudyResult(workload=workload.name, md=md)
+        for actuators in counts:
+            env = Environment()
+            system = build_hcsd_system(env, workload, actuators=actuators)
+            result.by_actuators[actuators] = run_trace(
+                env, system, trace, label=result.label(actuators)
+            )
+        results[workload.name] = result
+    return results
+
+
+def _edges(edges: Iterable[float], plus: bool = True) -> List[str]:
+    labels = [f"{edge:g}" for edge in edges]
+    if plus:
+        labels.append(f"{labels[-1]}+")
+    return labels
+
+
+def format_figure5_cdf(results: Dict[str, ParallelStudyResult]) -> str:
+    """Figure 5, top: response-time CDFs of the SA(n) designs."""
+    blocks = []
+    for name, result in results.items():
+        series = [
+            (result.label(n), run.response_cdf())
+            for n, run in sorted(result.by_actuators.items())
+        ]
+        series.append(("MD", result.md.response_cdf()))
+        blocks.append(
+            format_cdf_table(
+                _edges(RESPONSE_TIME_EDGES_MS),
+                series,
+                title=f"Figure 5 [{name}]: response-time CDF",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def format_figure5_pdf(results: Dict[str, ParallelStudyResult]) -> str:
+    """Figure 5, bottom: rotational-latency PDFs of the SA(n) designs."""
+    blocks = []
+    for name, result in results.items():
+        series = [
+            (result.label(n), run.rotational_pdf())
+            for n, run in sorted(result.by_actuators.items())
+        ]
+        blocks.append(
+            format_cdf_table(
+                _edges(ROTATIONAL_LATENCY_EDGES_MS),
+                series,
+                title=f"Figure 5 [{name}]: rotational-latency PDF",
+            )
+        )
+    return "\n\n".join(blocks)

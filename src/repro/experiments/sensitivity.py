@@ -1,0 +1,159 @@
+"""Sensitivity of the paper's conclusions to arrival intensity.
+
+The original traces' arrival intensities are not published (except
+TPC-H's), so this reproduction calibrates them (see EXPERIMENTS.md).
+This study asks how robust the headline conclusions are to that
+calibration: it sweeps each workload's mean inter-arrival time over a
+range of scale factors and re-evaluates
+
+* the MD → HC-SD gap (does naive consolidation still collapse?), and
+* the smallest actuator count whose HC-SD-SA(n) matches MD.
+
+The paper's qualitative story should hold over a broad band: at much
+lighter load everything trivially matches (the TPC-H regime); at much
+heavier load no single-drive design can keep up (the Financial
+regime); in between, more intensity ⇒ more actuators needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.experiments.configs import build_hcsd_system, build_md_system
+from repro.experiments.runner import RunResult, run_trace
+from repro.metrics.report import format_table
+from repro.sim.engine import Environment
+from repro.workloads.commercial import (
+    COMMERCIAL_WORKLOADS,
+    CommercialWorkload,
+)
+
+__all__ = [
+    "SensitivityCell",
+    "SensitivityResult",
+    "format_sensitivity",
+    "run_sensitivity_study",
+]
+
+DEFAULT_SCALES = (2.0, 1.5, 1.0, 0.75)
+DEFAULT_ACTUATOR_LADDER = (1, 2, 3, 4)
+DEFAULT_REQUESTS = 3000
+#: SA(n) "matches MD" when its mean response is within this factor.
+MATCH_TOLERANCE = 1.35
+
+
+@dataclass
+class SensitivityCell:
+    """One (workload, intensity-scale) evaluation."""
+
+    workload: str
+    scale: float
+    interarrival_ms: float
+    md: RunResult
+    by_actuators: Dict[int, RunResult] = field(default_factory=dict)
+
+    @property
+    def gap_factor(self) -> float:
+        """HC-SD mean response over MD mean response."""
+        return (
+            self.by_actuators[1].mean_response_ms
+            / self.md.mean_response_ms
+        )
+
+    def actuators_to_match(self) -> Optional[int]:
+        """Smallest n with SA(n) within tolerance of MD, or None."""
+        limit = self.md.mean_response_ms * MATCH_TOLERANCE
+        for actuators in sorted(self.by_actuators):
+            if self.by_actuators[actuators].mean_response_ms <= limit:
+                return actuators
+        return None
+
+
+@dataclass
+class SensitivityResult:
+    cells: List[SensitivityCell] = field(default_factory=list)
+
+    def for_workload(self, name: str) -> List[SensitivityCell]:
+        return [cell for cell in self.cells if cell.workload == name]
+
+    def monotone_actuator_need(self, name: str) -> bool:
+        """Heavier load never needs *fewer* actuators (None = ∞)."""
+        cells = sorted(
+            self.for_workload(name), key=lambda c: c.scale, reverse=True
+        )  # descending scale = ascending intensity
+        previous = 0
+        for cell in cells:
+            needed = cell.actuators_to_match()
+            value = needed if needed is not None else 99
+            if value < previous:
+                return False
+            previous = value
+        return True
+
+
+def run_sensitivity_study(
+    workloads: Optional[Iterable[CommercialWorkload]] = None,
+    scales: Iterable[float] = DEFAULT_SCALES,
+    actuator_ladder: Iterable[int] = DEFAULT_ACTUATOR_LADDER,
+    requests: int = DEFAULT_REQUESTS,
+) -> SensitivityResult:
+    result = SensitivityResult()
+    ladder = list(actuator_ladder)
+    for workload in workloads or COMMERCIAL_WORKLOADS.values():
+        for scale in scales:
+            scaled = workload.scaled(scale)
+            trace = scaled.generate(requests)
+            env = Environment()
+            md = run_trace(env, build_md_system(env, scaled), trace)
+            cell = SensitivityCell(
+                workload=workload.name,
+                scale=scale,
+                interarrival_ms=scaled.mean_interarrival_ms,
+                md=md,
+            )
+            for actuators in ladder:
+                env = Environment()
+                system = build_hcsd_system(
+                    env, scaled, actuators=actuators
+                )
+                cell.by_actuators[actuators] = run_trace(
+                    env, system, trace
+                )
+            result.cells.append(cell)
+    return result
+
+
+def format_sensitivity(result: SensitivityResult) -> str:
+    headers = [
+        "workload",
+        "ia_scale",
+        "ia_ms",
+        "MD_ms",
+        "HC-SD_ms",
+        "gap",
+        "SA(n)_to_match",
+    ]
+    rows: List[Tuple] = []
+    for cell in result.cells:
+        needed = cell.actuators_to_match()
+        rows.append(
+            (
+                cell.workload,
+                cell.scale,
+                cell.interarrival_ms,
+                cell.md.mean_response_ms,
+                cell.by_actuators[1].mean_response_ms,
+                cell.gap_factor,
+                needed if needed is not None else ">4",
+            )
+        )
+    return format_table(
+        headers,
+        rows,
+        title=(
+            "Sensitivity: arrival-intensity scaling vs actuators needed "
+            "to match MD"
+        ),
+        float_format="{:.2f}",
+    )

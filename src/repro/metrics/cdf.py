@@ -1,0 +1,48 @@
+"""The paper's distribution buckets.
+
+Figure 2/4/5/7 response-time CDFs use bucket edges
+``5, 10, 20, 40, 60, 90, 120, 150, 200`` ms plus a ``200+`` bucket;
+Figure 5's rotational-latency PDFs use edges
+``1, 3, 5, 7, 8, 9, 11`` ms.  These helpers build
+:class:`~repro.sim.stats.BucketHistogram` objects with exactly those
+edges.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.sim.stats import BucketHistogram
+
+__all__ = [
+    "RESPONSE_TIME_EDGES_MS",
+    "ROTATIONAL_LATENCY_EDGES_MS",
+    "response_time_cdf",
+    "rotational_latency_pdf",
+]
+
+#: Response-time bucket edges used by every CDF figure in the paper.
+RESPONSE_TIME_EDGES_MS: Sequence[float] = (
+    5, 10, 20, 40, 60, 90, 120, 150, 200,
+)
+
+#: Rotational-latency bucket edges of the paper's Figure 5 PDFs.
+ROTATIONAL_LATENCY_EDGES_MS: Sequence[float] = (1, 3, 5, 7, 8, 9, 11)
+
+
+def response_time_cdf(response_times_ms: Iterable[float]) -> List[float]:
+    """Cumulative fractions at the paper's response-time edges.
+
+    Returns one value per bucket (the last is always 1.0 and
+    corresponds to ``200+``).
+    """
+    histogram = BucketHistogram(list(RESPONSE_TIME_EDGES_MS))
+    histogram.extend(response_times_ms)
+    return histogram.cdf()
+
+
+def rotational_latency_pdf(latencies_ms: Iterable[float]) -> List[float]:
+    """Probability mass at the paper's rotational-latency edges."""
+    histogram = BucketHistogram(list(ROTATIONAL_LATENCY_EDGES_MS))
+    histogram.extend(latencies_ms)
+    return histogram.pdf()

@@ -1,0 +1,142 @@
+"""Per-request measurement collection.
+
+A :class:`RequestCollector` subscribes to a drive's or array's
+``on_complete`` hook and accumulates the distributions the paper
+reports: response times (CDFs, percentiles), rotational latencies
+(PDFs), seek times, and cache behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.disk.request import IORequest
+from repro.metrics.cdf import (
+    RESPONSE_TIME_EDGES_MS,
+    ROTATIONAL_LATENCY_EDGES_MS,
+)
+from repro.sim.stats import BucketHistogram, OnlineStats, percentile
+
+__all__ = ["RequestCollector"]
+
+
+class RequestCollector:
+    """Accumulates per-request measurements from completion callbacks.
+
+    Attach with ``drive.on_complete.append(collector)`` (the instance
+    is callable) or pass completed requests to :meth:`record` manually.
+    """
+
+    def __init__(self, keep_samples: bool = True):
+        self.keep_samples = keep_samples
+        self.response_times: List[float] = []
+        self.rotational_latencies: List[float] = []
+        self.seek_times: List[float] = []
+        self.response_stats = OnlineStats()
+        self.rotational_stats = OnlineStats()
+        self.seek_stats = OnlineStats()
+        self.response_histogram = BucketHistogram(
+            list(RESPONSE_TIME_EDGES_MS)
+        )
+        self.rotational_histogram = BucketHistogram(
+            list(ROTATIONAL_LATENCY_EDGES_MS)
+        )
+        self.completed = 0
+        self.cache_hits = 0
+        self.reads = 0
+        self.nonzero_seeks = 0
+
+    def __call__(self, request: IORequest) -> None:
+        self.record(request)
+
+    def record(self, request: IORequest) -> None:
+        response = request.response_time
+        self.completed += 1
+        self.response_stats.add(response)
+        self.response_histogram.add(response)
+        if request.is_read:
+            self.reads += 1
+        if request.cache_hit:
+            self.cache_hits += 1
+        else:
+            self.rotational_stats.add(request.rotational_latency)
+            self.rotational_histogram.add(request.rotational_latency)
+            self.seek_stats.add(request.seek_time)
+            if request.seek_time > 0.0:
+                self.nonzero_seeks += 1
+            if self.keep_samples:
+                self.rotational_latencies.append(
+                    request.rotational_latency
+                )
+                self.seek_times.append(request.seek_time)
+        if self.keep_samples:
+            self.response_times.append(response)
+
+    # -- summaries --------------------------------------------------------
+    def response_cdf(self) -> List[float]:
+        """Cumulative fractions at the paper's response-time edges."""
+        return self.response_histogram.cdf()
+
+    def rotational_pdf(self) -> List[float]:
+        """Probability mass at the paper's rotational-latency edges."""
+        return self.rotational_histogram.pdf()
+
+    def response_percentile(self, q: float) -> float:
+        """Exact percentile (requires ``keep_samples=True``)."""
+        if not self.keep_samples:
+            raise ValueError("samples were not kept; cannot compute exactly")
+        return percentile(self.response_times, q)
+
+    @property
+    def mean_response_ms(self) -> float:
+        return self.response_stats.mean
+
+    @property
+    def mean_rotational_ms(self) -> float:
+        return self.rotational_stats.mean
+
+    @property
+    def mean_seek_ms(self) -> float:
+        return self.seek_stats.mean
+
+    @property
+    def nonzero_seek_fraction(self) -> float:
+        media = self.completed - self.cache_hits
+        return self.nonzero_seeks / media if media else 0.0
+
+    def fraction_within(self, threshold_ms: float) -> float:
+        """Fraction of responses at or below ``threshold_ms``.
+
+        Works from retained samples when available, else from the
+        histogram edge closest below the threshold.
+        """
+        if self.completed == 0:
+            return 0.0
+        if self.keep_samples:
+            within = sum(
+                1 for value in self.response_times if value <= threshold_ms
+            )
+            return within / len(self.response_times)
+        cdf = self.response_histogram.cdf()
+        best = 0.0
+        for edge, value in zip(self.response_histogram.edges, cdf):
+            if edge <= threshold_ms:
+                best = value
+        return best
+
+    def summary(self) -> dict:
+        summary = {
+            "completed": self.completed,
+            "mean_response_ms": self.mean_response_ms,
+            "max_response_ms": (
+                self.response_stats.maximum if self.completed else 0.0
+            ),
+            "mean_rotational_ms": self.mean_rotational_ms,
+            "mean_seek_ms": self.mean_seek_ms,
+            "cache_hit_fraction": (
+                self.cache_hits / self.completed if self.completed else 0.0
+            ),
+        }
+        if self.keep_samples and self.response_times:
+            summary["p90_response_ms"] = self.response_percentile(90)
+        return summary

@@ -1,0 +1,127 @@
+"""Component power models for disk drives.
+
+The paper's power analysis rests on three scaling facts (from its
+reference [18], Sato et al.):
+
+* spindle power grows with roughly the **4.6th power of platter
+  diameter**,
+* roughly **cubically with RPM** (we use 2.8, within the cubic range
+  the paper quotes), and
+* **linearly with platter count**;
+
+plus the calibration points of Table 1: a modern Barracuda-ES-class
+drive peaks at **13 W**, and the hypothetical 4-actuator extension at
+**34 W** with all four VCMs active.  Solving those two points gives a
+7 W active VCM and 6 W for spindle + electronics, which this module
+uses as its anchors at (3.7", 7200 RPM, 4 platters).
+
+Old mainframe drives (IBM 3380: 6 600 W) had dramatically less
+efficient motors and electronics; a per-spec ``technology_factor``
+covers that era gap so the Table-1 comparison reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.disk.specs import DriveSpec
+
+__all__ = [
+    "DrivePowerModel",
+    "SPM_DIAMETER_EXPONENT",
+    "SPM_RPM_EXPONENT",
+    "VCM_DIAMETER_EXPONENT",
+]
+
+#: Spindle power ∝ diameter^4.6 (paper §3, citing [18]).
+SPM_DIAMETER_EXPONENT = 4.6
+#: Spindle power ≈ cubic in RPM; 2.8 is the standard fitted exponent.
+SPM_RPM_EXPONENT = 2.8
+#: VCM power grows with arm/platter size; windage+inertia give ≈ d^2.5.
+VCM_DIAMETER_EXPONENT = 2.5
+
+# Calibration anchors at the Barracuda-ES operating point
+# (3.7 inches, 7200 RPM, 4 platters): peak = SPM + electronics + VCM.
+_REFERENCE_DIAMETER_IN = 3.7
+_REFERENCE_RPM = 7200.0
+_REFERENCE_PLATTERS = 4
+_SPM_REFERENCE_W = 4.0
+_ELECTRONICS_W = 2.0
+_VCM_REFERENCE_W = 7.0
+#: Extra electronics/channel power while data streams over the channel.
+_TRANSFER_EXTRA_W = 1.5
+
+
+@dataclass(frozen=True)
+class DrivePowerModel:
+    """Per-component power for one drive design.
+
+    All values in Watts.  ``vcm_watts`` is the power of *one* active
+    voice-coil motor; a multi-actuator drive multiplies by the number
+    of assemblies simultaneously in motion.
+    """
+
+    spm_watts: float
+    vcm_watts: float
+    electronics_watts: float
+    transfer_extra_watts: float
+    actuators: int
+
+    @classmethod
+    def from_spec(cls, spec: DriveSpec) -> "DrivePowerModel":
+        """Derive the model from a drive specification."""
+        diameter_ratio = spec.diameter_inches / _REFERENCE_DIAMETER_IN
+        rpm_ratio = spec.rpm / _REFERENCE_RPM
+        spm = (
+            _SPM_REFERENCE_W
+            * spec.technology_factor
+            * diameter_ratio ** SPM_DIAMETER_EXPONENT
+            * rpm_ratio ** SPM_RPM_EXPONENT
+            * (spec.platters / _REFERENCE_PLATTERS)
+        )
+        vcm = (
+            _VCM_REFERENCE_W
+            * spec.technology_factor
+            * diameter_ratio ** VCM_DIAMETER_EXPONENT
+        )
+        electronics = _ELECTRONICS_W * spec.technology_factor
+        return cls(
+            spm_watts=spm,
+            vcm_watts=vcm,
+            electronics_watts=electronics,
+            transfer_extra_watts=_TRANSFER_EXTRA_W,
+            actuators=spec.actuators,
+        )
+
+    # -- mode powers ---------------------------------------------------------
+    @property
+    def idle_watts(self) -> float:
+        """Platters spinning, arms parked: SPM + electronics."""
+        return self.spm_watts + self.electronics_watts
+
+    @property
+    def rotational_watts(self) -> float:
+        """During rotational-latency waits the arms are stationary, so
+        the VCM draws nothing — numerically the idle power (paper
+        §7.2, TPC-C discussion)."""
+        return self.idle_watts
+
+    def seek_watts(self, active_vcms: int = 1) -> float:
+        """Idle power plus one VCM per assembly in motion."""
+        if active_vcms < 0:
+            raise ValueError(f"active_vcms must be >= 0, got {active_vcms}")
+        return self.idle_watts + self.vcm_watts * active_vcms
+
+    @property
+    def transfer_watts(self) -> float:
+        return self.idle_watts + self.transfer_extra_watts
+
+    def peak_watts(self, active_vcms: int = None) -> float:
+        """Worst case: every assembly's VCM in motion at once.
+
+        For the Barracuda anchor this reproduces Table 1 exactly:
+        13 W conventional, 34 W with four actuators.
+        """
+        if active_vcms is None:
+            active_vcms = self.actuators
+        return self.seek_watts(active_vcms)

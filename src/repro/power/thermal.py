@@ -1,0 +1,116 @@
+"""Peak-power / thermal-envelope analysis (paper §7.2).
+
+Peak power matters to the drive designer, who "has to design the drive
+to operate within a certain power/thermal envelope for reliability
+purposes".  The base HC-SD-SA(n) design's restriction that only one
+arm assembly moves at a time is exactly what keeps its *operating*
+peak at the conventional drive's level even though the hardware could
+draw far more (Table 1's 34 W worst case with all four VCMs active).
+
+This module makes that argument executable: an envelope per form
+factor, and a check of a drive design's operating peak — parameterised
+by how many VCMs its service policy allows to move simultaneously —
+against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.disk.specs import DriveSpec
+from repro.power.models import DrivePowerModel
+
+__all__ = [
+    "EnvelopeCheck",
+    "ThermalEnvelope",
+    "check_design",
+    "CONVENTIONAL_35IN_ENVELOPE",
+]
+
+
+@dataclass(frozen=True)
+class ThermalEnvelope:
+    """A sustained-power budget for one drive bay / form factor."""
+
+    name: str
+    max_watts: float
+
+    def __post_init__(self) -> None:
+        if self.max_watts <= 0:
+            raise ValueError(
+                f"max_watts must be positive, got {self.max_watts}"
+            )
+
+    def admits(self, watts: float) -> bool:
+        return watts <= self.max_watts
+
+
+#: A 3.5-inch server bay engineered for a conventional drive of the
+#: Barracuda-ES class: its own peak (13 W) plus a small margin.
+CONVENTIONAL_35IN_ENVELOPE = ThermalEnvelope(
+    name="3.5in-server-bay", max_watts=15.0
+)
+
+
+@dataclass
+class EnvelopeCheck:
+    """Result of checking one design against one envelope."""
+
+    design: str
+    envelope: ThermalEnvelope
+    operating_peak_watts: float
+    hardware_peak_watts: float
+    fits: bool
+    #: Largest simultaneous-VCM count the envelope would admit.
+    max_admissible_vcms: int
+
+    def summary(self) -> str:
+        verdict = "fits" if self.fits else "EXCEEDS"
+        return (
+            f"{self.design}: operating peak "
+            f"{self.operating_peak_watts:.1f} W {verdict} "
+            f"{self.envelope.name} ({self.envelope.max_watts:.1f} W); "
+            f"hardware worst case {self.hardware_peak_watts:.1f} W; "
+            f"envelope admits {self.max_admissible_vcms} concurrent VCM(s)"
+        )
+
+
+def check_design(
+    spec: DriveSpec,
+    max_concurrent_vcms: int = 1,
+    envelope: Optional[ThermalEnvelope] = None,
+) -> EnvelopeCheck:
+    """Check a drive design's operating peak against an envelope.
+
+    ``max_concurrent_vcms`` encodes the service policy: 1 for the base
+    SA(n) design (single arm in motion), up to ``spec.actuators`` for
+    the MA relaxation.
+    """
+    if max_concurrent_vcms < 0:
+        raise ValueError(
+            f"max_concurrent_vcms must be >= 0, got {max_concurrent_vcms}"
+        )
+    if max_concurrent_vcms > spec.actuators:
+        raise ValueError(
+            f"policy allows {max_concurrent_vcms} concurrent VCMs but the "
+            f"design has only {spec.actuators} assemblies"
+        )
+    envelope = envelope or CONVENTIONAL_35IN_ENVELOPE
+    model = DrivePowerModel.from_spec(spec)
+    operating_peak = model.seek_watts(max_concurrent_vcms)
+    hardware_peak = model.peak_watts()
+    headroom = envelope.max_watts - model.idle_watts
+    if model.vcm_watts > 0:
+        admissible = int(headroom // model.vcm_watts)
+    else:
+        admissible = spec.actuators
+    admissible = max(0, min(admissible, spec.actuators))
+    return EnvelopeCheck(
+        design=spec.name,
+        envelope=envelope,
+        operating_peak_watts=operating_peak,
+        hardware_peak_watts=hardware_peak,
+        fits=envelope.admits(operating_peak),
+        max_admissible_vcms=admissible,
+    )

@@ -1,0 +1,234 @@
+"""The array controller: logical requests in, per-drive requests out.
+
+A :class:`DiskArray` owns a set of member drives and a
+:class:`~repro.raid.layout.Layout`.  Each submitted logical request is
+translated into physical slices, issued to the member drives (phase by
+phase, for RAID-5 read-modify-write), and completed when the last slice
+finishes.  The logical request's measurement fields are stamped from
+the slice that finished last, so response-time metrics reflect the
+critical path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.disk.drive import ConventionalDrive
+from repro.disk.request import IORequest
+from repro.raid.layout import Layout, Slice
+from repro.sim.engine import Environment, Event
+
+__all__ = ["DiskArray"]
+
+
+class DiskArray:
+    """A storage system composed of member drives behind one layout.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment shared with the member drives.
+    drives:
+        Member drives, in layout order.  Any object with the drive
+        interface (``submit``, ``stats``, ``geometry``) works, so
+        arrays of :class:`~repro.core.parallel_disk.ParallelDisk` are
+        built exactly the same way (§7.3).
+    layout:
+        Address translation; its ``disk_count`` must match.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        drives: Sequence[ConventionalDrive],
+        layout: Layout,
+        label: Optional[str] = None,
+    ):
+        if not drives:
+            raise ValueError("array needs at least one drive")
+        if layout.disk_count != len(drives):
+            raise ValueError(
+                f"layout expects {layout.disk_count} drives, got {len(drives)}"
+            )
+        self.env = env
+        self.drives: List[ConventionalDrive] = list(drives)
+        self.layout = layout
+        self.label = label or f"array[{len(drives)}x{drives[0].label}]"
+        self.requests_completed = 0
+        #: Callbacks invoked with each completed *logical* request.
+        self.on_complete: List[Callable[[IORequest], None]] = []
+        self._outstanding: Dict[int, Event] = {}
+        self._failed_disk: Optional[int] = None
+        #: Fraction of a RAID-5 rebuild completed (set by rebuild()).
+        self.rebuild_progress: float = 0.0
+
+    # -- drive-like interface -------------------------------------------------
+    @property
+    def disk_count(self) -> int:
+        return len(self.drives)
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._outstanding)
+
+    def capacity_sectors(self) -> int:
+        return self.layout.capacity_sectors()
+
+    def submit(self, request: IORequest) -> Event:
+        """Issue a logical request; returns its completion event."""
+        slices = self._map(request)
+        completion = self.env.event()
+        self._outstanding[request.request_id] = completion
+        self.env.process(self._run(request, slices, completion))
+        return completion
+
+    def _map(self, request: IORequest) -> List[Slice]:
+        if self._failed_disk is not None:
+            from repro.raid.layout import Raid5Layout, degraded_raid5_map
+
+            if isinstance(self.layout, Raid5Layout):
+                return degraded_raid5_map(
+                    self.layout,
+                    request.lba,
+                    request.size,
+                    request.is_read,
+                    self._failed_disk,
+                )
+            raise RuntimeError(
+                f"{self.label}: drive {self._failed_disk} failed and the "
+                f"layout {type(self.layout).__name__} has no redundancy"
+            )
+        return self.layout.map_request(
+            request.lba, request.size, request.is_read, request.source_disk
+        )
+
+    # -- degraded mode and rebuild (RAID-5) --------------------------------
+    @property
+    def failed_disk(self) -> Optional[int]:
+        return self._failed_disk
+
+    def fail_drive(self, index: int) -> None:
+        """Mark one member failed; subsequent I/O runs degraded.
+
+        Only redundant layouts (RAID-5) can continue; a second failure
+        is unrecoverable and rejected.
+        """
+        if not 0 <= index < len(self.drives):
+            raise ValueError(
+                f"index {index} out of range [0, {len(self.drives)})"
+            )
+        if self._failed_disk is not None:
+            raise RuntimeError(
+                "array already degraded: a second failure loses data"
+            )
+        self._failed_disk = index
+
+    def rebuild(self, replacement: ConventionalDrive):
+        """Rebuild the failed member onto ``replacement``.
+
+        Returns the simulation process; yield it (or run the
+        environment) to completion.  The rebuild streams row by row:
+        read the row extent from every survivor, reconstruct, write to
+        the replacement.  On completion the replacement takes the
+        failed member's slot and the array leaves degraded mode.
+        """
+        from repro.raid.layout import Raid5Layout
+
+        if self._failed_disk is None:
+            raise RuntimeError("no failed drive to rebuild")
+        if not isinstance(self.layout, Raid5Layout):
+            raise RuntimeError("rebuild requires a RAID-5 layout")
+        return self.env.process(self._rebuild_process(replacement))
+
+    def _rebuild_process(self, replacement: ConventionalDrive):
+        layout = self.layout
+        failed = self._failed_disk
+        unit = layout.stripe_unit
+        rows = layout.disk_capacity // unit
+        self.rebuild_progress = 0.0
+        for row in range(rows):
+            physical = row * unit
+            reads = []
+            for member, drive in enumerate(self.drives):
+                if member == failed:
+                    continue
+                reads.append(
+                    drive.submit(
+                        IORequest(
+                            lba=physical,
+                            size=unit,
+                            is_read=True,
+                            arrival_time=self.env.now,
+                        )
+                    )
+                )
+            yield self.env.all_of(reads)
+            write = replacement.submit(
+                IORequest(
+                    lba=physical,
+                    size=unit,
+                    is_read=False,
+                    arrival_time=self.env.now,
+                )
+            )
+            yield write
+            self.rebuild_progress = (row + 1) / rows
+        self.drives[failed] = replacement
+        self._failed_disk = None
+
+    def _run(self, request: IORequest, slices: List[Slice], completion: Event):
+        phases = sorted({piece.phase for piece in slices})
+        last_done: Optional[IORequest] = None
+        for phase in phases:
+            events = []
+            for piece in slices:
+                if piece.phase != phase:
+                    continue
+                physical = request.clone(
+                    lba=piece.lba,
+                    size=piece.size,
+                    is_read=piece.is_read,
+                    arrival_time=self.env.now,
+                    source_disk=piece.disk,
+                )
+                events.append(self.drives[piece.disk].submit(physical))
+            if events:
+                result = yield self.env.all_of(events)
+                finished = [result[event] for event in result.events]
+                last_done = max(
+                    finished, key=lambda r: r.completion_time
+                )
+        request.completion_time = self.env.now
+        if request.start_service is None:
+            request.start_service = request.arrival_time
+        if last_done is not None:
+            request.seek_time = last_done.seek_time
+            request.rotational_latency = last_done.rotational_latency
+            request.transfer_time = last_done.transfer_time
+            request.cache_hit = last_done.cache_hit
+            request.arm_id = last_done.arm_id
+        self.requests_completed += 1
+        self._outstanding.pop(request.request_id, None)
+        completion.succeed(request)
+        for callback in self.on_complete:
+            callback(request)
+
+    # -- aggregate statistics ---------------------------------------------------
+    def total_sectors_transferred(self) -> int:
+        return sum(drive.stats.sectors_transferred for drive in self.drives)
+
+    def total_busy_ms(self) -> float:
+        return sum(drive.stats.busy_ms for drive in self.drives)
+
+    def stats_by_drive(self) -> List[dict]:
+        return [
+            {
+                "label": drive.label,
+                "requests": drive.stats.requests_completed,
+                "seek_ms": drive.stats.seek_ms,
+                "rotational_ms": drive.stats.rotational_latency_ms,
+                "transfer_ms": drive.stats.transfer_ms,
+                "cache_hits": drive.stats.cache_hits,
+            }
+            for drive in self.drives
+        ]

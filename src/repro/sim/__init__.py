@@ -1,0 +1,53 @@
+"""Discrete-event simulation kernel.
+
+A small, self-contained engine in the style of SimPy: an
+:class:`~repro.sim.engine.Environment` owns simulated time and an event
+heap; *processes* are Python generators that ``yield`` events (timeouts,
+other processes, resource requests) and are resumed when those events
+trigger.  The disk, RAID, and workload models in the rest of the package
+are all built on this kernel.
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.resources import PriorityStore, Resource, Store
+from repro.sim.distributions import (
+    BernoulliStream,
+    ExponentialStream,
+    NormalStream,
+    ParetoStream,
+    RandomStream,
+    UniformStream,
+)
+from repro.sim.stats import BucketHistogram, OnlineStats, TimeWeightedStat
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "BernoulliStream",
+    "BucketHistogram",
+    "Environment",
+    "Event",
+    "ExponentialStream",
+    "Interrupt",
+    "NormalStream",
+    "OnlineStats",
+    "ParetoStream",
+    "PriorityStore",
+    "Process",
+    "RandomStream",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "TimeWeightedStat",
+    "Timeout",
+    "UniformStream",
+]

@@ -1,0 +1,420 @@
+"""Core discrete-event engine: environment, events, processes.
+
+The engine is deliberately small and deterministic:
+
+* Simulated time is a float (this package uses milliseconds throughout).
+* Events are totally ordered by ``(time, priority, sequence)``, so two
+  events scheduled for the same instant fire in scheduling order.
+* A :class:`Process` wraps a generator.  The generator yields events;
+  when a yielded event triggers, the process is resumed with the event's
+  value (or the event's exception is thrown into it).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+]
+
+#: Default priority for ordinary events.
+NORMAL = 1
+#: Priority used for "urgent" bookkeeping events (fire before NORMAL ones
+#: scheduled at the same instant).
+URGENT = 0
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the engine (e.g. re-triggering an event)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The ``cause`` attribute carries the value passed to ``interrupt``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event moves through three states: *pending* (just created),
+    *triggered* (a value or exception has been set and the event is on
+    the schedule), and *processed* (its callbacks have run).
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        #: Set by a waiter to mark a failure as handled, suppressing the
+        #: crash-the-run behaviour for unhandled failures.
+        self.defused = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise SimulationError("event has not been triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._ok is None:
+            raise SimulationError("event has not been triggered")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger with the state of another (already triggered) event."""
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        self._ok = event._ok
+        self._value = event._value
+        self.env._schedule(self, NORMAL, 0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "pending"
+            if self._ok is None
+            else ("ok" if self._ok else "failed")
+        )
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` time units after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+
+class Initialize(Event):
+    """Internal: first resumption of a freshly created process."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        env._schedule(self, URGENT, 0.0)
+
+
+class Process(Event):
+    """A running generator; also an event that triggers on termination."""
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._ok is None
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._ok is not None:
+            raise SimulationError("cannot interrupt a terminated process")
+        if self._target is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event.defused = True
+        event.callbacks.append(self._resume)
+        self.env._schedule(event, URGENT, 0.0)
+
+    def _resume(self, event: Event) -> None:
+        env = self.env
+        env._active_process = self
+        while True:
+            # Detach from the event that woke us.
+            if self._target is not None and self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+            self._target = None
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event.defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as exc:
+                self._ok = True
+                self._value = exc.value
+                env._schedule(self, NORMAL, 0.0)
+                break
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                env._schedule(self, NORMAL, 0.0)
+                break
+            if not isinstance(next_event, Event):
+                exc = SimulationError(
+                    f"process yielded a non-event: {next_event!r}"
+                )
+                self._ok = False
+                self._value = exc
+                env._schedule(self, NORMAL, 0.0)
+                break
+            if next_event.callbacks is not None:
+                # Event still pending or triggered-but-unprocessed: wait.
+                self._target = next_event
+                next_event.callbacks.append(self._resume)
+                break
+            # Event already processed: continue immediately with its value.
+            event = next_event
+        env._active_process = None
+
+
+class ConditionValue:
+    """Mapping-like view of the events collected by a condition."""
+
+    def __init__(self, events: List[Event]):
+        self.events = events
+
+    def __getitem__(self, key: Event) -> Any:
+        if key not in self.events:
+            raise KeyError(key)
+        return key._value
+
+    def __contains__(self, key: Event) -> bool:
+        return key in self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def todict(self) -> dict:
+        return {event: event._value for event in self.events}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ConditionValue {self.todict()!r}>"
+
+
+class Condition(Event):
+    """Composite event over several child events."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[List[Event], int], bool],
+        events: Iterable[Event],
+    ):
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("events belong to different environments")
+        if self._evaluate(self._events, 0) and not self._events:
+            self.succeed(ConditionValue([]))
+            return
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self._ok is not None:
+            return
+        self._count += 1
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            # Only *processed* events belong in the result: a Timeout
+            # is "triggered" from creation but has not occurred until
+            # its callbacks run.  The event firing right now is already
+            # marked processed by Environment.step().
+            done = [
+                e
+                for e in self._events
+                if e.processed and e._ok
+            ]
+            self.succeed(ConditionValue(done))
+
+
+class AllOf(Condition):
+    """Triggers when every child event has triggered."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, lambda events, count: count >= len(events), events)
+
+
+class AnyOf(Condition):
+    """Triggers when at least one child event has triggered."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, lambda events, count: count >= 1, events)
+
+
+class EmptySchedule(Exception):
+    """Internal: raised by :meth:`Environment.step` when nothing remains."""
+
+
+class Environment:
+    """Owns simulated time and the pending-event schedule."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[tuple] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event factories -------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling -------------------------------------------------------
+    def _schedule(self, event: Event, priority: int, delay: float) -> None:
+        self._eid += 1
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, self._eid, event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        try:
+            when, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if event._ok is False and not event.defused:
+            # Unhandled failure: crash the run, as SimPy does.
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run until ``until`` (a time, an event, or schedule exhaustion).
+
+        If ``until`` is an event, returns that event's value once it
+        triggers.  If it is a number, runs until simulated time reaches
+        it.  If ``None``, runs until no events remain.
+        """
+        stop: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop = until
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(
+                        f"until ({at}) must not be before now ({self._now})"
+                    )
+                stop = Event(self)
+                stop._ok = True
+                # Urgent so the clock stops before same-time events fire.
+                self._eid += 1
+                heapq.heappush(self._queue, (at, URGENT, self._eid, stop))
+            stop.callbacks.append(_StopSignal.throw)
+        try:
+            while True:
+                self.step()
+        except EmptySchedule:
+            if stop is not None and stop.callbacks is not None:
+                if isinstance(until, Event):
+                    raise SimulationError(
+                        "run(until=event): event was never triggered"
+                    ) from None
+        except _StopSignal as signal:
+            return signal.value
+        return None
+
+
+class _StopSignal(Exception):
+    """Internal control-flow exception used by :meth:`Environment.run`."""
+
+    def __init__(self, value: Any):
+        super().__init__(value)
+        self.value = value
+
+    @staticmethod
+    def throw(event: Event) -> None:
+        if event._ok:
+            raise _StopSignal(event._value)
+        event.defused = True
+        raise event._value

@@ -1,0 +1,28 @@
+"""Utility tooling around the simulator.
+
+* :mod:`repro.tools.characterize` — DIXtrac-style black-box drive
+  characterisation: recover a drive's rotation period, seek curve and
+  zone bandwidth profile purely from timed I/O against its ``submit``
+  interface.
+* :mod:`repro.tools.validate` — analytic cross-checks of the simulator
+  against M/G/1 queueing predictions.
+"""
+
+from repro.tools.characterize import (
+    CharacterizationReport,
+    characterize_drive,
+    estimate_rotation_period_ms,
+    estimate_seek_curve,
+    estimate_zone_bandwidth,
+)
+from repro.tools.validate import mg1_mean_response_ms, validate_against_mg1
+
+__all__ = [
+    "CharacterizationReport",
+    "characterize_drive",
+    "estimate_rotation_period_ms",
+    "estimate_seek_curve",
+    "estimate_zone_bandwidth",
+    "mg1_mean_response_ms",
+    "validate_against_mg1",
+]

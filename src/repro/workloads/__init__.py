@@ -1,0 +1,43 @@
+"""Workload substrate: traces and generators.
+
+* :mod:`repro.workloads.trace` — the in-memory trace container plus an
+  ASCII on-disk format compatible in spirit with DiskSim's.
+* :mod:`repro.workloads.synthetic` — the DiskSim-style synthetic
+  generator used by the paper's §7.3 study (exponential inter-arrival;
+  60 % reads, 20 % sequential).
+* :mod:`repro.workloads.commercial` — seeded models of the four
+  commercial traces (Financial, Websearch, TPC-C, TPC-H) calibrated to
+  the published characteristics of Table 2.
+"""
+
+from repro.workloads.trace import Trace, load_trace, save_trace
+from repro.workloads.synthetic import SyntheticWorkload
+from repro.workloads.closedloop import ClosedLoopClients, ClosedLoopResult
+from repro.workloads.bursty import BurstyWorkload
+from repro.workloads.analysis import TraceProfile, profile_trace
+from repro.workloads.commercial import (
+    COMMERCIAL_WORKLOADS,
+    CommercialWorkload,
+    FINANCIAL,
+    TPCC,
+    TPCH,
+    WEBSEARCH,
+)
+
+__all__ = [
+    "BurstyWorkload",
+    "COMMERCIAL_WORKLOADS",
+    "ClosedLoopClients",
+    "ClosedLoopResult",
+    "CommercialWorkload",
+    "FINANCIAL",
+    "SyntheticWorkload",
+    "TPCC",
+    "TPCH",
+    "Trace",
+    "TraceProfile",
+    "profile_trace",
+    "WEBSEARCH",
+    "load_trace",
+    "save_trace",
+]

@@ -1,0 +1,130 @@
+"""Bursty (on/off Markov-modulated) arrival workloads.
+
+Server I/O is rarely smooth: arrivals come in ON periods of dense
+traffic separated by OFF lulls.  Burstiness is what dynamic power
+management (DRPM) exploits — and what stresses queue behaviour beyond
+what a Poisson stream of the same mean rate does.
+
+:class:`BurstyWorkload` generates an on/off-modulated stream: during
+an ON period requests arrive with exponential inter-arrival
+``burst_interarrival_ms``; ON and OFF period lengths are exponential.
+The long-run mean rate is therefore
+
+    rate = on_fraction / burst_interarrival_ms,
+    on_fraction = mean_on / (mean_on + mean_off)
+
+and the index of dispersion (burstiness) grows with the OFF/ON
+contrast.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.disk.request import IORequest
+from repro.workloads.trace import Trace
+
+__all__ = ["BurstyWorkload"]
+
+
+class BurstyWorkload:
+    """On/off-modulated random workload over a flat address space.
+
+    Parameters
+    ----------
+    capacity_sectors:
+        Address space of the target storage.
+    burst_interarrival_ms:
+        Mean inter-arrival *within* an ON period.
+    mean_on_ms / mean_off_ms:
+        Mean ON / OFF period durations (exponential).
+    read_fraction, request_size_sectors, footprint_fraction:
+        As for :class:`~repro.workloads.synthetic.SyntheticWorkload`.
+    """
+
+    def __init__(
+        self,
+        capacity_sectors: int,
+        burst_interarrival_ms: float = 2.0,
+        mean_on_ms: float = 200.0,
+        mean_off_ms: float = 800.0,
+        read_fraction: float = 0.6,
+        request_size_sectors: int = 8,
+        footprint_fraction: float = 1.0,
+        seed: Optional[int] = 97,
+    ):
+        if capacity_sectors <= request_size_sectors:
+            raise ValueError("capacity must exceed the request size")
+        if burst_interarrival_ms <= 0:
+            raise ValueError("burst_interarrival_ms must be positive")
+        if mean_on_ms <= 0 or mean_off_ms < 0:
+            raise ValueError(
+                "mean_on_ms must be positive and mean_off_ms non-negative"
+            )
+        if not 0.0 < footprint_fraction <= 1.0:
+            raise ValueError(
+                f"footprint_fraction must be in (0, 1], got "
+                f"{footprint_fraction}"
+            )
+        self.capacity_sectors = capacity_sectors
+        self.burst_interarrival_ms = burst_interarrival_ms
+        self.mean_on_ms = mean_on_ms
+        self.mean_off_ms = mean_off_ms
+        self.read_fraction = read_fraction
+        self.request_size_sectors = request_size_sectors
+        self.footprint_sectors = max(
+            request_size_sectors + 2,
+            int(capacity_sectors * footprint_fraction),
+        )
+        self.seed = seed
+
+    @property
+    def mean_rate_per_ms(self) -> float:
+        """Long-run arrival rate (requests/ms)."""
+        on_fraction = self.mean_on_ms / (
+            self.mean_on_ms + self.mean_off_ms
+        )
+        return on_fraction / self.burst_interarrival_ms
+
+    @property
+    def effective_interarrival_ms(self) -> float:
+        return 1.0 / self.mean_rate_per_ms
+
+    def generate(self, count: int, name: Optional[str] = None) -> Trace:
+        """Produce ``count`` requests as a :class:`Trace`."""
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        rng = random.Random(self.seed)
+        limit = self.footprint_sectors - self.request_size_sectors - 1
+        requests = []
+        clock = 0.0
+        burst_end = rng.expovariate(1.0 / self.mean_on_ms)
+        while len(requests) < count:
+            gap = rng.expovariate(1.0 / self.burst_interarrival_ms)
+            clock += gap
+            if clock > burst_end and self.mean_off_ms > 0:
+                # The ON period ended: insert an OFF lull, then start a
+                # new ON period from where the lull ends.
+                clock = burst_end + rng.expovariate(
+                    1.0 / self.mean_off_ms
+                )
+                burst_end = clock + rng.expovariate(
+                    1.0 / self.mean_on_ms
+                )
+            requests.append(
+                IORequest(
+                    lba=rng.randint(0, limit),
+                    size=self.request_size_sectors,
+                    is_read=rng.random() < self.read_fraction,
+                    arrival_time=clock,
+                )
+            )
+        return Trace(
+            requests,
+            name=name
+            or (
+                f"bursty-on{self.mean_on_ms:g}-off{self.mean_off_ms:g}"
+                f"-{count}"
+            ),
+        )

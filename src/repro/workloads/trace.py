@@ -1,0 +1,140 @@
+"""Trace container and ASCII trace file I/O.
+
+The on-disk format follows DiskSim's ASCII trace convention — one
+request per line:
+
+    <arrival-time-ms> <disk> <lba> <size-sectors> <R|W>
+
+Lines beginning with ``#`` are comments.  Times must be non-decreasing.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Iterator, List, Optional, Union
+
+from repro.disk.request import IORequest
+
+__all__ = ["Trace", "load_trace", "save_trace"]
+
+
+class Trace:
+    """An ordered sequence of I/O requests plus summary statistics."""
+
+    def __init__(self, requests: Iterable[IORequest], name: str = "trace"):
+        self.requests: List[IORequest] = list(requests)
+        self.name = name
+        for earlier, later in zip(self.requests, self.requests[1:]):
+            if later.arrival_time < earlier.arrival_time:
+                raise ValueError(
+                    f"trace {name!r} arrival times not monotone: "
+                    f"{later.arrival_time} after {earlier.arrival_time}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[IORequest]:
+        return iter(self.requests)
+
+    def __getitem__(self, index):
+        return self.requests[index]
+
+    @property
+    def duration_ms(self) -> float:
+        if not self.requests:
+            return 0.0
+        return self.requests[-1].arrival_time - self.requests[0].arrival_time
+
+    @property
+    def read_fraction(self) -> float:
+        if not self.requests:
+            return 0.0
+        return sum(1 for r in self.requests if r.is_read) / len(self.requests)
+
+    @property
+    def mean_interarrival_ms(self) -> float:
+        if len(self.requests) < 2:
+            return 0.0
+        return self.duration_ms / (len(self.requests) - 1)
+
+    @property
+    def mean_size_sectors(self) -> float:
+        if not self.requests:
+            return 0.0
+        return sum(r.size for r in self.requests) / len(self.requests)
+
+    def disks_touched(self) -> List[int]:
+        return sorted({r.source_disk for r in self.requests})
+
+    def sequential_fraction(self) -> float:
+        """Fraction of requests contiguous with the previous request on
+        the same source disk."""
+        if len(self.requests) < 2:
+            return 0.0
+        last_end = {}
+        sequential = 0
+        for request in self.requests:
+            if last_end.get(request.source_disk) == request.lba:
+                sequential += 1
+            last_end[request.source_disk] = request.end_lba
+        return sequential / (len(self.requests) - 1)
+
+    def summary(self) -> dict:
+        return {
+            "name": self.name,
+            "requests": len(self.requests),
+            "duration_ms": self.duration_ms,
+            "mean_interarrival_ms": self.mean_interarrival_ms,
+            "read_fraction": self.read_fraction,
+            "mean_size_sectors": self.mean_size_sectors,
+            "disks": len(self.disks_touched()),
+            "sequential_fraction": self.sequential_fraction(),
+        }
+
+
+def save_trace(path: Union[str, os.PathLike], trace: Trace) -> None:
+    """Write a trace in the ASCII format described in the module docs."""
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(f"# trace: {trace.name}\n")
+        handle.write("# arrival_ms disk lba size kind\n")
+        for request in trace:
+            kind = "R" if request.is_read else "W"
+            handle.write(
+                f"{request.arrival_time:.6f} {request.source_disk} "
+                f"{request.lba} {request.size} {kind}\n"
+            )
+
+
+def load_trace(
+    path: Union[str, os.PathLike], name: Optional[str] = None
+) -> Trace:
+    """Read a trace written by :func:`save_trace` (or hand-authored)."""
+    requests: List[IORequest] = []
+    with open(path, "r", encoding="ascii") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            fields = text.split()
+            if len(fields) != 5:
+                raise ValueError(
+                    f"{path}:{line_number}: expected 5 fields, got "
+                    f"{len(fields)}: {text!r}"
+                )
+            arrival, disk, lba, size, kind = fields
+            if kind.upper() not in ("R", "W"):
+                raise ValueError(
+                    f"{path}:{line_number}: kind must be R or W, got {kind!r}"
+                )
+            requests.append(
+                IORequest(
+                    lba=int(lba),
+                    size=int(size),
+                    is_read=kind.upper() == "R",
+                    arrival_time=float(arrival),
+                    source_disk=int(disk),
+                )
+            )
+    trace_name = name or os.path.splitext(os.path.basename(str(path)))[0]
+    return Trace(requests, name=trace_name)

@@ -1,0 +1,135 @@
+"""Tests for SMART-style graceful degradation (paper §8)."""
+
+import random
+
+import pytest
+
+from repro.core.parallel_disk import ParallelDisk
+from repro.core.taxonomy import DashConfig
+from repro.disk.request import IORequest
+from repro.disk.scheduler import FCFSScheduler
+from repro.sim.engine import Environment
+
+
+def make_disk(tiny_spec, actuators=3):
+    env = Environment()
+    disk = ParallelDisk(
+        env,
+        tiny_spec,
+        config=DashConfig(arm_assemblies=actuators),
+        scheduler=FCFSScheduler(),
+    )
+    return env, disk
+
+
+def run_some(env, disk, count=40, seed=9):
+    rng = random.Random(seed)
+    done = []
+    disk.on_complete.append(done.append)
+    limit = disk.geometry.total_sectors - 16
+    for index in range(count):
+        disk.submit(
+            IORequest(
+                lba=rng.randrange(limit),
+                size=8,
+                is_read=False,
+                arrival_time=index * 10.0,
+            )
+        )
+    env.run()
+    return done
+
+
+class TestDeconfigure:
+    def test_failed_arm_receives_no_requests(self, tiny_spec):
+        env, disk = make_disk(tiny_spec)
+        disk.deconfigure_arm(1)
+        done = run_some(env, disk)
+        assert all(r.arm_id != 1 for r in done)
+        assert disk.healthy_arm_count == 2
+
+    def test_drive_keeps_working_after_failure(self, tiny_spec):
+        env, disk = make_disk(tiny_spec)
+        disk.deconfigure_arm(0)
+        done = run_some(env, disk)
+        assert len(done) == 40
+        assert all(r.completion_time is not None for r in done)
+
+    def test_last_arm_protected(self, tiny_spec):
+        env, disk = make_disk(tiny_spec, actuators=2)
+        disk.deconfigure_arm(0)
+        with pytest.raises(ValueError, match="last healthy"):
+            disk.deconfigure_arm(1)
+
+    def test_unknown_arm_rejected(self, tiny_spec):
+        env, disk = make_disk(tiny_spec)
+        with pytest.raises(ValueError, match="no arm"):
+            disk.deconfigure_arm(99)
+
+    def test_double_deconfigure_is_idempotent(self, tiny_spec):
+        env, disk = make_disk(tiny_spec)
+        disk.deconfigure_arm(2)
+        disk.deconfigure_arm(2)
+        assert disk.healthy_arm_count == 2
+
+    def test_failed_arm_not_prepositioned(self, tiny_spec):
+        env, disk = make_disk(tiny_spec)
+        disk.deconfigure_arm(1)
+        start = disk.arms[1].cylinder
+        run_some(env, disk)
+        assert disk.arms[1].cylinder == start
+
+    def test_report_flags_failure(self, tiny_spec):
+        env, disk = make_disk(tiny_spec)
+        disk.deconfigure_arm(1)
+        report = disk.arm_report()
+        assert [entry["failed"] for entry in report] == [
+            False,
+            True,
+            False,
+        ]
+
+
+class TestDegradedPerformance:
+    def test_mid_run_failure_degrades_gracefully(self, tiny_spec):
+        """Deconfigure an arm mid-run: requests keep completing and the
+        remaining arms absorb the work."""
+        env, disk = make_disk(tiny_spec, actuators=2)
+        done = []
+        disk.on_complete.append(done.append)
+        rng = random.Random(4)
+        limit = disk.geometry.total_sectors - 16
+
+        def producer():
+            for index in range(60):
+                if index == 30:
+                    disk.deconfigure_arm(1)
+                disk.submit(
+                    IORequest(
+                        lba=rng.randrange(limit),
+                        size=8,
+                        is_read=False,
+                        arrival_time=env.now,
+                    )
+                )
+                yield env.timeout(10.0)
+
+        env.process(producer())
+        env.run()
+        assert len(done) == 60
+        late = [r for r in done[35:]]
+        assert all(r.arm_id == 0 for r in late)
+
+    def test_degraded_rotational_latency_rises(self, tiny_spec):
+        """SA(4) with three failed arms behaves like SA(1)."""
+        def mean_rotation(failures):
+            env, disk = make_disk(tiny_spec, actuators=4)
+            for arm_id in failures:
+                disk.deconfigure_arm(arm_id)
+            done = run_some(env, disk, count=250)
+            media = [r for r in done if not r.cache_hit]
+            return sum(r.rotational_latency for r in media) / len(media)
+
+        healthy = mean_rotation([])
+        degraded = mean_rotation([1, 2, 3])
+        assert degraded > healthy * 1.5

@@ -1,0 +1,98 @@
+"""Tests for the DASH drive factory (including the D-dimension)."""
+
+import pytest
+
+from repro.core.factory import build_dash_drive, shrink_spec_for_stacks
+from repro.core.parallel_disk import ParallelDisk
+from repro.core.taxonomy import DashConfig
+from repro.disk.request import IORequest
+from repro.raid.array import DiskArray
+from repro.sim.engine import Environment
+
+
+class TestShrink:
+    def test_single_stack_is_identity(self, tiny_spec):
+        assert shrink_spec_for_stacks(tiny_spec, 1) is tiny_spec
+
+    def test_capacity_divided(self, tiny_spec):
+        shrunk = shrink_spec_for_stacks(tiny_spec, 4)
+        assert shrunk.capacity_bytes == tiny_spec.capacity_bytes // 4
+
+    def test_diameter_scales_with_sqrt(self, tiny_spec):
+        shrunk = shrink_spec_for_stacks(tiny_spec, 4)
+        assert shrunk.diameter_inches == pytest.approx(
+            tiny_spec.diameter_inches / 2
+        )
+
+    def test_total_areal_capacity_preserved(self, tiny_spec):
+        # k stacks × (d/sqrt(k))² platters ≈ d² worth of media.
+        for stacks in (2, 4):
+            shrunk = shrink_spec_for_stacks(tiny_spec, stacks)
+            total_area = stacks * shrunk.diameter_inches ** 2
+            assert total_area == pytest.approx(
+                tiny_spec.diameter_inches ** 2, rel=0.01
+            )
+
+    def test_seek_times_shrink(self, tiny_spec):
+        shrunk = shrink_spec_for_stacks(tiny_spec, 4)
+        assert shrunk.seek_average_ms < tiny_spec.seek_average_ms
+        assert shrunk.seek_full_stroke_ms <= tiny_spec.seek_full_stroke_ms
+
+
+class TestFactory:
+    def test_single_stack_returns_parallel_disk(self, tiny_spec):
+        env = Environment()
+        drive = build_dash_drive(env, tiny_spec, "D1A2S1H1")
+        assert isinstance(drive, ParallelDisk)
+        assert drive.actuator_count == 2
+
+    def test_string_notation_accepted(self, tiny_spec):
+        env = Environment()
+        drive = build_dash_drive(env, tiny_spec, "D1A1S1H2")
+        assert drive.config.heads_per_arm == 2
+
+    def test_multi_stack_returns_array(self, tiny_spec):
+        env = Environment()
+        storage = build_dash_drive(env, tiny_spec, "D2A1S1H1")
+        assert isinstance(storage, DiskArray)
+        assert storage.disk_count == 2
+
+    def test_multi_stack_capacity_close_to_original(self, tiny_spec):
+        env = Environment()
+        storage = build_dash_drive(env, tiny_spec, "D2A1S1H1")
+        assert storage.capacity_sectors() >= tiny_spec.capacity_sectors * 0.95
+
+    def test_multi_stack_services_requests(self, tiny_spec):
+        env = Environment()
+        storage = build_dash_drive(env, tiny_spec, "D2A2S1H1")
+        done = []
+        storage.on_complete.append(done.append)
+        for lba in (0, 100_000, 500_000):
+            storage.submit(IORequest(lba=lba, size=8, is_read=False))
+        env.run()
+        assert len(done) == 3
+
+    def test_scheduler_factory_called_per_stack(self, tiny_spec):
+        from repro.disk.scheduler import FCFSScheduler
+
+        created = []
+
+        def factory():
+            scheduler = FCFSScheduler()
+            created.append(scheduler)
+            return scheduler
+
+        env = Environment()
+        build_dash_drive(
+            env, tiny_spec, "D2A1S1H1", scheduler_factory=factory
+        )
+        assert len(created) == 2
+        assert created[0] is not created[1]
+
+    def test_inner_config_propagated_to_stacks(self, tiny_spec):
+        env = Environment()
+        storage = build_dash_drive(
+            env, tiny_spec, DashConfig(disk_stacks=2, arm_assemblies=3)
+        )
+        for stack in storage.drives:
+            assert stack.actuator_count == 3

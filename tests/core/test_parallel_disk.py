@@ -1,0 +1,240 @@
+"""Tests for the multi-actuator ParallelDisk."""
+
+import random
+
+import pytest
+
+from repro.core.parallel_disk import ParallelDisk
+from repro.core.taxonomy import DashConfig
+from repro.disk.drive import ConventionalDrive
+from repro.disk.request import IORequest
+from repro.disk.scheduler import FCFSScheduler
+from repro.sim.engine import Environment
+
+
+def make_disk(tiny_spec, actuators=2, **kwargs):
+    env = Environment()
+    disk = ParallelDisk(
+        env,
+        tiny_spec,
+        config=DashConfig(arm_assemblies=actuators, **kwargs),
+        scheduler=FCFSScheduler(),
+    )
+    return env, disk
+
+
+def run_requests(env, disk, requests):
+    done = []
+    disk.on_complete.append(done.append)
+    for request in requests:
+        disk.submit(request)
+    env.run()
+    return done
+
+
+def random_trace(disk, count, seed=5, spacing=6.0):
+    rng = random.Random(seed)
+    limit = disk.geometry.total_sectors - 16
+    return [
+        IORequest(
+            lba=rng.randrange(0, limit),
+            size=8,
+            is_read=False,
+            arrival_time=index * spacing,
+        )
+        for index in range(count)
+    ]
+
+
+class TestConstruction:
+    def test_arms_match_config(self, tiny_spec):
+        _, disk = make_disk(tiny_spec, actuators=3)
+        assert disk.actuator_count == 3
+        assert [arm.mount_angle for arm in disk.arms] == [
+            0.0,
+            pytest.approx(1 / 3),
+            pytest.approx(2 / 3),
+        ]
+
+    def test_multi_stack_config_rejected(self, tiny_spec):
+        env = Environment()
+        with pytest.raises(ValueError, match="build_dash_drive"):
+            ParallelDisk(env, tiny_spec, config=DashConfig(disk_stacks=2))
+
+    def test_too_many_parallel_surfaces_rejected(self, tiny_spec):
+        env = Environment()
+        with pytest.raises(ValueError):
+            ParallelDisk(
+                env, tiny_spec, config=DashConfig(surfaces=99)
+            )
+
+    def test_label_includes_notation(self, tiny_spec):
+        _, disk = make_disk(tiny_spec, actuators=4)
+        assert "D1A4S1H1" in disk.label
+
+
+class TestArmSelection:
+    def test_chooses_rotationally_closer_arm(self, tiny_spec):
+        env, disk = make_disk(tiny_spec, actuators=2)
+        request = IORequest(lba=50_000, size=8, is_read=False)
+        address = disk.geometry.to_physical(request.lba)
+        angle = disk.geometry.sector_angle(address)
+        arm, seek, rotation, _head = disk.best_arm_for(request, 0.0)
+        # The chosen arm's latency must be no worse than the other's.
+        for other in disk.arms:
+            other_seek = disk.seek_model.seek_time(
+                other.cylinder, address.cylinder
+            )
+            other_rotation = disk.spindle.latency_to(
+                other_seek, angle, other.mount_angle
+            )
+            assert seek + rotation <= other_seek + other_rotation + 1e-9
+
+    def test_busy_arms_excluded(self, tiny_spec):
+        env, disk = make_disk(tiny_spec, actuators=2)
+        disk.arms[0].busy_until = float("inf")
+        request = IORequest(lba=50_000, size=8, is_read=False)
+        arm, *_ = disk.best_arm_for(request, 0.0)
+        assert arm.arm_id == 1
+
+    def test_no_idle_arm_raises(self, tiny_spec):
+        env, disk = make_disk(tiny_spec, actuators=2)
+        for arm in disk.arms:
+            arm.busy_until = float("inf")
+        with pytest.raises(RuntimeError):
+            disk.best_arm_for(
+                IORequest(lba=0, size=8, is_read=False), 0.0
+            )
+
+    def test_request_stamped_with_arm_id(self, tiny_spec):
+        env, disk = make_disk(tiny_spec, actuators=2)
+        done = run_requests(env, disk, random_trace(disk, 40))
+        used_arms = {request.arm_id for request in done}
+        assert used_arms <= {0, 1}
+        assert len(used_arms) == 2  # both arms participate
+
+
+class TestRotationalLatencyReduction:
+    def _mean_rotation(self, tiny_spec, actuators, count=300):
+        env, disk = make_disk(tiny_spec, actuators=actuators)
+        done = run_requests(env, disk, random_trace(disk, count))
+        media = [r for r in done if not r.cache_hit]
+        return sum(r.rotational_latency for r in media) / len(media)
+
+    def test_more_arms_less_rotation(self, tiny_spec):
+        single = self._mean_rotation(tiny_spec, 1)
+        dual = self._mean_rotation(tiny_spec, 2)
+        quad = self._mean_rotation(tiny_spec, 4)
+        assert dual < single * 0.75
+        assert quad < dual
+
+    def test_single_arm_matches_conventional_mean(self, tiny_spec):
+        # SA(1) should behave like an unmodified drive: mean rotational
+        # latency near half a revolution.
+        mean = self._mean_rotation(tiny_spec, 1)
+        period = 60000.0 / tiny_spec.rpm
+        assert mean == pytest.approx(period / 2, rel=0.25)
+
+
+class TestPreposition:
+    def test_stranded_arm_is_repositioned(self, tiny_spec):
+        env, disk = make_disk(tiny_spec, actuators=2)
+        # Requests clustered far from the arms' initial cylinder.
+        requests = [
+            IORequest(
+                lba=10_000 + i * 64,
+                size=8,
+                is_read=False,
+                arrival_time=i * 20.0,
+            )
+            for i in range(20)
+        ]
+        run_requests(env, disk, requests)
+        assert disk.repositions >= 1
+        # Both arms should have converged near the hot region.
+        target = disk.geometry.to_physical(10_000).cylinder
+        for arm in disk.arms:
+            assert abs(arm.cylinder - target) < disk.geometry.cylinders / 4
+
+    def test_preposition_can_be_disabled(self, tiny_spec):
+        env, disk = make_disk(tiny_spec, actuators=2)
+        disk.preposition_idle_arms = False
+        requests = [
+            IORequest(
+                lba=10_000 + i * 64,
+                size=8,
+                is_read=False,
+                arrival_time=i * 20.0,
+            )
+            for i in range(20)
+        ]
+        run_requests(env, disk, requests)
+        assert disk.repositions == 0
+
+    def test_reposition_billed_to_seek_energy(self, tiny_spec):
+        env, disk = make_disk(tiny_spec, actuators=2)
+        requests = [
+            IORequest(
+                lba=10_000 + i * 64,
+                size=8,
+                is_read=False,
+                arrival_time=i * 20.0,
+            )
+            for i in range(20)
+        ]
+        done = run_requests(env, disk, requests)
+        request_seek = sum(r.seek_time for r in done)
+        assert disk.stats.seek_ms > request_seek  # includes shuttle moves
+
+
+class TestHeadDimension:
+    def test_extra_heads_cut_rotation(self, tiny_spec):
+        def mean_rotation(heads):
+            env = Environment()
+            disk = ParallelDisk(
+                env,
+                tiny_spec,
+                config=DashConfig(arm_assemblies=1, heads_per_arm=heads),
+                scheduler=FCFSScheduler(),
+            )
+            done = run_requests(env, disk, random_trace(disk, 250))
+            media = [r for r in done if not r.cache_hit]
+            return sum(r.rotational_latency for r in media) / len(media)
+
+        assert mean_rotation(2) < mean_rotation(1) * 0.8
+
+
+class TestSurfaceDimension:
+    def test_parallel_surfaces_speed_large_transfers(self, tiny_spec):
+        def transfer_time(surfaces):
+            env = Environment()
+            disk = ParallelDisk(
+                env,
+                tiny_spec,
+                config=DashConfig(surfaces=surfaces),
+                scheduler=FCFSScheduler(),
+            )
+            done = run_requests(
+                env,
+                disk,
+                [IORequest(lba=0, size=400, is_read=False)],
+            )
+            return done[0].transfer_time
+
+        assert transfer_time(2) < transfer_time(1) * 0.7
+
+
+class TestReporting:
+    def test_arm_report_shape(self, tiny_spec):
+        env, disk = make_disk(tiny_spec, actuators=2)
+        run_requests(env, disk, random_trace(disk, 30))
+        report = disk.arm_report()
+        assert len(report) == 2
+        assert {entry["arm_id"] for entry in report} == {0, 1}
+        assert sum(entry["requests"] for entry in report) == len(
+            [1 for _ in range(30)]
+        ) - disk.stats.cache_hits
+
+    def test_is_a_conventional_drive(self, tiny_spec):
+        _, disk = make_disk(tiny_spec)
+        assert isinstance(disk, ConventionalDrive)

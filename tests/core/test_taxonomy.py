@@ -1,0 +1,112 @@
+"""Tests for the DASH taxonomy."""
+
+import pytest
+
+from repro.core.taxonomy import CONVENTIONAL, DashConfig
+
+
+class TestConstruction:
+    def test_defaults_are_conventional(self):
+        config = DashConfig()
+        assert config.notation == "D1A1S1H1"
+        assert config.is_conventional
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DashConfig(disk_stacks=0)
+        with pytest.raises(ValueError):
+            DashConfig(arm_assemblies=-1)
+        with pytest.raises(ValueError):
+            DashConfig(surfaces=0)
+        with pytest.raises(ValueError):
+            DashConfig(heads_per_arm=0)
+
+    def test_frozen(self):
+        config = DashConfig()
+        with pytest.raises(Exception):
+            config.arm_assemblies = 4
+
+
+class TestNotation:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("D1A1S1H1", (1, 1, 1, 1)),
+            ("D1A2S1H2", (1, 2, 1, 2)),
+            ("d2a4s2h3", (2, 4, 2, 3)),
+            ("  D1A4S1H1 ", (1, 4, 1, 1)),
+            ("D10A12S2H2", (10, 12, 2, 2)),
+        ],
+    )
+    def test_parse(self, text, expected):
+        config = DashConfig.parse(text)
+        assert (
+            config.disk_stacks,
+            config.arm_assemblies,
+            config.surfaces,
+            config.heads_per_arm,
+        ) == expected
+
+    @pytest.mark.parametrize(
+        "text", ["", "D1A1S1", "A1D1S1H1", "D1A1S1H0x", "garbage"]
+    )
+    def test_parse_rejects_bad_notation(self, text):
+        with pytest.raises(ValueError):
+            DashConfig.parse(text)
+
+    def test_roundtrip(self):
+        for notation in ("D1A1S1H1", "D1A4S1H1", "D2A2S2H2"):
+            assert DashConfig.parse(notation).notation == notation
+
+    def test_str_is_notation(self):
+        assert str(DashConfig(arm_assemblies=3)) == "D1A3S1H1"
+
+
+class TestDataPaths:
+    @pytest.mark.parametrize(
+        "notation,paths",
+        [
+            ("D1A1S1H1", 1),
+            ("D1A2S1H1", 2),  # Figure 1(a)
+            ("D1A2S1H2", 4),  # Figure 1(b)
+            ("D1A4S1H1", 4),
+            ("D2A2S2H2", 16),
+        ],
+    )
+    def test_max_data_paths(self, notation, paths):
+        assert DashConfig.parse(notation).max_data_paths == paths
+
+    def test_extra_actuators(self):
+        assert DashConfig.parse("D1A4S1H1").extra_actuators == 3
+        assert CONVENTIONAL.extra_actuators == 0
+
+
+class TestPlacement:
+    def test_two_arms_are_diagonal(self):
+        angles = DashConfig(arm_assemblies=2).arm_mount_angles()
+        assert angles == [0.0, 0.5]
+
+    def test_four_arms_equally_spaced(self):
+        angles = DashConfig(arm_assemblies=4).arm_mount_angles()
+        assert angles == [0.0, 0.25, 0.5, 0.75]
+
+    def test_single_head_at_origin(self):
+        assert DashConfig().head_offset_angles() == [0.0]
+
+    def test_two_heads_spread_quarter_rev(self):
+        offsets = DashConfig(heads_per_arm=2).head_offset_angles()
+        assert offsets == [0.0, 0.25]
+
+    def test_head_offsets_within_half_revolution(self):
+        for heads in (2, 3, 4, 5):
+            offsets = DashConfig(heads_per_arm=heads).head_offset_angles()
+            assert all(0.0 <= offset < 0.5 for offset in offsets)
+            assert len(set(offsets)) == heads
+
+
+class TestDescribe:
+    def test_describe_mentions_all_dimensions(self):
+        text = DashConfig.parse("D2A4S2H2").describe()
+        assert "D2A4S2H2" in text
+        assert "4 arm" in text
+        assert "32 data path" in text

@@ -1,0 +1,38 @@
+"""Tests for the iso-performance cost comparison (Figure 9b)."""
+
+import pytest
+
+from repro.cost.analysis import (
+    configuration_cost,
+    iso_performance_comparison,
+)
+
+
+class TestFigure9b:
+    def test_three_configurations(self):
+        configs = iso_performance_comparison()
+        assert [c.drives for c in configs] == [4, 2, 1]
+        assert [c.actuators_per_drive for c in configs] == [1, 2, 4]
+
+    def test_two_actuator_savings_near_27_percent(self):
+        configs = iso_performance_comparison()
+        savings = configs[1].savings_vs(configs[0])
+        assert savings == pytest.approx(0.27, abs=0.01)
+
+    def test_four_actuator_savings_near_40_percent(self):
+        configs = iso_performance_comparison()
+        savings = configs[2].savings_vs(configs[0])
+        assert savings == pytest.approx(0.40, abs=0.01)
+
+    def test_mean_totals_match_ranges(self):
+        configs = iso_performance_comparison()
+        for config in configs:
+            assert config.mean_total == pytest.approx(config.total.mean)
+
+    def test_per_drive_times_count(self):
+        config = configuration_cost("x", 3, 2)
+        assert config.total.low == pytest.approx(3 * config.per_drive.low)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            configuration_cost("x", 0, 1)

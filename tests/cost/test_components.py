@@ -1,0 +1,91 @@
+"""Tests for the Table-9a cost data — totals must match the paper."""
+
+import pytest
+
+from repro.cost.components import (
+    COMPONENT_COSTS,
+    CostRange,
+    cost_breakdown,
+    drive_material_cost,
+)
+
+
+class TestCostRange:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostRange(-1, 0)
+        with pytest.raises(ValueError):
+            CostRange(5, 4)
+
+    def test_arithmetic(self):
+        total = CostRange(1, 2) + CostRange(3, 4)
+        assert (total.low, total.high) == (4, 6)
+        scaled = CostRange(1, 2) * 3
+        assert (scaled.low, scaled.high) == (3, 6)
+        assert (2 * CostRange(1, 2)).high == 4
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(ValueError):
+            CostRange(1, 2) * -1
+
+    def test_mean(self):
+        assert CostRange(10, 20).mean == 15
+
+
+class TestPaperTotals:
+    """Table 9a bottom row, verbatim."""
+
+    def test_conventional_drive(self):
+        total = drive_material_cost(platters=4, actuators=1)
+        assert total.low == pytest.approx(67.7)
+        assert total.high == pytest.approx(80.8)
+
+    def test_two_actuator_drive(self):
+        total = drive_material_cost(platters=4, actuators=2)
+        assert total.low == pytest.approx(100.4)
+        assert total.high == pytest.approx(116.6)
+
+    def test_four_actuator_drive(self):
+        total = drive_material_cost(platters=4, actuators=4)
+        assert total.low == pytest.approx(165.8)
+        assert total.high == pytest.approx(188.2)
+
+
+class TestPaperRows:
+    """Selected Table 9a body rows, verbatim."""
+
+    def _row(self, name, actuators):
+        return cost_breakdown(platters=4, actuators=actuators)[name]
+
+    def test_heads_dominate_the_increase(self):
+        assert self._row("head", 1).low == pytest.approx(24)
+        assert self._row("head", 2).low == pytest.approx(48)
+        assert self._row("head", 4).low == pytest.approx(96)
+
+    def test_motor_driver_affine_rule(self):
+        assert self._row("motor_driver", 1).low == pytest.approx(3.5)
+        assert self._row("motor_driver", 1).high == pytest.approx(4.0)
+        assert self._row("motor_driver", 2).low == pytest.approx(5.0)
+        assert self._row("motor_driver", 4).high == pytest.approx(10.0)
+
+    def test_suspensions(self):
+        assert self._row("head_suspension", 4).low == pytest.approx(8.0)
+        assert self._row("head_suspension", 4).high == pytest.approx(14.4)
+
+    def test_media_independent_of_actuators(self):
+        assert self._row("media", 1).low == self._row("media", 4).low
+
+    def test_spindle_and_controller_fixed(self):
+        for name in ("spindle_motor", "disk_controller"):
+            assert self._row(name, 1).low == self._row(name, 4).low
+
+
+class TestValidation:
+    def test_positive_arguments_required(self):
+        with pytest.raises(ValueError):
+            drive_material_cost(platters=0)
+        with pytest.raises(ValueError):
+            drive_material_cost(actuators=0)
+
+    def test_component_table_has_nine_rows(self):
+        assert len(COMPONENT_COSTS) == 9

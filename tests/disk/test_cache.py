@@ -1,0 +1,138 @@
+"""Tests for the segmented on-board cache."""
+
+import pytest
+
+from repro.disk.cache import DiskCache
+
+
+@pytest.fixture
+def cache():
+    # 16 segments of 64 sectors each.
+    return DiskCache(capacity_sectors=1024, segments=16)
+
+
+class TestConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DiskCache(0)
+        with pytest.raises(ValueError):
+            DiskCache(100, segments=0)
+        with pytest.raises(ValueError):
+            DiskCache(4, segments=8)
+
+    def test_segment_capacity(self, cache):
+        assert cache.segment_capacity == 64
+
+
+class TestReadPath:
+    def test_cold_cache_misses(self, cache):
+        assert not cache.lookup_read(0, 8)
+        assert cache.stats.read_misses == 1
+
+    def test_installed_data_hits(self, cache):
+        cache.install_read(100, 8)
+        assert cache.lookup_read(100, 8)
+        assert cache.stats.read_hits == 1
+
+    def test_partial_coverage_is_a_miss(self, cache):
+        cache.install_read(100, 8)
+        assert not cache.lookup_read(104, 8)  # extends past the segment
+
+    def test_read_ahead_extends_segment(self, cache):
+        cache.install_read(100, 8, read_ahead_limit=16)
+        assert cache.lookup_read(108, 16)
+
+    def test_read_ahead_clipped_to_segment_capacity(self, cache):
+        cached = cache.install_read(0, 8, read_ahead_limit=10_000)
+        assert cached == cache.segment_capacity
+
+    def test_oversized_install_keeps_tail(self, cache):
+        cache.install_read(0, 200)  # > segment capacity of 64
+        assert not cache.contains(0, 8)
+        assert cache.contains(200 - 64, 64)
+
+    def test_contains_does_not_touch_stats(self, cache):
+        cache.install_read(0, 8)
+        cache.contains(0, 8)
+        assert cache.stats.read_hits == 0
+        assert cache.stats.read_misses == 0
+
+    def test_hit_ratio(self, cache):
+        cache.install_read(0, 8)
+        cache.lookup_read(0, 8)
+        cache.lookup_read(500, 8)
+        assert cache.stats.hit_ratio == pytest.approx(0.5)
+
+
+class TestEviction:
+    def test_lru_eviction_at_segment_limit(self):
+        cache = DiskCache(capacity_sectors=64, segments=4)
+        for index in range(4):
+            cache.install_read(index * 1000, 8)
+        assert cache.contains(0, 8)
+        cache.install_read(9000, 8)  # evicts the oldest (lba 0)
+        assert not cache.contains(0, 8)
+        assert cache.contains(9000, 8)
+
+    def test_hit_refreshes_lru_position(self):
+        cache = DiskCache(capacity_sectors=64, segments=2)
+        cache.install_read(0, 8)
+        cache.install_read(1000, 8)
+        cache.lookup_read(0, 8)  # refresh lba 0
+        cache.install_read(2000, 8)  # should evict lba 1000
+        assert cache.contains(0, 8)
+        assert not cache.contains(1000, 8)
+
+    def test_segment_count_never_exceeded(self, cache):
+        for index in range(100):
+            cache.install_read(index * 10_000, 8)
+        assert len(cache) <= cache.segment_count
+
+
+class TestMerging:
+    def test_adjacent_installs_merge(self, cache):
+        cache.install_read(0, 8)
+        cache.install_read(8, 8)
+        assert cache.contains(0, 16)
+        assert len(cache) == 1
+
+    def test_overlapping_installs_merge(self, cache):
+        cache.install_read(0, 16)
+        cache.install_read(8, 16)
+        assert cache.contains(0, 24)
+        assert len(cache) == 1
+
+
+class TestWritePath:
+    def test_write_install_enables_read_hit(self, cache):
+        cache.install_write(300, 8)
+        assert cache.lookup_read(300, 8)
+
+    def test_write_caching_disabled(self):
+        cache = DiskCache(1024, segments=16, cache_writes=False)
+        cache.install_write(300, 8)
+        assert not cache.contains(300, 8)
+
+    def test_invalidate_overlapping_segments(self, cache):
+        cache.install_read(0, 32)
+        dropped = cache.invalidate(16, 8)
+        assert dropped == 1
+        assert not cache.contains(0, 8)
+
+    def test_invalidate_non_overlapping_is_noop(self, cache):
+        cache.install_read(0, 8)
+        assert cache.invalidate(1000, 8) == 0
+        assert cache.contains(0, 8)
+
+    def test_clear(self, cache):
+        cache.install_read(0, 8)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.cached_sectors == 0
+
+
+class TestAccounting:
+    def test_cached_sectors_tracks_contents(self, cache):
+        cache.install_read(0, 8)
+        cache.install_read(1000, 16)
+        assert cache.cached_sectors == 24

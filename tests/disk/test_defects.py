@@ -1,0 +1,121 @@
+"""Tests for grown-defect remapping."""
+
+import pytest
+
+from repro.disk.defects import DefectMap, RemappingDrive
+from repro.disk.request import IORequest
+from repro.disk.scheduler import FCFSScheduler
+from repro.sim.engine import Environment
+
+
+def make_drive(tiny_spec, **kwargs):
+    env = Environment()
+    drive = RemappingDrive(
+        env, tiny_spec, scheduler=FCFSScheduler(), **kwargs
+    )
+    return env, drive
+
+
+def run_one(env, drive, lba, size=8):
+    request = IORequest(lba=lba, size=size, is_read=False)
+    drive.submit(request)
+    env.run()
+    return request
+
+
+class TestDefectMap:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DefectMap(0, 0)
+        with pytest.raises(ValueError):
+            DefectMap(-1, 10)
+
+    def test_remap_is_stable(self):
+        defects = DefectMap(1000, 10)
+        first = defects.remap(5)
+        second = defects.remap(5)
+        assert first == second == 1000
+        assert defects.remapped_count == 1
+
+    def test_spares_allocated_in_order(self):
+        defects = DefectMap(1000, 10)
+        assert defects.remap(1) == 1000
+        assert defects.remap(2) == 1001
+        assert defects.spares_remaining == 8
+
+    def test_pool_exhaustion(self):
+        defects = DefectMap(1000, 2)
+        defects.remap(1)
+        defects.remap(2)
+        with pytest.raises(RuntimeError, match="exhausted"):
+            defects.remap(3)
+
+    def test_translate_passthrough(self):
+        defects = DefectMap(1000, 10)
+        defects.remap(5)
+        assert defects.translate(5) == 1000
+        assert defects.translate(6) == 6
+
+    def test_remapped_in_small_and_large_extents(self):
+        defects = DefectMap(1000, 10)
+        defects.remap(10)
+        defects.remap(500)
+        assert defects.remapped_in(8, 4) == [10]
+        assert sorted(defects.remapped_in(0, 600)) == [10, 500]
+        assert defects.remapped_in(20, 4) == []
+
+
+class TestRemappingDrive:
+    def test_spare_pool_withheld_from_capacity(self, tiny_spec):
+        env, drive = make_drive(tiny_spec, spare_fraction=0.02)
+        assert drive.usable_sectors < drive.geometry.total_sectors
+        over = IORequest(
+            lba=drive.usable_sectors - 4, size=8, is_read=False
+        )
+        with pytest.raises(ValueError, match="usable capacity"):
+            drive.submit(over)
+
+    def test_spare_fraction_validated(self, tiny_spec):
+        env = Environment()
+        with pytest.raises(ValueError):
+            RemappingDrive(env, tiny_spec, spare_fraction=0.9)
+
+    def test_clean_access_has_no_detour(self, tiny_spec):
+        env, drive = make_drive(tiny_spec)
+        run_one(env, drive, lba=1000)
+        assert drive.remap_detours == 0
+
+    def test_remapped_access_detours_and_slows(self, tiny_spec):
+        env_a, clean = make_drive(tiny_spec)
+        healthy = run_one(env_a, clean, lba=1000)
+
+        env_b, faulty = make_drive(tiny_spec, initial_defects=[1002])
+        degraded = run_one(env_b, faulty, lba=1000)
+        assert faulty.remap_detours == 1
+        assert degraded.service_time > healthy.service_time + 1.0
+
+    def test_grow_defect_at_runtime(self, tiny_spec):
+        env, drive = make_drive(tiny_spec)
+        run_one(env, drive, lba=2000)
+        assert drive.remap_detours == 0
+        drive.grow_defect(2004)
+        run_one(env, drive, lba=2000)
+        assert drive.remap_detours == 1
+
+    def test_grow_defect_bounds(self, tiny_spec):
+        env, drive = make_drive(tiny_spec)
+        with pytest.raises(ValueError):
+            drive.grow_defect(drive.geometry.total_sectors - 1)
+
+    def test_multiple_defects_multiple_detours(self, tiny_spec):
+        env, drive = make_drive(
+            tiny_spec, initial_defects=[1001, 1003, 1005]
+        )
+        run_one(env, drive, lba=1000, size=8)
+        assert drive.remap_detours == 3
+
+    def test_sectors_conserved_including_detours(self, tiny_spec):
+        env, drive = make_drive(tiny_spec, initial_defects=[1002])
+        run_one(env, drive, lba=1000, size=8)
+        # 8 main sectors + 1 detour re-read of the spare copy.
+        assert drive.stats.sectors_transferred == 9

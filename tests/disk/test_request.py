@@ -1,0 +1,71 @@
+"""Tests for the IORequest interface object."""
+
+import pytest
+
+from repro.disk.request import IORequest
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IORequest(lba=-1, size=8, is_read=True)
+        with pytest.raises(ValueError):
+            IORequest(lba=0, size=0, is_read=True)
+
+    def test_ids_are_unique(self):
+        a = IORequest(lba=0, size=8, is_read=True)
+        b = IORequest(lba=0, size=8, is_read=True)
+        assert a.request_id != b.request_id
+
+    def test_end_lba(self):
+        request = IORequest(lba=100, size=16, is_read=False)
+        assert request.end_lba == 116
+
+
+class TestMeasurements:
+    def test_response_time_requires_completion(self):
+        request = IORequest(lba=0, size=8, is_read=True, arrival_time=1.0)
+        with pytest.raises(ValueError):
+            _ = request.response_time
+        request.completion_time = 4.5
+        assert request.response_time == pytest.approx(3.5)
+
+    def test_service_and_queue_decomposition(self):
+        request = IORequest(lba=0, size=8, is_read=True, arrival_time=1.0)
+        request.start_service = 2.0
+        request.completion_time = 5.0
+        assert request.queue_delay == pytest.approx(1.0)
+        assert request.service_time == pytest.approx(3.0)
+        assert request.response_time == pytest.approx(4.0)
+
+    def test_service_time_requires_start(self):
+        request = IORequest(lba=0, size=8, is_read=True)
+        request.completion_time = 5.0
+        with pytest.raises(ValueError):
+            _ = request.service_time
+
+
+class TestClone:
+    def test_clone_resets_measurements(self):
+        request = IORequest(lba=5, size=8, is_read=True, arrival_time=2.0)
+        request.completion_time = 9.0
+        request.seek_time = 3.0
+        copy = request.clone()
+        assert copy.lba == 5
+        assert copy.completion_time is None
+        assert copy.seek_time == 0.0
+        assert copy.request_id != request.request_id
+
+    def test_clone_with_overrides(self):
+        request = IORequest(lba=5, size=8, is_read=True, source_disk=3)
+        copy = request.clone(lba=100, source_disk=0)
+        assert copy.lba == 100
+        assert copy.source_disk == 0
+        assert copy.size == 8
+
+    def test_str_contains_kind_and_lba(self):
+        read = IORequest(lba=7, size=8, is_read=True)
+        write = IORequest(lba=7, size=8, is_read=False)
+        assert "R" in str(read)
+        assert "W" in str(write)
+        assert "lba=7" in str(read)

@@ -1,0 +1,108 @@
+"""Tests for spindle mechanics and rotational latency."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.disk.rotation import Spindle
+
+
+class TestBasics:
+    def test_period_from_rpm(self):
+        assert Spindle(7200).period_ms == pytest.approx(8.3333, rel=1e-3)
+        assert Spindle(10000).period_ms == pytest.approx(6.0)
+
+    def test_average_latency_is_half_period(self):
+        spindle = Spindle(7200)
+        assert spindle.average_latency_ms == pytest.approx(
+            spindle.period_ms / 2
+        )
+
+    def test_invalid_rpm(self):
+        with pytest.raises(ValueError):
+            Spindle(0)
+
+    def test_rotation_wraps(self):
+        spindle = Spindle(7200)
+        assert spindle.rotation_at(0.0) == 0.0
+        assert spindle.rotation_at(spindle.period_ms) == pytest.approx(
+            0.0, abs=1e-9
+        )
+        assert spindle.rotation_at(spindle.period_ms / 2) == pytest.approx(
+            0.5
+        )
+
+    def test_phase_offset(self):
+        spindle = Spindle(7200, phase=0.25)
+        assert spindle.rotation_at(0.0) == pytest.approx(0.25)
+
+
+class TestLatency:
+    def test_sector_under_head_is_free(self):
+        spindle = Spindle(7200)
+        # At t=0 rotation is 0; sector at angle 0 under head at mount 0.
+        assert spindle.latency_to(0.0, 0.0) == pytest.approx(0.0)
+
+    def test_sector_half_revolution_away(self):
+        spindle = Spindle(7200)
+        latency = spindle.latency_to(0.0, 0.5)
+        assert latency == pytest.approx(spindle.period_ms / 2)
+
+    def test_head_mount_angle_reduces_wait(self):
+        spindle = Spindle(7200)
+        # A head mounted at 0.5 is already at the sector's angle.
+        assert spindle.latency_to(0.0, 0.5, head_mount_angle=0.5) == (
+            pytest.approx(0.0)
+        )
+
+    def test_latency_bounded_by_period(self):
+        spindle = Spindle(7200)
+        for time in (0.0, 1.3, 7.9, 100.0):
+            for angle in (0.0, 0.1, 0.5, 0.99):
+                latency = spindle.latency_to(time, angle)
+                assert 0.0 <= latency < spindle.period_ms
+
+    def test_waiting_out_latency_aligns_head(self):
+        spindle = Spindle(7200)
+        time, angle = 3.7, 0.42
+        latency = spindle.latency_to(time, angle)
+        # After waiting, the rotation matches the sector angle.
+        assert spindle.rotation_at(time + latency) == pytest.approx(
+            angle, abs=1e-9
+        )
+
+    @given(
+        time=st.floats(0, 1e5),
+        angle=st.floats(0, 0.999),
+        mount=st.floats(0, 0.999),
+    )
+    @settings(max_examples=200)
+    def test_latency_property(self, time, angle, mount):
+        spindle = Spindle(10000)
+        latency = spindle.latency_to(time, angle, mount)
+        assert 0.0 <= latency < spindle.period_ms
+
+
+class TestTransfer:
+    def test_full_track_takes_one_revolution(self):
+        spindle = Spindle(7200)
+        assert spindle.transfer_time(500, 500) == pytest.approx(
+            spindle.period_ms
+        )
+
+    def test_proportional_to_sectors(self):
+        spindle = Spindle(7200)
+        one = spindle.transfer_time(10, 1000)
+        two = spindle.transfer_time(20, 1000)
+        assert two == pytest.approx(2 * one)
+
+    def test_invalid_arguments(self):
+        spindle = Spindle(7200)
+        with pytest.raises(ValueError):
+            spindle.transfer_time(0, 100)
+        with pytest.raises(ValueError):
+            spindle.transfer_time(10, 0)
+
+    def test_faster_rpm_transfers_faster(self):
+        slow = Spindle(4200).transfer_time(100, 500)
+        fast = Spindle(7200).transfer_time(100, 500)
+        assert fast < slow

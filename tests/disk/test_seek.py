@@ -1,0 +1,190 @@
+"""Tests for the seek-time models."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.disk.seek import (
+    ConstantSeekModel,
+    LinearSeekModel,
+    ThreePointSeekModel,
+)
+
+
+class TestConstantSeekModel:
+    def test_zero_distance_is_free(self):
+        model = ConstantSeekModel(5.0)
+        assert model.seek_time(10, 10) == 0.0
+
+    def test_any_move_costs_constant(self):
+        model = ConstantSeekModel(5.0)
+        assert model.seek_time(0, 1) == 5.0
+        assert model.seek_time(0, 100_000) == 5.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantSeekModel(-1.0)
+
+
+class TestLinearSeekModel:
+    def test_linear_growth(self):
+        model = LinearSeekModel(1.0, 0.01)
+        assert model.seek_time(0, 100) == pytest.approx(2.0)
+
+    def test_symmetry(self):
+        model = LinearSeekModel(1.0, 0.01)
+        assert model.seek_time(0, 500) == model.seek_time(500, 0)
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            LinearSeekModel(-1, 0)
+        with pytest.raises(ValueError):
+            LinearSeekModel(0, -1)
+
+
+class TestThreePointSeekModel:
+    CYLINDERS = 90_000
+
+    @pytest.fixture
+    def model(self):
+        return ThreePointSeekModel(
+            track_to_track_ms=0.8,
+            average_ms=8.5,
+            full_stroke_ms=17.0,
+            cylinders=self.CYLINDERS,
+        )
+
+    def test_anchors_reproduced(self, model):
+        assert model.seek_time(0, 1) == pytest.approx(0.8)
+        third = int(self.CYLINDERS / 3)
+        assert model.seek_time(0, third) == pytest.approx(8.5, rel=0.01)
+        assert model.seek_time(0, self.CYLINDERS - 1) == pytest.approx(
+            17.0, rel=0.001
+        )
+
+    def test_zero_distance_free(self, model):
+        assert model.seek_time(42, 42) == 0.0
+
+    def test_never_below_track_to_track(self, model):
+        for distance in (2, 3, 5, 10, 50):
+            assert model.seek_time(0, distance) >= 0.8
+
+    def test_monotone_in_distance(self, model):
+        previous = 0.0
+        for distance in (1, 10, 100, 1000, 10_000, 80_000):
+            current = model.seek_time(0, distance)
+            assert current >= previous
+            previous = current
+
+    def test_symmetry(self, model):
+        assert model.seek_time(100, 900) == model.seek_time(900, 100)
+
+    def test_invalid_ordering_rejected(self):
+        with pytest.raises(ValueError):
+            ThreePointSeekModel(10.0, 5.0, 17.0, 1000)
+        with pytest.raises(ValueError):
+            ThreePointSeekModel(1.0, 5.0, 4.0, 1000)
+        with pytest.raises(ValueError):
+            ThreePointSeekModel(0.0, 5.0, 17.0, 1000)
+
+    def test_too_few_cylinders_rejected(self):
+        with pytest.raises(ValueError):
+            ThreePointSeekModel(0.5, 5.0, 10.0, 3)
+
+    def test_coefficients_reconstruct_curve(self, model):
+        a, b, c = model.coefficients
+        distance = 5000
+        expected = a + b * distance ** 0.5 + c * distance
+        assert model.seek_time(0, distance) == pytest.approx(expected)
+
+    @given(
+        distance=st.integers(min_value=1, max_value=89_999),
+    )
+    @settings(max_examples=200)
+    def test_bounded_by_published_extremes(self, distance):
+        model = ThreePointSeekModel(0.8, 8.5, 17.0, 90_000)
+        time = model.seek_time(0, distance)
+        assert 0.8 <= time <= 17.0 * 1.001
+
+
+class TestTwoPhaseSeekModel:
+    from repro.disk.seek import TwoPhaseSeekModel as _ModelClass
+
+    def make(self, a=0.02, v=10.0, settle=0.5):
+        from repro.disk.seek import TwoPhaseSeekModel
+
+        return TwoPhaseSeekModel(a, v, settle)
+
+    def test_validation(self):
+        from repro.disk.seek import TwoPhaseSeekModel
+
+        with pytest.raises(ValueError):
+            TwoPhaseSeekModel(0, 1, 0)
+        with pytest.raises(ValueError):
+            TwoPhaseSeekModel(1, 0, 0)
+        with pytest.raises(ValueError):
+            TwoPhaseSeekModel(1, 1, -1)
+
+    def test_short_seek_is_sqrt(self):
+        model = self.make(a=1.0, v=1000.0, settle=0.0)
+        assert model.seek_time(0, 100) == pytest.approx(2 * 100 ** 0.5)
+
+    def test_long_seek_is_linear(self):
+        model = self.make(a=1.0, v=2.0, settle=0.0)
+        distance = 10_000  # far beyond v^2/a = 4
+        expected = distance / 2.0 + 2.0 / 1.0
+        assert model.seek_time(0, distance) == pytest.approx(expected)
+
+    def test_settle_added_everywhere(self):
+        base = self.make(settle=0.0)
+        settled = self.make(settle=0.7)
+        for distance in (1, 100, 100_000):
+            assert settled.seek_time(0, distance) == pytest.approx(
+                base.seek_time(0, distance) + 0.7
+            )
+
+    def test_monotone(self):
+        model = self.make()
+        previous = 0.0
+        for distance in (1, 10, 100, 1000, 10_000, 100_000):
+            current = model.seek_time(0, distance)
+            assert current >= previous
+            previous = current
+
+    def test_coast_threshold(self):
+        model = self.make(a=0.5, v=5.0)
+        assert model.coast_threshold_cylinders == pytest.approx(50.0)
+
+    def test_fit_reproduces_published_points(self):
+        from repro.disk.seek import TwoPhaseSeekModel
+
+        cylinders = 90_000
+        model = TwoPhaseSeekModel.fit_published(0.8, 8.5, 17.0, cylinders)
+        assert model.seek_time(0, cylinders // 3) == pytest.approx(
+            8.5, rel=0.02
+        )
+        assert model.seek_time(0, cylinders - 1) == pytest.approx(
+            17.0, rel=0.02
+        )
+        assert model.seek_time(0, 1) == pytest.approx(0.8, rel=0.05)
+
+    def test_fit_tracks_three_point_curve(self):
+        """The empirical sqrt+linear fit and the physics model agree
+        within ~20% across the stroke."""
+        from repro.disk.seek import ThreePointSeekModel, TwoPhaseSeekModel
+
+        cylinders = 90_000
+        empirical = ThreePointSeekModel(0.8, 8.5, 17.0, cylinders)
+        physical = TwoPhaseSeekModel.fit_published(
+            0.8, 8.5, 17.0, cylinders
+        )
+        for distance in (10, 1000, 30_000, 60_000, 89_000):
+            ratio = physical.seek_time(0, distance) / empirical.seek_time(
+                0, distance
+            )
+            assert 0.75 < ratio < 1.35, (distance, ratio)
+
+    def test_fit_validation(self):
+        from repro.disk.seek import TwoPhaseSeekModel
+
+        with pytest.raises(ValueError):
+            TwoPhaseSeekModel.fit_published(5.0, 1.0, 17.0, 1000)

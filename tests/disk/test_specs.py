@@ -1,0 +1,105 @@
+"""Tests for the drive-spec catalog and spec-derived builders."""
+
+import pytest
+
+from repro.disk.cache import DiskCache
+from repro.disk.geometry import DiskGeometry
+from repro.disk.rotation import Spindle
+from repro.disk.seek import ThreePointSeekModel
+from repro.disk.specs import (
+    BARRACUDA_ES,
+    CHEETAH_10K,
+    CONNERS_CP3100,
+    FUJITSU_M2361A,
+    IBM_3380_AK4,
+    SPEC_CATALOG,
+)
+
+
+class TestCatalog:
+    def test_catalog_contains_table1_drives(self):
+        names = set(SPEC_CATALOG)
+        for expected in (
+            "barracuda-es-750",
+            "conner-cp3100",
+            "ibm-3380-ak4",
+            "fujitsu-m2361a",
+        ):
+            assert expected in names
+
+    def test_barracuda_matches_published_facts(self):
+        spec = BARRACUDA_ES
+        assert spec.capacity_bytes == 750 * 10**9
+        assert spec.platters == 4
+        assert spec.rpm == 7200
+        assert spec.cache_bytes == 8 * 10**6
+        assert spec.reference_power_watts == 13.0
+
+    def test_barracuda_transfer_rate_near_72mb(self):
+        assert BARRACUDA_ES.peak_transfer_mb_s == pytest.approx(72, rel=0.02)
+
+    def test_ibm3380_is_four_actuator(self):
+        assert IBM_3380_AK4.actuators == 4
+        assert IBM_3380_AK4.diameter_inches == 14.0
+
+    def test_old_drives_have_technology_factor(self):
+        assert CONNERS_CP3100.technology_factor > 1.0
+        assert FUJITSU_M2361A.technology_factor > 1.0
+
+    def test_rotation_derived_values(self):
+        assert BARRACUDA_ES.rotation_ms == pytest.approx(8.333, rel=1e-3)
+        assert BARRACUDA_ES.avg_rotational_latency_ms == pytest.approx(
+            4.167, rel=1e-3
+        )
+
+
+class TestBuilders:
+    def test_geometry_covers_capacity(self):
+        geometry = BARRACUDA_ES.build_geometry()
+        assert isinstance(geometry, DiskGeometry)
+        assert geometry.total_sectors >= BARRACUDA_ES.capacity_sectors
+        assert geometry.surfaces == 8
+
+    def test_seek_model_uses_published_points(self):
+        geometry = CHEETAH_10K.build_geometry()
+        model = CHEETAH_10K.build_seek_model(geometry)
+        assert isinstance(model, ThreePointSeekModel)
+        assert model.seek_time(0, 1) == CHEETAH_10K.seek_track_to_track_ms
+
+    def test_spindle(self):
+        spindle = BARRACUDA_ES.build_spindle()
+        assert isinstance(spindle, Spindle)
+        assert spindle.rpm == 7200
+
+    def test_cache_sizing(self):
+        cache = BARRACUDA_ES.build_cache()
+        assert isinstance(cache, DiskCache)
+        assert cache.capacity_sectors == BARRACUDA_ES.cache_bytes // 512
+
+
+class TestVariants:
+    def test_with_rpm(self):
+        slow = BARRACUDA_ES.with_rpm(4200)
+        assert slow.rpm == 4200
+        assert slow.capacity_bytes == BARRACUDA_ES.capacity_bytes
+        assert "4200" in slow.name
+        assert BARRACUDA_ES.rpm == 7200  # original untouched
+
+    def test_with_actuators(self):
+        quad = BARRACUDA_ES.with_actuators(4)
+        assert quad.actuators == 4
+        assert "SA(4)" in quad.name
+
+    def test_with_cache_bytes(self):
+        big = BARRACUDA_ES.with_cache_bytes(64 * 10**6)
+        assert big.cache_bytes == 64 * 10**6
+
+    def test_validation(self):
+        import dataclasses
+
+        with pytest.raises(ValueError):
+            dataclasses.replace(BARRACUDA_ES, capacity_bytes=0)
+        with pytest.raises(ValueError):
+            dataclasses.replace(BARRACUDA_ES, platters=0)
+        with pytest.raises(ValueError):
+            dataclasses.replace(BARRACUDA_ES, actuators=0)

@@ -1,0 +1,64 @@
+"""Tests for the optional write-settle model."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.parallel_disk import ParallelDisk
+from repro.core.taxonomy import DashConfig
+from repro.disk.drive import ConventionalDrive
+from repro.disk.request import IORequest
+from repro.disk.scheduler import FCFSScheduler
+from repro.sim.engine import Environment
+
+
+def service_time(spec, is_read, lba=500_000, parallel=False):
+    env = Environment()
+    if parallel:
+        drive = ParallelDisk(
+            env,
+            spec,
+            config=DashConfig(arm_assemblies=2),
+            scheduler=FCFSScheduler(),
+        )
+    else:
+        drive = ConventionalDrive(env, spec, scheduler=FCFSScheduler())
+    request = IORequest(lba=lba, size=8, is_read=is_read)
+    drive.submit(request)
+    env.run()
+    return request
+
+
+class TestWriteSettle:
+    def test_disabled_by_default(self, tiny_spec):
+        assert tiny_spec.write_settle_ms == 0.0
+        write = service_time(tiny_spec, is_read=False)
+        read = service_time(tiny_spec, is_read=True)
+        # Same seek component either way when settle is off.
+        assert write.seek_time == pytest.approx(read.seek_time)
+
+    def test_settle_charged_on_writes_only(self, tiny_spec):
+        settled = dataclasses.replace(tiny_spec, write_settle_ms=0.5)
+        write = service_time(settled, is_read=False)
+        read = service_time(settled, is_read=True)
+        assert write.seek_time == pytest.approx(read.seek_time + 0.5)
+
+    def test_settle_on_parallel_drive(self, tiny_spec):
+        settled = dataclasses.replace(tiny_spec, write_settle_ms=0.5)
+        base = service_time(tiny_spec, is_read=False, parallel=True)
+        slow = service_time(settled, is_read=False, parallel=True)
+        assert slow.seek_time == pytest.approx(base.seek_time + 0.5)
+
+    def test_settle_counts_toward_seek_energy(self, tiny_spec):
+        settled = dataclasses.replace(tiny_spec, write_settle_ms=0.5)
+        env = Environment()
+        drive = ConventionalDrive(env, settled, scheduler=FCFSScheduler())
+        drive.submit(IORequest(lba=500_000, size=8, is_read=False))
+        env.run()
+        assert drive.stats.seek_ms >= 0.5
+
+    def test_rotation_still_below_one_revolution(self, tiny_spec):
+        settled = dataclasses.replace(tiny_spec, write_settle_ms=1.5)
+        write = service_time(settled, is_read=False, parallel=True)
+        period = 60000.0 / settled.rpm
+        assert 0 <= write.rotational_latency < period

@@ -1,0 +1,111 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import ARTIFACTS, build_parser, main
+
+
+class TestParser:
+    def test_every_artifact_has_a_subcommand(self):
+        parser = build_parser()
+        for name in ARTIFACTS:
+            args = parser.parse_args([name])
+            assert args.handler is ARTIFACTS[name]
+            assert args.requests == 4000
+
+    def test_requests_flag(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig2", "--requests", "123"])
+        assert args.requests == 123
+
+    def test_simulate_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["simulate"])
+        assert args.workload == "websearch"
+        assert args.actuators == 1
+        assert args.rpm is None
+        assert not args.md
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "fig8" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "barracuda-es-750" in out
+        assert "6600" in out or "6599" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "financial" in out
+        assert "5334945" in out
+
+    def test_fig9(self, capsys):
+        assert main(["fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "$67.7-$80.8" in out
+        assert "0.40" in out
+
+    def test_workloads(self, capsys):
+        assert main(["workloads", "--requests", "500"]) == 0
+        out = capsys.readouterr().out
+        for name in ("financial", "websearch", "tpcc", "tpch"):
+            assert name in out
+
+    def test_simulate_small(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--workload",
+                    "tpch",
+                    "--actuators",
+                    "2",
+                    "--requests",
+                    "300",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "SA(2)" in out
+        assert "power_W" in out
+
+    def test_simulate_unknown_workload(self):
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["simulate", "--workload", "nope", "--requests", "10"])
+
+    def test_fig2_small(self, capsys):
+        assert main(["fig2", "--requests", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2 [websearch]" in out
+        assert "200+" in out
+
+
+class TestReport:
+    def test_report_to_stdout(self, capsys):
+        assert main(["report", "--requests", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "# Reproduction results" in out
+        assert "## table1" in out
+        assert "## fig8" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "results.md"
+        assert (
+            main(["report", "--requests", "300", "-o", str(target)]) == 0
+        )
+        text = target.read_text()
+        assert text.count("## ") == 10
+        assert "barracuda-es-750" in text
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,107 @@
+"""Tests for the experiment storage-system factories."""
+
+import pytest
+
+from repro.core.parallel_disk import ParallelDisk
+from repro.experiments.configs import (
+    build_hcsd_drive,
+    build_hcsd_system,
+    build_md_system,
+    build_raid0_system,
+)
+from repro.raid.layout import ConcatLayout, JBODLayout, Raid0Layout
+from repro.sim.engine import Environment
+from repro.workloads.commercial import TPCC, WEBSEARCH
+
+
+class TestMdSystem:
+    def test_one_drive_per_table2_disk(self):
+        env = Environment()
+        system = build_md_system(env, WEBSEARCH)
+        assert system.disk_count == WEBSEARCH.disks
+        assert isinstance(system.layout, JBODLayout)
+
+    def test_drives_match_table2_spec(self):
+        env = Environment()
+        system = build_md_system(env, TPCC)
+        drive = system.drives[0]
+        assert drive.spec.rpm == TPCC.rpm
+        assert drive.spec.platters == TPCC.platters
+        assert drive.actuator_count == 1
+
+
+class TestHcsdDrive:
+    def test_default_is_barracuda_single_actuator(self):
+        env = Environment()
+        drive = build_hcsd_drive(env)
+        assert isinstance(drive, ParallelDisk)
+        assert drive.actuator_count == 1
+        assert drive.spec.capacity_bytes == 750 * 10**9
+
+    def test_actuator_override(self):
+        env = Environment()
+        drive = build_hcsd_drive(env, actuators=4)
+        assert drive.actuator_count == 4
+        assert drive.spec.actuators == 4
+
+    def test_rpm_override(self):
+        env = Environment()
+        drive = build_hcsd_drive(env, rpm=4200)
+        assert drive.spindle.rpm == 4200
+
+    def test_cache_override(self):
+        env = Environment()
+        drive = build_hcsd_drive(env, cache_bytes=64 * 10**6)
+        assert drive.cache.capacity_sectors == 64 * 10**6 // 512
+
+    def test_latency_scales_plumbed(self):
+        env = Environment()
+        drive = build_hcsd_drive(env, seek_scale=0.5, rotation_scale=0.25)
+        assert drive.seek_scale == 0.5
+        assert drive.rotation_scale == 0.25
+
+
+class TestHcsdSystem:
+    def test_concat_layout_over_single_drive(self):
+        env = Environment()
+        system = build_hcsd_system(env, WEBSEARCH)
+        assert system.disk_count == 1
+        assert isinstance(system.layout, ConcatLayout)
+        assert system.capacity_sectors() == (
+            WEBSEARCH.disks * WEBSEARCH.disk_capacity_sectors
+        )
+
+    def test_label_reflects_design(self):
+        env = Environment()
+        system = build_hcsd_system(env, WEBSEARCH, actuators=2, rpm=5200)
+        assert "SA(2)" in system.label
+        assert "5200" in system.label
+
+    def test_dataset_must_fit(self):
+        import dataclasses
+
+        env = Environment()
+        too_big = dataclasses.replace(WEBSEARCH, disks=100)
+        with pytest.raises(ValueError, match="exceeds"):
+            build_hcsd_system(env, too_big)
+
+
+class TestRaid0System:
+    def test_member_count_and_layout(self):
+        env = Environment()
+        system = build_raid0_system(env, disks=4, actuators=2)
+        assert system.disk_count == 4
+        assert isinstance(system.layout, Raid0Layout)
+        for drive in system.drives:
+            assert drive.actuator_count == 2
+
+    def test_same_recording_technology_across_kinds(self):
+        env = Environment()
+        conventional = build_raid0_system(env, 1, actuators=1)
+        parallel = build_raid0_system(env, 1, actuators=4)
+        a = conventional.drives[0].spec
+        b = parallel.drives[0].spec
+        assert a.rpm == b.rpm
+        assert a.platters == b.platters
+        assert a.spt_outer == b.spt_outer
+        assert a.cache_bytes == b.cache_bytes

@@ -1,0 +1,153 @@
+"""Tests for the per-figure text renderers (format_* functions).
+
+These run the real studies at very small scale once (module fixture)
+and verify the renderers produce well-formed, complete output.
+"""
+
+import pytest
+
+from repro.experiments.bottleneck import (
+    SCALING_POINTS,
+    format_figure4,
+    run_bottleneck_study,
+)
+from repro.experiments.limit_study import (
+    format_figure2,
+    format_figure3,
+    run_limit_study,
+)
+from repro.experiments.parallel_study import (
+    format_figure5_cdf,
+    format_figure5_pdf,
+    run_parallel_study,
+)
+from repro.experiments.raid_study import (
+    format_figure8_performance,
+    format_figure8_power,
+    run_raid_study,
+)
+from repro.experiments.rpm_study import (
+    design_label,
+    format_figure6,
+    format_figure7,
+    run_rpm_study,
+)
+from repro.workloads.commercial import TPCH
+
+REQUESTS = 350
+
+
+@pytest.fixture(scope="module")
+def limit():
+    return run_limit_study(workloads=[TPCH], requests=REQUESTS)
+
+
+@pytest.fixture(scope="module")
+def bottleneck():
+    return run_bottleneck_study(workloads=[TPCH], requests=REQUESTS)
+
+
+@pytest.fixture(scope="module")
+def parallel():
+    return run_parallel_study(
+        workloads=[TPCH], actuator_counts=(1, 2), requests=REQUESTS
+    )
+
+
+@pytest.fixture(scope="module")
+def rpm():
+    return run_rpm_study(
+        workloads=[TPCH],
+        design_points=((1, None), (2, None), (2, 4200)),
+        requests=REQUESTS,
+    )
+
+
+class TestLimitFormats:
+    def test_figure2_contains_buckets_and_series(self, limit):
+        text = format_figure2(limit)
+        assert "Figure 2 [tpch]" in text
+        assert "MD" in text and "HC-SD" in text
+        assert "200+" in text
+
+    def test_figure3_contains_modes(self, limit):
+        text = format_figure3(limit)
+        for column in ("idle_W", "seek_W", "rotational_W", "transfer_W",
+                       "total_W"):
+            assert column in text
+
+
+class TestBottleneckFormats:
+    def test_all_scaling_points_present(self, bottleneck):
+        text = format_figure4(bottleneck)
+        for label, _, _ in SCALING_POINTS:
+            assert label in text
+        assert "impact of seek time" in text
+        assert "impact of rotational latency" in text
+
+    def test_result_accessors(self, bottleneck):
+        result = bottleneck["tpch"]
+        assert result.mean_response("HC-SD") > 0
+        assert isinstance(result.rotation_is_primary, bool)
+
+
+class TestParallelFormats:
+    def test_cdf_output(self, parallel):
+        text = format_figure5_cdf(parallel)
+        assert "HC-SD-SA(2)" in text
+        assert "MD" in text
+
+    def test_pdf_output(self, parallel):
+        text = format_figure5_pdf(parallel)
+        assert "rotational-latency PDF" in text
+        assert "11+" in text
+
+    def test_improvement_accessor(self, parallel):
+        assert parallel["tpch"].improvement_over_single(2) > 0
+
+
+class TestRpmFormats:
+    def test_design_label(self):
+        assert design_label(1, None) == "HC-SD"
+        assert design_label(2, None) == "SA(2)/7200"
+        assert design_label(4, 4200) == "SA(4)/4200"
+
+    def test_figure6_lists_all_designs(self, rpm):
+        text = format_figure6(rpm)
+        assert "HC-SD" in text
+        assert "SA(2)/4200" in text
+
+    def test_figure7_renders_breakeven_or_message(self, rpm):
+        text = format_figure7(rpm)
+        assert "Figure 7 [tpch]" in text
+
+
+class TestRaidFormats:
+    @pytest.fixture(scope="class")
+    def raid(self):
+        return run_raid_study(
+            interarrivals_ms=(8.0,),
+            disk_counts=(1, 2),
+            actuator_counts=(1, 2),
+            requests=300,
+        )
+
+    def test_performance_table(self, raid):
+        text = format_figure8_performance(
+            raid,
+            interarrivals_ms=(8.0,),
+            disk_counts=(1, 2),
+            actuator_counts=(1, 2),
+        )
+        assert "1_disks" in text and "2_disks" in text
+        assert "HC-SD-SA(2)" in text
+
+    def test_power_table_needs_full_grid(self, raid):
+        # The iso-performance panel needs the full disk grid; with a
+        # partial grid the lookup raises KeyError.
+        with pytest.raises(KeyError):
+            format_figure8_power(raid, interarrivals_ms=(8.0,))
+
+    def test_cell_accessors(self, raid):
+        assert raid.p90(8.0, 1, 1) > 0
+        assert raid.power(8.0, 2, 2) > 0

@@ -1,0 +1,105 @@
+"""Tests for the open-loop trace runner."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.configs import build_hcsd_system
+from repro.experiments.runner import run_trace
+from repro.sim.engine import Environment
+from repro.workloads.commercial import TPCH
+
+
+@pytest.fixture
+def light_workload():
+    # Very light load so runs are fast and stable.
+    return dataclasses.replace(TPCH, mean_interarrival_ms=30.0)
+
+
+class TestRunTrace:
+    def test_all_requests_complete(self, light_workload):
+        trace = light_workload.generate(200)
+        env = Environment()
+        system = build_hcsd_system(env, light_workload)
+        result = run_trace(env, system, trace)
+        assert result.requests == 200
+        assert result.collector.completed == 200
+
+    def test_trace_is_not_mutated(self, light_workload):
+        trace = light_workload.generate(100)
+        env = Environment()
+        system = build_hcsd_system(env, light_workload)
+        run_trace(env, system, trace)
+        assert all(r.completion_time is None for r in trace)
+
+    def test_trace_reusable_across_runs(self, light_workload):
+        trace = light_workload.generate(150)
+
+        def once():
+            env = Environment()
+            system = build_hcsd_system(env, light_workload)
+            return run_trace(env, system, trace).mean_response_ms
+
+        assert once() == pytest.approx(once())
+
+    def test_power_and_elapsed_populated(self, light_workload):
+        trace = light_workload.generate(100)
+        env = Environment()
+        system = build_hcsd_system(env, light_workload)
+        result = run_trace(env, system, trace)
+        assert result.elapsed_ms >= trace.duration_ms
+        assert result.power.total_watts > 0
+
+    def test_label_defaults_to_system(self, light_workload):
+        trace = light_workload.generate(50)
+        env = Environment()
+        system = build_hcsd_system(env, light_workload)
+        result = run_trace(env, system, trace)
+        assert result.label == system.label
+
+    def test_cdf_and_percentile_accessors(self, light_workload):
+        trace = light_workload.generate(100)
+        env = Environment()
+        system = build_hcsd_system(env, light_workload)
+        result = run_trace(env, system, trace)
+        assert len(result.response_cdf()) == 10
+        assert result.percentile(90) >= result.percentile(50)
+        assert len(result.rotational_pdf()) == 8
+
+
+class TestWarmup:
+    def test_warmup_discards_prefix(self, light_workload):
+        trace = light_workload.generate(200)
+        env = Environment()
+        system = build_hcsd_system(env, light_workload)
+        result = run_trace(env, system, trace, warmup_fraction=0.25)
+        assert result.collector.completed == 150
+        assert result.requests == 200
+
+    def test_zero_warmup_keeps_everything(self, light_workload):
+        trace = light_workload.generate(100)
+        env = Environment()
+        system = build_hcsd_system(env, light_workload)
+        result = run_trace(env, system, trace, warmup_fraction=0.0)
+        assert result.collector.completed == 100
+
+    def test_warmup_fraction_validated(self, light_workload):
+        trace = light_workload.generate(10)
+        env = Environment()
+        system = build_hcsd_system(env, light_workload)
+        with pytest.raises(ValueError):
+            run_trace(env, system, trace, warmup_fraction=1.0)
+
+    def test_warmup_excludes_cold_start_effects(self, light_workload):
+        """Warm measurements should not be slower than the full run
+        (the first requests pay cold caches and parked arms)."""
+        trace = light_workload.generate(300)
+
+        def mean(warmup):
+            env = Environment()
+            system = build_hcsd_system(env, light_workload, actuators=2)
+            return run_trace(
+                env, system, trace, warmup_fraction=warmup
+            ).mean_response_ms
+
+        assert mean(0.2) <= mean(0.0) * 1.1

@@ -1,0 +1,43 @@
+"""Tests for the success-criteria scorecard.
+
+The scorecard runs every experiment, so this is the slowest test in
+the suite; it runs at reduced scale and is also the strongest single
+regression guard the project has.
+"""
+
+import pytest
+
+from repro.experiments.scorecard import format_scorecard, run_scorecard
+
+
+@pytest.fixture(scope="module")
+def criteria():
+    # >= 2000 requests: criterion 4 needs saturation divergence time.
+    return run_scorecard(requests=2200)
+
+
+class TestScorecard:
+    def test_seven_criteria_in_order(self, criteria):
+        assert [criterion.number for criterion in criteria] == list(
+            range(1, 8)
+        )
+
+    def test_all_criteria_pass_at_reduced_scale(self, criteria):
+        failing = [
+            f"#{c.number} {c.description}: {c.evidence}"
+            for c in criteria
+            if not c.passed
+        ]
+        assert not failing, "\n".join(failing)
+
+    def test_evidence_is_populated(self, criteria):
+        assert all(criterion.evidence for criterion in criteria)
+
+    def test_formatting(self, criteria):
+        text = format_scorecard(criteria)
+        assert "7/7" in text or "6/7" in text
+        assert "PASS" in text
+
+    def test_scale_validated(self):
+        with pytest.raises(ValueError, match="meaningful scale"):
+            run_scorecard(requests=10)

@@ -1,0 +1,50 @@
+"""Tests for the arrival-intensity sensitivity study."""
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    format_sensitivity,
+    run_sensitivity_study,
+)
+from repro.workloads.commercial import WEBSEARCH
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_sensitivity_study(
+        workloads=[WEBSEARCH],
+        scales=(2.0, 1.0),
+        actuator_ladder=(1, 2, 4),
+        requests=1200,
+    )
+
+
+class TestSensitivity:
+    def test_cells_cover_the_grid(self, result):
+        cells = result.for_workload("websearch")
+        assert sorted(cell.scale for cell in cells) == [1.0, 2.0]
+        for cell in cells:
+            assert set(cell.by_actuators) == {1, 2, 4}
+
+    def test_lighter_load_shrinks_the_gap(self, result):
+        by_scale = {
+            cell.scale: cell for cell in result.for_workload("websearch")
+        }
+        # scale 2.0 = double inter-arrival = half intensity.
+        assert by_scale[2.0].gap_factor < by_scale[1.0].gap_factor
+
+    def test_lighter_load_needs_no_more_actuators(self, result):
+        by_scale = {
+            cell.scale: cell for cell in result.for_workload("websearch")
+        }
+        light = by_scale[2.0].actuators_to_match() or 99
+        nominal = by_scale[1.0].actuators_to_match() or 99
+        assert light <= nominal
+
+    def test_monotone_helper(self, result):
+        assert result.monotone_actuator_need("websearch")
+
+    def test_formatting(self, result):
+        text = format_sensitivity(result)
+        assert "websearch" in text
+        assert "SA(n)_to_match" in text

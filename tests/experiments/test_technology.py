@@ -1,0 +1,67 @@
+"""Tests for the Table 1 / Table 2 generators."""
+
+import pytest
+
+from repro.experiments.technology import (
+    format_table1,
+    format_table2,
+    table1_rows,
+    table2_rows,
+)
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {row.name: row for row in table1_rows()}
+
+    def test_five_drives_in_paper_order(self):
+        names = [row.name for row in table1_rows()]
+        assert names == [
+            "ibm-3380-ak4",
+            "fujitsu-m2361a",
+            "conner-cp3100",
+            "barracuda-es-750",
+            "intra-disk-parallel-4A",
+        ]
+
+    def test_calibration_anchors_exact(self, rows):
+        assert rows["barracuda-es-750"].modelled_power_watts == (
+            pytest.approx(13.0, abs=0.01)
+        )
+        assert rows["intra-disk-parallel-4A"].modelled_power_watts == (
+            pytest.approx(34.0, abs=0.01)
+        )
+
+    def test_reference_powers_populated(self, rows):
+        assert rows["ibm-3380-ak4"].reference_power_watts == 6600.0
+        assert rows["intra-disk-parallel-4A"].reference_power_watts == 34.0
+
+    def test_power_reversal_story(self, rows):
+        """The paper's §3 trend reversal: the modern 4-actuator drive
+        draws two orders of magnitude less than the old mainframe
+        multi-actuator drive, and within 3x of the conventional."""
+        old = rows["ibm-3380-ak4"].modelled_power_watts
+        new = rows["intra-disk-parallel-4A"].modelled_power_watts
+        conventional = rows["barracuda-es-750"].modelled_power_watts
+        assert new < old / 100
+        assert new <= 3 * conventional
+
+    def test_formatting(self):
+        text = format_table1()
+        assert "Table 1" in text
+        assert "transfer_MB/s" in text
+
+
+class TestTable2:
+    def test_rows_match_registry(self):
+        rows = table2_rows()
+        assert [row["workload"] for row in rows] == [
+            "financial", "websearch", "tpcc", "tpch",
+        ]
+        assert rows[0]["capacity_gb"] == 19.07
+
+    def test_formatting(self):
+        text = format_table2()
+        assert "4228725" in text
+        assert "platters" in text

@@ -1,0 +1,51 @@
+"""Tests for the paper's CDF/PDF bucket helpers."""
+
+import pytest
+
+from repro.metrics.cdf import (
+    RESPONSE_TIME_EDGES_MS,
+    ROTATIONAL_LATENCY_EDGES_MS,
+    response_time_cdf,
+    rotational_latency_pdf,
+)
+
+
+class TestPaperEdges:
+    def test_response_edges_match_figures(self):
+        assert tuple(RESPONSE_TIME_EDGES_MS) == (
+            5, 10, 20, 40, 60, 90, 120, 150, 200,
+        )
+
+    def test_rotational_edges_match_figure5(self):
+        assert tuple(ROTATIONAL_LATENCY_EDGES_MS) == (1, 3, 5, 7, 8, 9, 11)
+
+
+class TestResponseCdf:
+    def test_length_includes_overflow_bucket(self):
+        cdf = response_time_cdf([1.0])
+        assert len(cdf) == len(RESPONSE_TIME_EDGES_MS) + 1
+
+    def test_monotone_and_ends_at_one(self):
+        cdf = response_time_cdf([3, 15, 80, 500])
+        assert cdf == sorted(cdf)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_overflow_values_only_in_last_bucket(self):
+        cdf = response_time_cdf([1000.0])
+        assert cdf[-2] == 0.0
+        assert cdf[-1] == 1.0
+
+    def test_fast_system_saturates_first_bucket(self):
+        cdf = response_time_cdf([1.0, 2.0, 4.9])
+        assert cdf[0] == pytest.approx(1.0)
+
+
+class TestRotationalPdf:
+    def test_sums_to_one(self):
+        pdf = rotational_latency_pdf([0.5, 2.0, 4.0, 8.5])
+        assert sum(pdf) == pytest.approx(1.0)
+
+    def test_bucket_placement(self):
+        pdf = rotational_latency_pdf([0.5, 6.0])
+        assert pdf[0] == pytest.approx(0.5)   # <=1 ms bucket
+        assert pdf[3] == pytest.approx(0.5)   # (5,7] ms bucket

@@ -1,0 +1,105 @@
+"""Tests for the per-request measurement collector."""
+
+import pytest
+
+from repro.disk.request import IORequest
+from repro.metrics.collector import RequestCollector
+
+
+def completed_request(
+    response=10.0, rotational=3.0, seek=2.0, cache_hit=False, is_read=True
+):
+    request = IORequest(lba=0, size=8, is_read=is_read, arrival_time=0.0)
+    request.start_service = 0.0
+    request.completion_time = response
+    request.rotational_latency = rotational
+    request.seek_time = seek
+    request.cache_hit = cache_hit
+    return request
+
+
+class TestRecording:
+    def test_counts(self):
+        collector = RequestCollector()
+        collector.record(completed_request())
+        collector.record(completed_request(cache_hit=True))
+        assert collector.completed == 2
+        assert collector.cache_hits == 1
+        assert collector.reads == 2
+
+    def test_callable_protocol(self):
+        collector = RequestCollector()
+        collector(completed_request())
+        assert collector.completed == 1
+
+    def test_cache_hits_excluded_from_mechanical_stats(self):
+        collector = RequestCollector()
+        collector.record(completed_request(rotational=4.0))
+        collector.record(
+            completed_request(rotational=0.0, cache_hit=True)
+        )
+        assert collector.mean_rotational_ms == pytest.approx(4.0)
+
+    def test_nonzero_seek_fraction(self):
+        collector = RequestCollector()
+        collector.record(completed_request(seek=0.0))
+        collector.record(completed_request(seek=2.0))
+        assert collector.nonzero_seek_fraction == pytest.approx(0.5)
+
+    def test_mean_response(self):
+        collector = RequestCollector()
+        collector.record(completed_request(response=10.0))
+        collector.record(completed_request(response=30.0))
+        assert collector.mean_response_ms == pytest.approx(20.0)
+
+
+class TestSummaries:
+    def test_response_cdf_shape(self):
+        collector = RequestCollector()
+        for response in (1.0, 15.0, 500.0):
+            collector.record(completed_request(response=response))
+        cdf = collector.response_cdf()
+        assert len(cdf) == 10
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_percentile_requires_samples(self):
+        collector = RequestCollector(keep_samples=False)
+        collector.record(completed_request())
+        with pytest.raises(ValueError):
+            collector.response_percentile(90)
+
+    def test_percentile_with_samples(self):
+        collector = RequestCollector()
+        for response in range(1, 11):
+            collector.record(completed_request(response=float(response)))
+        assert collector.response_percentile(50) == pytest.approx(5.5)
+
+    def test_fraction_within(self):
+        collector = RequestCollector()
+        for response in (1.0, 3.0, 100.0):
+            collector.record(completed_request(response=response))
+        assert collector.fraction_within(5.0) == pytest.approx(2 / 3)
+
+    def test_fraction_within_histogram_fallback(self):
+        collector = RequestCollector(keep_samples=False)
+        for response in (1.0, 3.0, 100.0):
+            collector.record(completed_request(response=response))
+        assert collector.fraction_within(5.0) == pytest.approx(2 / 3)
+
+    def test_fraction_within_empty(self):
+        assert RequestCollector().fraction_within(5.0) == 0.0
+
+    def test_summary_keys(self):
+        collector = RequestCollector()
+        collector.record(completed_request())
+        summary = collector.summary()
+        assert "mean_response_ms" in summary
+        assert "p90_response_ms" in summary
+        assert summary["completed"] == 1
+
+    def test_memory_bounded_mode_keeps_histograms(self):
+        collector = RequestCollector(keep_samples=False)
+        for response in (1.0, 300.0):
+            collector.record(completed_request(response=response))
+        assert collector.response_times == []
+        assert collector.response_histogram.total == 2

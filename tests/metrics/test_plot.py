@@ -1,0 +1,81 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.metrics.plot import GLYPHS, ascii_chart
+
+
+LABELS = ["5", "10", "20", "200+"]
+
+
+class TestValidation:
+    def test_needs_labels(self):
+        with pytest.raises(ValueError):
+            ascii_chart([], [("a", [])])
+
+    def test_needs_series(self):
+        with pytest.raises(ValueError):
+            ascii_chart(LABELS, [])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_chart(LABELS, [("a", [0.1, 0.2])])
+
+    def test_too_many_series(self):
+        many = [(f"s{i}", [0.1] * 4) for i in range(len(GLYPHS) + 1)]
+        with pytest.raises(ValueError):
+            ascii_chart(LABELS, many)
+
+    def test_min_height(self):
+        with pytest.raises(ValueError):
+            ascii_chart(LABELS, [("a", [0.1] * 4)], height=1)
+
+
+class TestRendering:
+    def test_contains_axes_and_legend(self):
+        text = ascii_chart(
+            LABELS,
+            [("MD", [0.5, 0.8, 0.9, 1.0])],
+            title="demo",
+        )
+        assert text.startswith("demo")
+        assert " 1.00 |" in text
+        assert " 0.00 |" in text
+        assert "*=MD" in text
+        assert "200+" in text
+
+    def test_monotone_cdf_rises_left_to_right(self):
+        text = ascii_chart(LABELS, [("cdf", [0.0, 0.4, 0.8, 1.0])])
+        rows = [line for line in text.splitlines() if "|" in line]
+        # The 1.0 point must be on the top row, the 0.0 point on the
+        # bottom row.
+        assert "*" in rows[0]
+        assert "*" in rows[-1]
+
+    def test_two_series_distinct_glyphs(self):
+        text = ascii_chart(
+            LABELS,
+            [("a", [0.2, 0.4, 0.6, 1.0]), ("b", [0.1, 0.3, 0.5, 0.7])],
+        )
+        assert "*" in text and "o" in text
+        assert "*=a" in text and "o=b" in text
+
+    def test_overlap_marker(self):
+        text = ascii_chart(
+            LABELS,
+            [("a", [0.5, 0.5, 0.5, 0.5]), ("b", [0.5, 0.5, 0.5, 0.5])],
+        )
+        grid_rows = [
+            line for line in text.splitlines() if line.endswith(" ") or "|" in line
+        ]
+        assert any("=" in row for row in grid_rows if "|" in row)
+
+    def test_y_max_scales_non_fraction_data(self):
+        text = ascii_chart(LABELS, [("watts", [10.0, 20.0, 5.0, 40.0])])
+        assert "40.00 |" in text
+
+    def test_values_above_y_max_clamped(self):
+        text = ascii_chart(
+            LABELS, [("v", [2.0, 0.5, 0.5, 0.5])], y_max=1.0
+        )
+        assert " 1.00 |" in text  # no crash, clamped to the top row

@@ -1,0 +1,70 @@
+"""Tests for the plain-text report rendering."""
+
+import pytest
+
+from repro.metrics.report import format_cdf_table, format_table, hbar
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(
+            ["name", "value"], [("a", 1.5), ("bb", 2.0)], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "1.500" in text
+        assert "bb" in text
+
+    def test_column_alignment(self):
+        text = format_table(["x"], [("short",), ("much longer cell",)])
+        lines = text.splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines padded to equal width
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [("only-one",)])
+
+    def test_custom_float_format(self):
+        text = format_table(["v"], [(3.14159,)], float_format="{:.1f}")
+        assert "3.1" in text
+        assert "3.14" not in text
+
+    def test_non_float_cells_stringified(self):
+        text = format_table(["v"], [(42,), (None,)])
+        assert "42" in text
+        assert "None" in text
+
+
+class TestFormatCdfTable:
+    def test_series_rendered_side_by_side(self):
+        text = format_cdf_table(
+            ["5", "10"],
+            [("MD", [0.5, 1.0]), ("HC-SD", [0.1, 0.4])],
+        )
+        assert "MD" in text
+        assert "HC-SD" in text
+        assert "0.500" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_cdf_table(["5", "10"], [("MD", [0.5])])
+
+
+class TestHbar:
+    def test_full_bar(self):
+        assert hbar(10, 10, width=4) == "####"
+
+    def test_empty_bar(self):
+        assert hbar(0, 10, width=4) == "...."
+
+    def test_clamps_overflow(self):
+        assert hbar(100, 10, width=4) == "####"
+
+    def test_zero_maximum(self):
+        assert hbar(1, 0) == ""
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            hbar(-1, 10)

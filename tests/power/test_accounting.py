@@ -1,0 +1,113 @@
+"""Tests for the per-mode energy accounting."""
+
+import pytest
+
+from repro.disk.drive import DriveStats
+from repro.disk.specs import BARRACUDA_ES
+from repro.power.accounting import PowerBreakdown, array_power, drive_power
+from repro.power.models import DrivePowerModel
+
+
+@pytest.fixture
+def model():
+    return DrivePowerModel.from_spec(BARRACUDA_ES)
+
+
+def make_stats(seek=0.0, rotational=0.0, transfer=0.0):
+    stats = DriveStats()
+    stats.seek_ms = seek
+    stats.rotational_latency_ms = rotational
+    stats.transfer_ms = transfer
+    return stats
+
+
+class TestBreakdown:
+    def test_pure_idle(self, model):
+        breakdown = PowerBreakdown.from_stats(make_stats(), 1000.0, model)
+        assert breakdown.idle_watts == pytest.approx(model.idle_watts)
+        assert breakdown.seek_watts == 0.0
+        assert breakdown.total_watts == pytest.approx(model.idle_watts)
+
+    def test_full_seek_residency(self, model):
+        breakdown = PowerBreakdown.from_stats(
+            make_stats(seek=1000.0), 1000.0, model
+        )
+        assert breakdown.seek_watts == pytest.approx(model.seek_watts(1))
+        assert breakdown.idle_watts == 0.0
+
+    def test_mixed_modes_weighted_by_residency(self, model):
+        breakdown = PowerBreakdown.from_stats(
+            make_stats(seek=250.0, rotational=250.0, transfer=500.0),
+            1000.0,
+            model,
+        )
+        expected = (
+            model.seek_watts(1) * 0.25
+            + model.rotational_watts * 0.25
+            + model.transfer_watts * 0.5
+        )
+        assert breakdown.total_watts == pytest.approx(expected)
+
+    def test_total_between_idle_and_peak(self, model):
+        breakdown = PowerBreakdown.from_stats(
+            make_stats(seek=300.0, rotational=200.0, transfer=100.0),
+            1000.0,
+            model,
+        )
+        assert model.idle_watts <= breakdown.total_watts
+        assert breakdown.total_watts <= model.peak_watts(1) + 1e-9
+
+    def test_overlapped_modes_normalised(self, model):
+        # Summed mode time exceeds wall time (MA extension): residencies
+        # are normalised, VCM energy charged for the full seek time.
+        breakdown = PowerBreakdown.from_stats(
+            make_stats(seek=1500.0, rotational=500.0), 1000.0, model
+        )
+        assert breakdown.idle_watts == 0.0
+        # VCM energy: 7 W × 1.5 duty.
+        assert breakdown.seek_watts >= model.vcm_watts * 1.5
+
+    def test_invalid_elapsed(self, model):
+        with pytest.raises(ValueError):
+            PowerBreakdown.from_stats(make_stats(), 0.0, model)
+
+
+class TestArithmetic:
+    def test_addition(self):
+        a = PowerBreakdown(1, 2, 3, 4)
+        b = PowerBreakdown(10, 20, 30, 40)
+        total = a + b
+        assert total.idle_watts == 11
+        assert total.total_watts == pytest.approx(110)
+
+    def test_zero(self):
+        assert PowerBreakdown.zero().total_watts == 0.0
+
+    def test_as_dict_keys(self):
+        data = PowerBreakdown(1, 2, 3, 4).as_dict()
+        assert set(data) == {"idle", "seek", "rotational", "transfer",
+                             "total"}
+        assert data["total"] == 10
+
+
+class TestDriveAndArray:
+    def test_drive_power_uses_spec_model(self, tiny_spec):
+        from repro.disk.drive import ConventionalDrive
+        from repro.sim.engine import Environment
+
+        env = Environment()
+        drive = ConventionalDrive(env, tiny_spec)
+        breakdown = drive_power(drive, 1000.0)
+        # Never serviced anything: pure idle power.
+        model = DrivePowerModel.from_spec(tiny_spec)
+        assert breakdown.total_watts == pytest.approx(model.idle_watts)
+
+    def test_array_power_sums_drives(self, tiny_spec):
+        from repro.disk.drive import ConventionalDrive
+        from repro.sim.engine import Environment
+
+        env = Environment()
+        drives = [ConventionalDrive(env, tiny_spec) for _ in range(3)]
+        total = array_power(drives, 1000.0)
+        single = drive_power(drives[0], 1000.0)
+        assert total.total_watts == pytest.approx(3 * single.total_watts)

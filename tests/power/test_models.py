@@ -1,0 +1,117 @@
+"""Tests for the component power models and their Table-1 calibration."""
+
+import dataclasses
+
+import pytest
+
+from repro.disk.specs import (
+    BARRACUDA_ES,
+    CONNERS_CP3100,
+    FUJITSU_M2361A,
+    IBM_3380_AK4,
+    SPEC_CATALOG,
+)
+from repro.power.models import (
+    DrivePowerModel,
+    SPM_DIAMETER_EXPONENT,
+    SPM_RPM_EXPONENT,
+)
+
+
+class TestCalibration:
+    def test_barracuda_peak_is_13_watts(self):
+        model = DrivePowerModel.from_spec(BARRACUDA_ES)
+        assert model.peak_watts() == pytest.approx(13.0, abs=0.01)
+
+    def test_four_actuator_peak_is_34_watts(self):
+        spec = dataclasses.replace(BARRACUDA_ES, actuators=4)
+        model = DrivePowerModel.from_spec(spec)
+        assert model.peak_watts() == pytest.approx(34.0, abs=0.01)
+
+    @pytest.mark.parametrize(
+        "spec,tolerance",
+        [
+            (IBM_3380_AK4, 0.10),
+            (FUJITSU_M2361A, 0.10),
+            (CONNERS_CP3100, 0.10),
+        ],
+    )
+    def test_historic_drives_match_published_power(self, spec, tolerance):
+        model = DrivePowerModel.from_spec(spec)
+        assert model.peak_watts() == pytest.approx(
+            spec.reference_power_watts, rel=tolerance
+        )
+
+    def test_all_catalog_drives_have_positive_power(self):
+        for spec in SPEC_CATALOG.values():
+            model = DrivePowerModel.from_spec(spec)
+            assert model.spm_watts > 0
+            assert model.vcm_watts > 0
+
+
+class TestScalingLaws:
+    def test_diameter_follows_published_exponent(self):
+        small = DrivePowerModel.from_spec(BARRACUDA_ES)
+        big = DrivePowerModel.from_spec(
+            dataclasses.replace(BARRACUDA_ES, diameter_inches=7.4)
+        )
+        assert big.spm_watts / small.spm_watts == pytest.approx(
+            2 ** SPM_DIAMETER_EXPONENT, rel=1e-6
+        )
+
+    def test_rpm_near_cubic(self):
+        base = DrivePowerModel.from_spec(BARRACUDA_ES)
+        fast = DrivePowerModel.from_spec(BARRACUDA_ES.with_rpm(14400))
+        assert fast.spm_watts / base.spm_watts == pytest.approx(
+            2 ** SPM_RPM_EXPONENT, rel=1e-6
+        )
+
+    def test_linear_in_platters(self):
+        base = DrivePowerModel.from_spec(BARRACUDA_ES)
+        double = DrivePowerModel.from_spec(
+            dataclasses.replace(BARRACUDA_ES, platters=8)
+        )
+        assert double.spm_watts == pytest.approx(2 * base.spm_watts)
+
+    def test_lower_rpm_saves_power(self):
+        base = DrivePowerModel.from_spec(BARRACUDA_ES)
+        slow = DrivePowerModel.from_spec(BARRACUDA_ES.with_rpm(4200))
+        assert slow.idle_watts < base.idle_watts
+
+
+class TestModePowers:
+    @pytest.fixture
+    def model(self):
+        return DrivePowerModel.from_spec(BARRACUDA_ES)
+
+    def test_idle_excludes_vcm(self, model):
+        assert model.idle_watts == pytest.approx(
+            model.spm_watts + model.electronics_watts
+        )
+
+    def test_rotational_equals_idle(self, model):
+        # Arms are stationary during rotational waits (paper §7.2).
+        assert model.rotational_watts == model.idle_watts
+
+    def test_seek_adds_vcm_per_active_assembly(self, model):
+        assert model.seek_watts(1) == pytest.approx(
+            model.idle_watts + model.vcm_watts
+        )
+        assert model.seek_watts(3) == pytest.approx(
+            model.idle_watts + 3 * model.vcm_watts
+        )
+
+    def test_seek_zero_vcms_is_idle(self, model):
+        assert model.seek_watts(0) == model.idle_watts
+
+    def test_negative_vcms_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.seek_watts(-1)
+
+    def test_transfer_adds_channel_power(self, model):
+        assert model.transfer_watts > model.idle_watts
+
+    def test_peak_defaults_to_all_actuators(self):
+        spec = dataclasses.replace(BARRACUDA_ES, actuators=2)
+        model = DrivePowerModel.from_spec(spec)
+        assert model.peak_watts() == pytest.approx(model.seek_watts(2))

@@ -1,0 +1,72 @@
+"""Tests for the thermal-envelope analysis."""
+
+import dataclasses
+
+import pytest
+
+from repro.disk.specs import BARRACUDA_ES
+from repro.power.thermal import (
+    CONVENTIONAL_35IN_ENVELOPE,
+    ThermalEnvelope,
+    check_design,
+)
+
+
+def sa(n):
+    return dataclasses.replace(BARRACUDA_ES, actuators=n)
+
+
+class TestEnvelope:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThermalEnvelope("bad", 0.0)
+
+    def test_admits(self):
+        envelope = ThermalEnvelope("x", 10.0)
+        assert envelope.admits(10.0)
+        assert not envelope.admits(10.1)
+
+
+class TestCheckDesign:
+    def test_conventional_fits(self):
+        check = check_design(BARRACUDA_ES)
+        assert check.fits
+        assert check.operating_peak_watts == pytest.approx(13.0, abs=0.01)
+
+    def test_sa4_single_arm_policy_fits_conventional_envelope(self):
+        """The paper's §7.2 argument: with only one VCM active at a
+        time, SA(4)'s operating peak equals the conventional drive's,
+        even though its hardware worst case is 34 W."""
+        check = check_design(sa(4), max_concurrent_vcms=1)
+        assert check.fits
+        assert check.operating_peak_watts == pytest.approx(13.0, abs=0.01)
+        assert check.hardware_peak_watts == pytest.approx(34.0, abs=0.01)
+
+    def test_ma_policy_exceeds_conventional_envelope(self):
+        check = check_design(sa(4), max_concurrent_vcms=4)
+        assert not check.fits
+        assert check.operating_peak_watts == pytest.approx(34.0, abs=0.01)
+
+    def test_admissible_vcms_derived_from_headroom(self):
+        # 15 W budget, 6 W base, 7 W per VCM → exactly 1 VCM fits.
+        check = check_design(sa(4), max_concurrent_vcms=1)
+        assert check.max_admissible_vcms == 1
+
+    def test_generous_envelope_admits_more(self):
+        roomy = ThermalEnvelope("roomy", 40.0)
+        check = check_design(sa(4), max_concurrent_vcms=4, envelope=roomy)
+        assert check.fits
+        assert check.max_admissible_vcms == 4
+
+    def test_policy_bounded_by_hardware(self):
+        with pytest.raises(ValueError, match="only"):
+            check_design(sa(2), max_concurrent_vcms=3)
+
+    def test_negative_policy_rejected(self):
+        with pytest.raises(ValueError):
+            check_design(BARRACUDA_ES, max_concurrent_vcms=-1)
+
+    def test_summary_text(self):
+        text = check_design(sa(4)).summary()
+        assert "fits" in text
+        assert CONVENTIONAL_35IN_ENVELOPE.name in text

@@ -1,0 +1,139 @@
+"""Tests for the array controller."""
+
+import pytest
+
+from repro.disk.drive import ConventionalDrive
+from repro.disk.request import IORequest
+from repro.disk.scheduler import FCFSScheduler
+from repro.raid.array import DiskArray
+from repro.raid.layout import JBODLayout, Raid0Layout, Raid5Layout
+from repro.sim.engine import Environment
+
+
+def build_array(tiny_spec, disks=2, layout_cls=Raid0Layout, **layout_kwargs):
+    env = Environment()
+    members = [
+        ConventionalDrive(env, tiny_spec, scheduler=FCFSScheduler())
+        for _ in range(disks)
+    ]
+    capacity = members[0].geometry.total_sectors
+    if layout_cls is JBODLayout:
+        layout = JBODLayout([capacity] * disks)
+    else:
+        layout = layout_cls(disks, capacity, **layout_kwargs)
+    return env, DiskArray(env, members, layout)
+
+
+class TestConstruction:
+    def test_layout_disk_count_must_match(self, tiny_spec):
+        env = Environment()
+        drive = ConventionalDrive(env, tiny_spec)
+        with pytest.raises(ValueError):
+            DiskArray(env, [drive], Raid0Layout(2, 1000))
+
+    def test_requires_drives(self, tiny_spec):
+        env = Environment()
+        with pytest.raises(ValueError):
+            DiskArray(env, [], Raid0Layout(1, 1000))
+
+
+class TestCompletion:
+    def test_logical_request_completes_after_all_slices(self, tiny_spec):
+        env, array = build_array(tiny_spec, disks=2, stripe_unit=16)
+        # Spans the stripe boundary → two slices on two disks.
+        request = IORequest(lba=8, size=16, is_read=True)
+        event = array.submit(request)
+        env.run()
+        assert event.value is request
+        assert request.completion_time is not None
+        assert array.requests_completed == 1
+
+    def test_on_complete_fires_for_logical_request(self, tiny_spec):
+        env, array = build_array(tiny_spec, disks=2)
+        seen = []
+        array.on_complete.append(seen.append)
+        request = IORequest(lba=0, size=8, is_read=True)
+        array.submit(request)
+        env.run()
+        assert seen == [request]
+
+    def test_response_reflects_critical_path(self, tiny_spec):
+        env, array = build_array(tiny_spec, disks=2, stripe_unit=16)
+        request = IORequest(lba=8, size=16, is_read=False)
+        array.submit(request)
+        env.run()
+        # Both member drives serviced something.
+        for drive in array.drives:
+            assert drive.stats.requests_completed == 1
+        assert request.response_time > 0
+
+    def test_outstanding_tracks_inflight(self, tiny_spec):
+        env, array = build_array(tiny_spec, disks=2)
+        array.submit(IORequest(lba=0, size=8, is_read=True))
+        assert array.outstanding == 1
+        env.run()
+        assert array.outstanding == 0
+
+
+class TestJbodRouting:
+    def test_source_disk_routing(self, tiny_spec):
+        env, array = build_array(tiny_spec, disks=3, layout_cls=JBODLayout)
+        request = IORequest(lba=100, size=8, is_read=True, source_disk=2)
+        array.submit(request)
+        env.run()
+        assert array.drives[2].stats.requests_completed == 1
+        assert array.drives[0].stats.requests_completed == 0
+
+
+class TestRaid5Writes:
+    def test_write_touches_data_and_parity_disks(self, tiny_spec):
+        env = Environment()
+        members = [
+            ConventionalDrive(env, tiny_spec, scheduler=FCFSScheduler())
+            for _ in range(4)
+        ]
+        layout = Raid5Layout(
+            4, members[0].geometry.total_sectors, stripe_unit=16
+        )
+        array = DiskArray(env, members, layout)
+        request = IORequest(lba=0, size=16, is_read=False)
+        array.submit(request)
+        env.run()
+        # RMW: data disk sees read+write, parity disk sees read+write.
+        touched = [
+            drive.stats.requests_completed for drive in array.drives
+        ]
+        assert sorted(touched, reverse=True)[:2] == [2, 2]
+        assert sum(touched) == 4
+
+    def test_read_touches_single_disk(self, tiny_spec):
+        env = Environment()
+        members = [
+            ConventionalDrive(env, tiny_spec, scheduler=FCFSScheduler())
+            for _ in range(4)
+        ]
+        layout = Raid5Layout(
+            4, members[0].geometry.total_sectors, stripe_unit=16
+        )
+        array = DiskArray(env, members, layout)
+        array.submit(IORequest(lba=0, size=8, is_read=True))
+        env.run()
+        assert (
+            sum(d.stats.requests_completed for d in array.drives) == 1
+        )
+
+
+class TestAggregates:
+    def test_stats_by_drive_shape(self, tiny_spec):
+        env, array = build_array(tiny_spec, disks=2)
+        array.submit(IORequest(lba=0, size=8, is_read=False))
+        env.run()
+        stats = array.stats_by_drive()
+        assert len(stats) == 2
+        assert {"label", "requests", "seek_ms"} <= set(stats[0])
+
+    def test_total_sectors_transferred(self, tiny_spec):
+        env, array = build_array(tiny_spec, disks=2, stripe_unit=16)
+        array.submit(IORequest(lba=8, size=16, is_read=False))
+        env.run()
+        assert array.total_sectors_transferred() == 16

@@ -1,0 +1,207 @@
+"""Tests for RAID-5 degraded mode and rebuild."""
+
+import pytest
+
+from repro.disk.drive import ConventionalDrive
+from repro.disk.request import IORequest
+from repro.disk.scheduler import FCFSScheduler
+from repro.raid.array import DiskArray
+from repro.raid.layout import Raid5Layout, Slice, degraded_raid5_map
+from repro.sim.engine import Environment
+
+
+@pytest.fixture
+def layout():
+    return Raid5Layout(4, 1000, stripe_unit=10)
+
+
+class TestDegradedMapping:
+    def test_read_of_failed_disk_fans_out(self, layout):
+        # Find a unit on disk 2.
+        for unit in range(12):
+            disk, row, parity = layout._locate(unit)
+            if disk == 2:
+                break
+        slices = degraded_raid5_map(
+            layout, unit * 10, 10, True, failed_disk=2
+        )
+        assert len(slices) == 3  # every survivor
+        assert all(s.is_read for s in slices)
+        assert 2 not in {s.disk for s in slices}
+
+    def test_read_of_healthy_disk_unchanged(self, layout):
+        for unit in range(12):
+            disk, _, _ = layout._locate(unit)
+            if disk != 3:
+                break
+        normal = layout.map_request(unit * 10, 10, True)
+        degraded = degraded_raid5_map(
+            layout, unit * 10, 10, True, failed_disk=3
+        )
+        assert degraded == normal
+
+    def test_write_to_failed_disk_reconstruct_writes(self, layout):
+        for unit in range(12):
+            disk, _, parity = layout._locate(unit)
+            if disk == 1:
+                break
+        slices = degraded_raid5_map(
+            layout, unit * 10, 10, False, failed_disk=1
+        )
+        reads = [s for s in slices if s.is_read]
+        writes = [s for s in slices if not s.is_read]
+        assert len(writes) == 1 and writes[0].disk == parity
+        assert 1 not in {s.disk for s in slices}
+        assert all(s.phase == 0 for s in reads)
+        assert writes[0].phase == 1
+
+    def test_write_with_failed_parity_is_plain_write(self, layout):
+        for unit in range(12):
+            disk, _, parity = layout._locate(unit)
+            if parity == 0 and disk != 0:
+                break
+        slices = degraded_raid5_map(
+            layout, unit * 10, 10, False, failed_disk=0
+        )
+        assert slices == [
+            Slice(disk, (unit // layout.data_disks) * 10, 10, False)
+        ]
+
+    def test_failed_disk_validated(self, layout):
+        with pytest.raises(ValueError):
+            degraded_raid5_map(layout, 0, 10, True, failed_disk=9)
+
+    def test_no_slice_ever_touches_failed_disk(self, layout):
+        for failed in range(4):
+            for unit in range(24):
+                for is_read in (True, False):
+                    slices = degraded_raid5_map(
+                        layout, unit * 10, 10, is_read, failed
+                    )
+                    assert failed not in {s.disk for s in slices}
+
+
+def build_array(tiny_spec, disks=4, unit=64):
+    env = Environment()
+    members = [
+        ConventionalDrive(env, tiny_spec, scheduler=FCFSScheduler())
+        for _ in range(disks)
+    ]
+    layout = Raid5Layout(disks, 50_000, stripe_unit=unit)
+    return env, DiskArray(env, members, layout)
+
+
+class TestDegradedArray:
+    def test_reads_complete_after_failure(self, tiny_spec):
+        env, array = build_array(tiny_spec)
+        array.fail_drive(1)
+        done = []
+        array.on_complete.append(done.append)
+        for index in range(6):
+            array.submit(
+                IORequest(lba=index * 64, size=16, is_read=True,
+                          arrival_time=0.0)
+            )
+        env.run()
+        assert len(done) == 6
+        assert array.drives[1].stats.requests_completed == 0
+
+    def test_degraded_reads_slower(self, tiny_spec):
+        def mean_response(fail):
+            env, array = build_array(tiny_spec)
+            if fail:
+                array.fail_drive(0)
+            done = []
+            array.on_complete.append(done.append)
+            for index in range(12):
+                array.submit(
+                    IORequest(lba=index * 64, size=64, is_read=True,
+                              arrival_time=0.0)
+                )
+            env.run()
+            return sum(r.response_time for r in done) / len(done)
+
+        assert mean_response(True) > mean_response(False)
+
+    def test_second_failure_rejected(self, tiny_spec):
+        env, array = build_array(tiny_spec)
+        array.fail_drive(0)
+        with pytest.raises(RuntimeError, match="second failure"):
+            array.fail_drive(1)
+
+    def test_failure_on_non_redundant_layout_blocks_io(self, tiny_spec):
+        from repro.raid.layout import Raid0Layout
+
+        env = Environment()
+        members = [ConventionalDrive(env, tiny_spec) for _ in range(2)]
+        array = DiskArray(
+            env, members, Raid0Layout(2, 50_000, stripe_unit=64)
+        )
+        array.fail_drive(0)
+        with pytest.raises(RuntimeError, match="no redundancy"):
+            array.submit(IORequest(lba=0, size=8, is_read=True))
+
+    def test_index_validated(self, tiny_spec):
+        env, array = build_array(tiny_spec)
+        with pytest.raises(ValueError):
+            array.fail_drive(9)
+
+
+class TestRebuild:
+    def test_rebuild_restores_the_array(self, tiny_spec):
+        env, array = build_array(tiny_spec, unit=2048)
+        array.fail_drive(2)
+        replacement = ConventionalDrive(
+            env, tiny_spec, scheduler=FCFSScheduler()
+        )
+        process = array.rebuild(replacement)
+
+        def wait():
+            yield process
+
+        env.process(wait())
+        env.run()
+        assert array.failed_disk is None
+        assert array.drives[2] is replacement
+        assert array.rebuild_progress == pytest.approx(1.0)
+        # Replacement received one write per stripe row.
+        rows = array.layout.disk_capacity // array.layout.stripe_unit
+        assert replacement.stats.requests_completed == rows
+
+    def test_array_serves_normally_after_rebuild(self, tiny_spec):
+        env, array = build_array(tiny_spec, unit=2048)
+        array.fail_drive(0)
+        replacement = ConventionalDrive(
+            env, tiny_spec, scheduler=FCFSScheduler()
+        )
+        process = array.rebuild(replacement)
+
+        def then_read():
+            yield process
+            done = array.submit(
+                IORequest(lba=0, size=8, is_read=True,
+                          arrival_time=env.now)
+            )
+            yield done
+
+        env.process(then_read())
+        env.run()
+        assert array.requests_completed == 1
+
+    def test_rebuild_requires_failure(self, tiny_spec):
+        env, array = build_array(tiny_spec)
+        replacement = ConventionalDrive(env, tiny_spec)
+        with pytest.raises(RuntimeError, match="no failed drive"):
+            array.rebuild(replacement)
+
+    def test_rebuild_requires_raid5(self, tiny_spec):
+        from repro.raid.layout import Raid0Layout
+
+        env = Environment()
+        members = [ConventionalDrive(env, tiny_spec) for _ in range(2)]
+        array = DiskArray(
+            env, members, Raid0Layout(2, 50_000, stripe_unit=64)
+        )
+        array._failed_disk = 0  # force the state
+        with pytest.raises(RuntimeError, match="RAID-5"):
+            array.rebuild(ConventionalDrive(env, tiny_spec))

@@ -1,0 +1,106 @@
+"""Tests for the RAID-1 and RAID-10 layouts."""
+
+import pytest
+
+from repro.raid.layout import Raid1Layout, Raid10Layout, Slice
+
+
+class TestRaid1:
+    def test_needs_two_disks(self):
+        with pytest.raises(ValueError):
+            Raid1Layout(1, 1000)
+
+    def test_capacity_is_one_replica(self):
+        assert Raid1Layout(3, 1000).capacity_sectors() == 1000
+
+    def test_writes_fan_out_to_all_replicas(self):
+        layout = Raid1Layout(3, 1000)
+        slices = layout.map_request(10, 8, False)
+        assert len(slices) == 3
+        assert {s.disk for s in slices} == {0, 1, 2}
+        assert all(s.lba == 10 and not s.is_read for s in slices)
+
+    def test_reads_round_robin(self):
+        layout = Raid1Layout(2, 1000)
+        disks = [layout.map_request(0, 8, True)[0].disk for _ in range(4)]
+        assert disks == [0, 1, 0, 1]
+
+    def test_bounds(self):
+        layout = Raid1Layout(2, 100)
+        with pytest.raises(ValueError):
+            layout.map_request(96, 8, True)
+
+
+class TestRaid10:
+    def test_needs_even_count_of_four_plus(self):
+        with pytest.raises(ValueError):
+            Raid10Layout(3, 1000)
+        with pytest.raises(ValueError):
+            Raid10Layout(2, 1000)
+
+    def test_capacity_is_half_the_disks(self):
+        layout = Raid10Layout(4, 1000, stripe_unit=10)
+        assert layout.capacity_sectors() == 2 * 1000
+
+    def test_writes_hit_both_sides_of_a_pair(self):
+        layout = Raid10Layout(4, 1000, stripe_unit=10)
+        slices = layout.map_request(0, 10, False)
+        assert {s.disk for s in slices} == {0, 1}
+
+    def test_striping_across_pairs(self):
+        layout = Raid10Layout(4, 1000, stripe_unit=10)
+        first = layout.map_request(0, 10, False)
+        second = layout.map_request(10, 10, False)
+        assert {s.disk for s in first} == {0, 1}
+        assert {s.disk for s in second} == {2, 3}
+
+    def test_reads_alternate_mirror_sides(self):
+        layout = Raid10Layout(4, 1000, stripe_unit=10)
+        sides = [
+            layout.map_request(0, 10, True)[0].disk for _ in range(4)
+        ]
+        assert sides == [0, 1, 0, 1]
+
+    def test_write_spanning_stripe_boundary(self):
+        layout = Raid10Layout(4, 1000, stripe_unit=10)
+        slices = layout.map_request(5, 10, False)
+        # Two stripe units, each mirrored: 4 physical slices.
+        assert len(slices) == 4
+        assert sum(s.size for s in slices) == 20  # 2x the logical size
+
+
+class TestRaid1InArray:
+    def test_mirrored_writes_through_array(self, tiny_spec):
+        from repro.disk.drive import ConventionalDrive
+        from repro.disk.request import IORequest
+        from repro.raid.array import DiskArray
+        from repro.sim.engine import Environment
+
+        env = Environment()
+        drives = [ConventionalDrive(env, tiny_spec) for _ in range(2)]
+        layout = Raid1Layout(2, drives[0].geometry.total_sectors)
+        array = DiskArray(env, drives, layout)
+        array.submit(IORequest(lba=0, size=8, is_read=False))
+        env.run()
+        assert all(d.stats.requests_completed == 1 for d in drives)
+
+    def test_reads_balance_through_array(self, tiny_spec):
+        from repro.disk.drive import ConventionalDrive
+        from repro.disk.request import IORequest
+        from repro.raid.array import DiskArray
+        from repro.sim.engine import Environment
+
+        env = Environment()
+        drives = [ConventionalDrive(env, tiny_spec) for _ in range(2)]
+        layout = Raid1Layout(2, drives[0].geometry.total_sectors)
+        array = DiskArray(env, drives, layout)
+        for index in range(6):
+            array.submit(
+                IORequest(
+                    lba=index * 100_000, size=8, is_read=True,
+                    arrival_time=0.0,
+                )
+            )
+        env.run()
+        counts = [d.stats.requests_completed for d in drives]
+        assert counts == [3, 3]

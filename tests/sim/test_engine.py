@@ -1,0 +1,417 @@
+"""Tests for the discrete-event kernel: events, processes, conditions."""
+
+import pytest
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestEventLifecycle:
+    def test_new_event_is_pending(self, env):
+        event = env.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_succeed_sets_value(self, env):
+        event = env.event()
+        event.succeed(42)
+        assert event.triggered
+        assert event.ok
+        assert event.value == 42
+
+    def test_fail_sets_exception(self, env):
+        event = env.event()
+        error = ValueError("boom")
+        event.fail(error)
+        assert event.triggered
+        assert not event.ok
+        assert event.value is error
+
+    def test_double_succeed_raises(self, env):
+        event = env.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_requires_exception_instance(self, env):
+        event = env.event()
+        with pytest.raises(TypeError):
+            event.fail("not an exception")
+
+    def test_value_before_trigger_raises(self, env):
+        event = env.event()
+        with pytest.raises(SimulationError):
+            _ = event.value
+
+    def test_ok_before_trigger_raises(self, env):
+        event = env.event()
+        with pytest.raises(SimulationError):
+            _ = event.ok
+
+    def test_trigger_copies_state(self, env):
+        source = env.event()
+        source.succeed("payload")
+        target = env.event()
+        target.trigger(source)
+        assert target.triggered
+        assert target.value == "payload"
+
+
+class TestTimeout:
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1)
+
+    def test_timeout_advances_clock(self, env):
+        env.process(self._wait(env, 5.5))
+        env.run()
+        assert env.now == pytest.approx(5.5)
+
+    @staticmethod
+    def _wait(env, delay):
+        yield env.timeout(delay)
+
+    def test_timeout_value_passthrough(self, env):
+        result = []
+
+        def proc():
+            value = yield env.timeout(1, value="hello")
+            result.append(value)
+
+        env.process(proc())
+        env.run()
+        assert result == ["hello"]
+
+    def test_zero_delay_fires_at_current_time(self, env):
+        times = []
+
+        def proc():
+            yield env.timeout(0)
+            times.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert times == [0.0]
+
+
+class TestProcess:
+    def test_requires_generator(self, env):
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_sequential_timeouts_accumulate(self, env):
+        def proc():
+            yield env.timeout(3)
+            yield env.timeout(4)
+
+        env.process(proc())
+        env.run()
+        assert env.now == pytest.approx(7.0)
+
+    def test_return_value_becomes_event_value(self, env):
+        def inner():
+            yield env.timeout(1)
+            return "result"
+
+        def outer(sink):
+            value = yield env.process(inner())
+            sink.append(value)
+
+        sink = []
+        env.process(outer(sink))
+        env.run()
+        assert sink == ["result"]
+
+    def test_is_alive_transitions(self, env):
+        def proc():
+            yield env.timeout(10)
+
+        process = env.process(proc())
+        assert process.is_alive
+        env.run()
+        assert not process.is_alive
+
+    def test_two_processes_interleave(self, env):
+        log = []
+
+        def worker(name, delay):
+            yield env.timeout(delay)
+            log.append((name, env.now))
+            yield env.timeout(delay)
+            log.append((name, env.now))
+
+        env.process(worker("a", 2))
+        env.process(worker("b", 3))
+        env.run()
+        assert log == [("a", 2), ("b", 3), ("a", 4), ("b", 6)]
+
+    def test_exception_in_process_propagates(self, env):
+        def proc():
+            yield env.timeout(1)
+            raise RuntimeError("inner failure")
+
+        env.process(proc())
+        with pytest.raises(RuntimeError, match="inner failure"):
+            env.run()
+
+    def test_waiter_catches_failed_process(self, env):
+        def failing():
+            yield env.timeout(1)
+            raise ValueError("expected")
+
+        def waiter(sink):
+            try:
+                yield env.process(failing())
+            except ValueError as exc:
+                sink.append(str(exc))
+
+        sink = []
+        env.process(waiter(sink))
+        env.run()
+        assert sink == ["expected"]
+
+    def test_yield_non_event_fails_process(self, env):
+        def proc():
+            yield 42
+
+        env.process(proc())
+        with pytest.raises(SimulationError, match="non-event"):
+            env.run()
+
+    def test_wait_already_processed_event_continues(self, env):
+        event = env.event()
+        event.succeed("early")
+        sink = []
+
+        def late_waiter():
+            yield env.timeout(5)
+            value = yield event
+            sink.append((env.now, value))
+
+        env.process(late_waiter())
+        env.run()
+        assert sink == [(5.0, "early")]
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, env):
+        sink = []
+
+        def victim():
+            try:
+                yield env.timeout(100)
+            except Interrupt as interrupt:
+                sink.append((env.now, interrupt.cause))
+
+        def attacker(process):
+            yield env.timeout(3)
+            process.interrupt("stop now")
+
+        process = env.process(victim())
+        env.process(attacker(process))
+        env.run()
+        assert sink == [(3.0, "stop now")]
+
+    def test_interrupt_terminated_process_raises(self, env):
+        def quick():
+            yield env.timeout(1)
+
+        process = env.process(quick())
+        env.run()
+        with pytest.raises(SimulationError):
+            process.interrupt()
+
+    def test_interrupted_process_can_continue(self, env):
+        log = []
+
+        def victim():
+            try:
+                yield env.timeout(100)
+            except Interrupt:
+                pass
+            yield env.timeout(2)
+            log.append(env.now)
+
+        def attacker(process):
+            yield env.timeout(1)
+            process.interrupt()
+
+        process = env.process(victim())
+        env.process(attacker(process))
+        env.run()
+        assert log == [3.0]
+
+
+class TestRun:
+    def test_run_until_time_stops_clock(self, env):
+        def ticker():
+            while True:
+                yield env.timeout(1)
+
+        env.process(ticker())
+        env.run(until=10)
+        assert env.now == pytest.approx(10.0)
+
+    def test_run_until_event_returns_value(self, env):
+        def proc():
+            yield env.timeout(2)
+            return "done"
+
+        process = env.process(proc())
+        assert env.run(until=process) == "done"
+
+    def test_run_until_past_time_rejected(self, env):
+        env.process(iter_timeout(env, 5))
+        env.run()
+        with pytest.raises(ValueError):
+            env.run(until=1)
+
+    def test_run_until_never_triggered_event_raises(self, env):
+        event = env.event()
+        with pytest.raises(SimulationError, match="never"):
+            env.run(until=event)
+
+    def test_run_empty_schedule_returns_none(self, env):
+        assert env.run() is None
+
+    def test_peek_empty_is_inf(self, env):
+        assert env.peek() == float("inf")
+
+    def test_peek_shows_next_event_time(self, env):
+        env.timeout(7)
+        assert env.peek() == pytest.approx(7.0)
+
+    def test_same_time_events_fire_in_schedule_order(self, env):
+        order = []
+
+        def proc(tag):
+            yield env.timeout(5)
+            order.append(tag)
+
+        for tag in ("first", "second", "third"):
+            env.process(proc(tag))
+        env.run()
+        assert order == ["first", "second", "third"]
+
+
+def iter_timeout(env, delay):
+    yield env.timeout(delay)
+
+
+class TestConditions:
+    def test_all_of_waits_for_every_event(self, env):
+        sink = []
+
+        def proc():
+            result = yield env.all_of(
+                [env.timeout(1, value="a"), env.timeout(5, value="b")]
+            )
+            sink.append((env.now, sorted(result.todict().values())))
+
+        env.process(proc())
+        env.run()
+        assert sink == [(5.0, ["a", "b"])]
+
+    def test_any_of_fires_on_first(self, env):
+        sink = []
+
+        def proc():
+            yield env.any_of([env.timeout(4), env.timeout(1)])
+            sink.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert sink == [1.0]
+
+    def test_all_of_empty_triggers_immediately(self, env):
+        condition = AllOf(env, [])
+        assert condition.triggered
+
+    def test_condition_value_mapping(self, env):
+        timeout_a = env.timeout(1, value="a")
+        timeout_b = env.timeout(2, value="b")
+        sink = {}
+
+        def proc():
+            result = yield env.all_of([timeout_a, timeout_b])
+            sink["a"] = result[timeout_a]
+            sink["b"] = result[timeout_b]
+            sink["len"] = len(result)
+            sink["contains"] = timeout_a in result
+
+        env.process(proc())
+        env.run()
+        assert sink == {"a": "a", "b": "b", "len": 2, "contains": True}
+
+    def test_condition_value_missing_key_raises(self, env):
+        timeout_a = env.timeout(1)
+        other = env.timeout(2)
+        errors = []
+
+        def proc():
+            result = yield env.all_of([timeout_a])
+            try:
+                _ = result[other]
+            except KeyError:
+                errors.append("keyerror")
+
+        env.process(proc())
+        env.run()
+        assert errors == ["keyerror"]
+
+    def test_all_of_propagates_failure(self, env):
+        def failing():
+            yield env.timeout(1)
+            raise RuntimeError("child failed")
+
+        def waiter(sink):
+            try:
+                yield env.all_of(
+                    [env.process(failing()), env.timeout(10)]
+                )
+            except RuntimeError as exc:
+                sink.append(str(exc))
+
+        sink = []
+        env.process(waiter(sink))
+        env.run()
+        assert sink == ["child failed"]
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def run_once():
+            env = Environment()
+            log = []
+
+            def worker(tag, delay):
+                for _ in range(5):
+                    yield env.timeout(delay)
+                    log.append((tag, env.now))
+
+            env.process(worker("x", 1.5))
+            env.process(worker("y", 2.0))
+            env.run()
+            return log
+
+        assert run_once() == run_once()
+
+    def test_initial_time_respected(self):
+        env = Environment(initial_time=100.0)
+        assert env.now == 100.0
+        env.process(iter_timeout(env, 5))
+        env.run()
+        assert env.now == pytest.approx(105.0)

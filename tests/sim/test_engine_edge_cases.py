@@ -1,0 +1,180 @@
+"""Edge-case tests for the event kernel beyond the core semantics."""
+
+import pytest
+
+from repro.sim.engine import (
+    AnyOf,
+    Environment,
+    Event,
+    SimulationError,
+)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestEventTriggerCopy:
+    def test_trigger_copies_failure(self, env):
+        source = env.event()
+        error = RuntimeError("copied")
+        source.fail(error)
+        source.defused = True
+        target = env.event()
+        target.trigger(source)
+        target.defused = True
+        assert not target.ok
+        assert target.value is error
+        env.run()
+
+    def test_trigger_on_triggered_event_rejected(self, env):
+        target = env.event()
+        target.succeed()
+        source = env.event()
+        source.succeed()
+        with pytest.raises(SimulationError):
+            target.trigger(source)
+
+
+class TestUnhandledFailures:
+    def test_unwaited_failed_event_crashes_run(self, env):
+        event = env.event()
+        event.fail(ValueError("nobody caught me"))
+        with pytest.raises(ValueError, match="nobody caught me"):
+            env.run()
+
+    def test_defused_failure_does_not_crash(self, env):
+        event = env.event()
+        event.fail(ValueError("handled elsewhere"))
+        event.defused = True
+        env.run()  # no exception
+
+    def test_failure_after_successful_waiter_handling(self, env):
+        log = []
+
+        def failing():
+            yield env.timeout(1)
+            raise KeyError("inner")
+
+        def guard():
+            try:
+                yield env.process(failing())
+            except KeyError:
+                log.append("caught")
+
+        env.process(guard())
+        env.run()
+        assert log == ["caught"]
+
+
+class TestAnyOfSemantics:
+    def test_anyof_result_contains_only_triggered(self, env):
+        fast = env.timeout(1, value="fast")
+        slow = env.timeout(100, value="slow")
+        sink = {}
+
+        def proc():
+            result = yield AnyOf(env, [fast, slow])
+            sink["len"] = len(result)
+            sink["has_fast"] = fast in result
+            sink["has_slow"] = slow in result
+
+        env.process(proc())
+        env.run(until=50)
+        assert sink == {"len": 1, "has_fast": True, "has_slow": False}
+
+    def test_anyof_with_already_processed_event(self, env):
+        early = env.timeout(0, value="early")
+        env.run(until=1)  # process the timeout
+        sink = []
+
+        def proc():
+            result = yield AnyOf(env, [early, env.timeout(100)])
+            sink.append(result[early])
+
+        env.process(proc())
+        env.run(until=5)
+        assert sink == ["early"]
+
+    def test_mixed_environment_events_rejected(self, env):
+        other = Environment()
+        with pytest.raises(SimulationError, match="different environments"):
+            AnyOf(env, [env.timeout(1), other.timeout(1)])
+
+
+class TestClockDiscipline:
+    def test_run_until_exact_boundary_event(self, env):
+        fired = []
+
+        def proc():
+            yield env.timeout(10)
+            fired.append(env.now)
+
+        env.process(proc())
+        env.run(until=10)
+        # The stop marker is urgent: the clock stops *at* 10 before
+        # normal events scheduled for 10 run.
+        assert env.now == 10
+        assert fired == []
+        env.run()
+        assert fired == [10.0]
+
+    def test_many_simultaneous_timeouts_fire_fifo(self, env):
+        order = []
+        for tag in range(50):
+            def make(tag=tag):
+                yield env.timeout(5)
+                order.append(tag)
+
+            env.process(make())
+        env.run()
+        assert order == list(range(50))
+
+    def test_event_ids_monotone_under_interleaving(self, env):
+        # Exercise the heap tiebreaker: equal times, mixed priorities.
+        values = []
+
+        def waiter(event, tag):
+            yield event
+            values.append(tag)
+
+        events = [env.event() for _ in range(5)]
+        for index, event in enumerate(events):
+            env.process(waiter(event, index))
+        for event in reversed(events):
+            event.succeed()
+        env.run()
+        # Succeed order (reversed) dictates callback order.
+        assert values == [4, 3, 2, 1, 0]
+
+
+class TestProcessTarget:
+    def test_target_exposed_while_waiting(self, env):
+        timeout = env.timeout(10)
+
+        def proc():
+            yield timeout
+
+        process = env.process(proc())
+        env.run(until=1)
+        assert process.target is timeout
+
+    def test_interrupt_detaches_from_target(self, env):
+        log = []
+
+        def victim():
+            try:
+                yield env.timeout(100)
+            except BaseException as exc:  # Interrupt
+                log.append(type(exc).__name__)
+
+        def attacker(process):
+            yield env.timeout(1)
+            process.interrupt()
+
+        process = env.process(victim())
+        env.process(attacker(process))
+        env.run()
+        assert log == ["Interrupt"]
+        assert not process.is_alive

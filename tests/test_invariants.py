@@ -1,0 +1,217 @@
+"""Property-based, end-to-end invariants of the storage models.
+
+Hypothesis generates arbitrary request mixes; whatever the workload,
+the following must hold:
+
+* conservation — every submitted request completes exactly once;
+* causality — completion ≥ start ≥ arrival for every request;
+* accounting — per-mode busy time never exceeds wall-clock time on
+  serialised drives, and sectors transferred match the media requests;
+* arm sanity — multi-actuator drives only use configured, healthy
+  arms.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.parallel_disk import ParallelDisk
+from repro.core.taxonomy import DashConfig
+from repro.disk.drive import ConventionalDrive
+from repro.disk.request import IORequest
+from repro.disk.scheduler import (
+    CLookScheduler,
+    FCFSScheduler,
+    SPTFScheduler,
+    SSTFScheduler,
+)
+from repro.disk.specs import DriveSpec
+from repro.raid.array import DiskArray
+from repro.raid.layout import Raid0Layout
+from repro.sim.engine import Environment
+
+SPEC = DriveSpec(
+    name="prop-test-drive",
+    capacity_bytes=200_000_000,
+    platters=2,
+    rpm=7200,
+    diameter_inches=3.7,
+    spt_outer=100,
+    spt_inner=60,
+    zones=3,
+    seek_track_to_track_ms=0.5,
+    seek_average_ms=5.0,
+    seek_full_stroke_ms=10.0,
+    cache_bytes=256 * 1024,
+    controller_overhead_ms=0.1,
+)
+
+CAPACITY = SPEC.capacity_sectors
+
+
+@st.composite
+def request_batches(draw):
+    count = draw(st.integers(min_value=1, max_value=40))
+    requests = []
+    clock = 0.0
+    for _ in range(count):
+        clock += draw(
+            st.floats(min_value=0.0, max_value=30.0, allow_nan=False)
+        )
+        size = draw(st.sampled_from([1, 8, 16, 64, 256]))
+        lba = draw(st.integers(min_value=0, max_value=CAPACITY - 300))
+        requests.append(
+            IORequest(
+                lba=lba,
+                size=size,
+                is_read=draw(st.booleans()),
+                arrival_time=clock,
+            )
+        )
+    return requests
+
+
+def replay(drive, requests):
+    env = drive.env
+    done = []
+    drive.on_complete.append(done.append)
+
+    def producer():
+        for request in requests:
+            delay = request.arrival_time - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            drive.submit(request)
+
+    env.process(producer())
+    env.run()
+    return done
+
+
+SCHEDULERS = [FCFSScheduler, SSTFScheduler, SPTFScheduler, CLookScheduler]
+
+
+class TestConventionalDriveInvariants:
+    @given(requests=request_batches(), scheduler_index=st.integers(0, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_conservation_and_causality(self, requests, scheduler_index):
+        env = Environment()
+        drive = ConventionalDrive(
+            env, SPEC, scheduler=SCHEDULERS[scheduler_index]()
+        )
+        done = replay(drive, [r.clone() for r in requests])
+
+        # Conservation: everything completes exactly once.
+        assert len(done) == len(requests)
+        assert len({r.request_id for r in done}) == len(done)
+        assert drive.outstanding == 0
+
+        for request in done:
+            # Causality.
+            assert request.start_service >= request.arrival_time - 1e-9
+            assert request.completion_time >= request.start_service
+            # Non-negative mechanics, rotation below one revolution.
+            assert request.seek_time >= 0
+            assert 0 <= request.rotational_latency < (
+                drive.spindle.period_ms + 1e-9
+            )
+
+        # Accounting: busy time within wall time; sectors conserved.
+        assert drive.stats.busy_ms <= env.now + 1e-6
+        media = [r for r in done if not r.cache_hit]
+        assert drive.stats.sectors_transferred == sum(
+            r.size for r in media
+        )
+        assert drive.stats.cache_hits == len(done) - len(media)
+
+    @given(requests=request_batches())
+    @settings(max_examples=30, deadline=None)
+    def test_head_stays_on_valid_cylinder(self, requests):
+        env = Environment()
+        drive = ConventionalDrive(env, SPEC, scheduler=FCFSScheduler())
+        replay(drive, [r.clone() for r in requests])
+        assert 0 <= drive.current_cylinder < drive.geometry.cylinders
+
+
+class TestParallelDiskInvariants:
+    @given(
+        requests=request_batches(),
+        actuators=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_arm_usage_and_conservation(self, requests, actuators):
+        env = Environment()
+        drive = ParallelDisk(
+            env,
+            SPEC,
+            config=DashConfig(arm_assemblies=actuators),
+            scheduler=FCFSScheduler(),
+        )
+        done = replay(drive, [r.clone() for r in requests])
+        assert len(done) == len(requests)
+        for request in done:
+            assert 0 <= request.arm_id < actuators
+        # Per-arm counters agree with the requests serviced on media.
+        media = [r for r in done if not r.cache_hit]
+        assert sum(arm.requests_serviced for arm in drive.arms) == len(
+            media
+        )
+
+    @given(requests=request_batches())
+    @settings(max_examples=20, deadline=None)
+    def test_parallel_never_slower_than_triple_single(self, requests):
+        """Sanity bound: SA(4) ends no later than 1.2x the SA(1) run
+        (usually much earlier; the margin covers tiny workloads where
+        pre-positioning overlaps oddly with the final request)."""
+
+        def makespan(actuators):
+            env = Environment()
+            drive = ParallelDisk(
+                env,
+                SPEC,
+                config=DashConfig(arm_assemblies=actuators),
+                scheduler=FCFSScheduler(),
+            )
+            replay(drive, [r.clone() for r in requests])
+            return env.now
+
+        assert makespan(4) <= makespan(1) * 1.2 + 1.0
+
+
+class TestArrayInvariants:
+    @given(
+        requests=request_batches(),
+        disks=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_raid0_conservation(self, requests, disks):
+        env = Environment()
+        drives = [
+            ConventionalDrive(env, SPEC, scheduler=FCFSScheduler())
+            for _ in range(disks)
+        ]
+        layout = Raid0Layout(
+            disks, drives[0].geometry.total_sectors, stripe_unit=64
+        )
+        array = DiskArray(env, drives, layout)
+        done = []
+        array.on_complete.append(done.append)
+
+        def producer():
+            for request in requests:
+                delay = request.arrival_time - env.now
+                if delay > 0:
+                    yield env.timeout(delay)
+                array.submit(request.clone())
+
+        env.process(producer())
+        env.run()
+        assert len(done) == len(requests)
+        assert array.outstanding == 0
+        # Physical sectors moved match logical sectors requested
+        # (minus per-drive cache hits, which move no media sectors).
+        media_sectors = array.total_sectors_transferred()
+        cache_hits = sum(d.stats.cache_hits for d in drives)
+        if cache_hits == 0:
+            assert media_sectors == sum(r.size for r in requests)
+        else:
+            assert media_sectors <= sum(r.size for r in requests)

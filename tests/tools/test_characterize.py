@@ -1,0 +1,103 @@
+"""Tests for black-box drive characterisation.
+
+The probes must recover the parameters of the spec that generated the
+drive — closing the loop between model and measurement.
+"""
+
+import pytest
+
+from repro.disk.drive import ConventionalDrive
+from repro.disk.scheduler import FCFSScheduler
+from repro.sim.engine import Environment
+from repro.tools.characterize import (
+    characterize_drive,
+    estimate_rotation_period_ms,
+    estimate_seek_curve,
+    estimate_zone_bandwidth,
+)
+
+
+def fresh(tiny_spec):
+    env = Environment()
+    return ConventionalDrive(env, tiny_spec, scheduler=FCFSScheduler())
+
+
+class TestRotationPeriod:
+    def test_recovers_period(self, tiny_spec):
+        period = estimate_rotation_period_ms(fresh(tiny_spec))
+        true_period = 60000.0 / tiny_spec.rpm
+        assert period == pytest.approx(true_period, rel=0.02)
+
+    def test_probe_count_validated(self, tiny_spec):
+        with pytest.raises(ValueError):
+            estimate_rotation_period_ms(fresh(tiny_spec), probes=1)
+
+
+class TestSeekCurve:
+    def test_recovers_published_anchors(self, tiny_spec):
+        drive = fresh(tiny_spec)
+        cylinders = drive.geometry.cylinders
+        third = max(2, cylinders // 3)
+        curve = estimate_seek_curve(drive, [1, third], trials=16)
+        # Track-to-track and average seek within the rotational-floor
+        # bias of the min-over-trials method (~period/(trials+1)),
+        # padded for sampling noise.
+        floor = 3.0 * drive.spindle.period_ms / 17
+        assert curve[1] <= tiny_spec.seek_track_to_track_ms + floor
+        assert curve[third] == pytest.approx(
+            tiny_spec.seek_average_ms, abs=floor + 0.3
+        )
+
+    def test_monotone_in_distance(self, tiny_spec):
+        drive = fresh(tiny_spec)
+        cylinders = drive.geometry.cylinders
+        curve = estimate_seek_curve(
+            drive, [cylinders // 16, cylinders // 2], trials=8
+        )
+        distances = sorted(curve)
+        assert curve[distances[0]] < curve[distances[1]] + 0.3
+
+    def test_distance_bounds_validated(self, tiny_spec):
+        drive = fresh(tiny_spec)
+        with pytest.raises(ValueError):
+            estimate_seek_curve(drive, [0])
+        with pytest.raises(ValueError):
+            estimate_seek_curve(
+                drive, [drive.geometry.cylinders * 2]
+            )
+
+    def test_trials_validated(self, tiny_spec):
+        with pytest.raises(ValueError):
+            estimate_seek_curve(fresh(tiny_spec), [10], trials=1)
+
+
+class TestZoneBandwidth:
+    def test_outer_zone_faster(self, tiny_spec):
+        rates = estimate_zone_bandwidth(fresh(tiny_spec))
+        assert rates[0.05] > rates[0.95]
+
+    def test_rates_match_geometry(self, tiny_spec):
+        drive = fresh(tiny_spec)
+        rates = estimate_zone_bandwidth(drive, positions=(0.05,))
+        spt = drive.geometry.zones[0].sectors_per_track
+        expected = spt * 512 * (tiny_spec.rpm / 60.0) / 1e6
+        # Track-switch overheads make the streamed rate a bit lower.
+        assert rates[0.05] == pytest.approx(expected, rel=0.2)
+        assert rates[0.05] <= expected
+
+    def test_position_validated(self, tiny_spec):
+        with pytest.raises(ValueError):
+            estimate_zone_bandwidth(fresh(tiny_spec), positions=(1.5,))
+
+
+class TestFullReport:
+    def test_characterize_drive_report(self, tiny_spec):
+        report = characterize_drive(tiny_spec)
+        assert report.rpm_estimate == pytest.approx(
+            tiny_spec.rpm, rel=0.03
+        )
+        assert len(report.seek_curve) == 4
+        assert len(report.zone_bandwidth_mb_s) == 3
+        text = report.summary()
+        assert "rotation period" in text
+        assert "MB/s" in text

@@ -1,0 +1,64 @@
+"""Tests for the M/G/1 analytic cross-validation."""
+
+import pytest
+
+from repro.tools.validate import (
+    mg1_mean_response_ms,
+    validate_against_mg1,
+)
+
+
+class TestFormula:
+    def test_md1_known_value(self):
+        # M/D/1: E[S]=1, E[S²]=1, λ=0.5 → R = 1 + 0.5/(2·0.5) = 1.5
+        assert mg1_mean_response_ms(0.5, 1.0, 1.0) == pytest.approx(1.5)
+
+    def test_mm1_known_value(self):
+        # M/M/1: E[S]=1, E[S²]=2, λ=0.5 → R = 1/(μ−λ) = 2
+        assert mg1_mean_response_ms(0.5, 1.0, 2.0) == pytest.approx(2.0)
+
+    def test_light_load_tends_to_service_time(self):
+        assert mg1_mean_response_ms(1e-6, 5.0, 30.0) == pytest.approx(
+            5.0, rel=1e-3
+        )
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError, match="unstable"):
+            mg1_mean_response_ms(1.0, 1.0, 1.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            mg1_mean_response_ms(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            mg1_mean_response_ms(0.5, 0.0, 1.0)
+
+    def test_waiting_grows_with_utilisation(self):
+        low = mg1_mean_response_ms(0.1, 1.0, 2.0)
+        high = mg1_mean_response_ms(0.9, 1.0, 2.0)
+        assert high > 3 * low
+
+
+class TestSimulatorAgreement:
+    @pytest.mark.parametrize("interarrival_ms", [40.0, 20.0])
+    def test_simulation_tracks_pk_prediction(
+        self, tiny_spec, interarrival_ms
+    ):
+        """At moderate utilisation the FCFS drive behaves like M/G/1
+        within a generous band (service times are weakly correlated
+        through head position, so exact agreement is not expected)."""
+        result = validate_against_mg1(
+            tiny_spec, interarrival_ms, requests=2500
+        )
+        assert result.utilisation < 0.8
+        assert result.relative_error < 0.30, (
+            f"predicted {result.predicted_mean_ms:.2f} ms, "
+            f"simulated {result.simulated_mean_ms:.2f} ms"
+        )
+
+    def test_report_fields(self, tiny_spec):
+        result = validate_against_mg1(tiny_spec, 50.0, requests=800)
+        assert result.service_mean_ms > 0
+        assert result.service_second_moment >= (
+            result.service_mean_ms ** 2
+        )
+        assert result.predicted_mean_ms >= result.service_mean_ms

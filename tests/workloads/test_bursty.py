@@ -1,0 +1,87 @@
+"""Tests for the bursty (on/off) workload generator."""
+
+import pytest
+
+from repro.workloads.analysis import profile_trace
+from repro.workloads.bursty import BurstyWorkload
+from repro.workloads.synthetic import SyntheticWorkload
+
+CAPACITY = 2_000_000
+
+
+def make(**kwargs):
+    defaults = dict(
+        capacity_sectors=CAPACITY,
+        burst_interarrival_ms=2.0,
+        mean_on_ms=200.0,
+        mean_off_ms=800.0,
+        seed=5,
+    )
+    defaults.update(kwargs)
+    return BurstyWorkload(**defaults)
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            make(burst_interarrival_ms=0)
+        with pytest.raises(ValueError):
+            make(mean_on_ms=0)
+        with pytest.raises(ValueError):
+            make(mean_off_ms=-1)
+        with pytest.raises(ValueError):
+            make(footprint_fraction=0)
+        with pytest.raises(ValueError):
+            BurstyWorkload(capacity_sectors=4)
+
+    def test_count_positive(self):
+        with pytest.raises(ValueError):
+            make().generate(0)
+
+
+class TestRates:
+    def test_mean_rate_formula(self):
+        workload = make()
+        # on fraction 0.2, within-burst rate 0.5/ms → 0.1/ms.
+        assert workload.mean_rate_per_ms == pytest.approx(0.1)
+        assert workload.effective_interarrival_ms == pytest.approx(10.0)
+
+    def test_empirical_rate_near_formula(self):
+        workload = make()
+        trace = workload.generate(8000)
+        assert trace.mean_interarrival_ms == pytest.approx(
+            workload.effective_interarrival_ms, rel=0.15
+        )
+
+    def test_pure_on_degenerates_to_poisson(self):
+        workload = make(mean_off_ms=0.0)
+        trace = workload.generate(5000)
+        assert trace.mean_interarrival_ms == pytest.approx(2.0, rel=0.1)
+
+
+class TestBurstiness:
+    def test_cv_far_above_poisson(self):
+        bursty = profile_trace(make().generate(6000))
+        poisson = profile_trace(
+            SyntheticWorkload(
+                CAPACITY, mean_interarrival_ms=10.0, seed=5
+            ).generate(6000)
+        )
+        assert poisson.interarrival_cv == pytest.approx(1.0, abs=0.1)
+        assert bursty.interarrival_cv > 2.0
+
+    def test_arrivals_monotone(self):
+        times = [r.arrival_time for r in make().generate(2000)]
+        assert times == sorted(times)
+
+    def test_deterministic(self):
+        a = make().generate(300)
+        b = make().generate(300)
+        assert [r.arrival_time for r in a] == [r.arrival_time for r in b]
+
+    def test_footprint_respected(self):
+        trace = make(footprint_fraction=0.1).generate(2000)
+        assert all(r.lba <= CAPACITY * 0.1 for r in trace)
+
+    def test_name_describes_shape(self):
+        assert "on200" in make().generate(10).name

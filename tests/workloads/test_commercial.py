@@ -1,0 +1,137 @@
+"""Tests for the commercial-workload models."""
+
+import pytest
+
+from repro.workloads.commercial import (
+    COMMERCIAL_WORKLOADS,
+    FINANCIAL,
+    TPCC,
+    TPCH,
+    WEBSEARCH,
+)
+
+
+class TestTable2Facts:
+    """The published facts of Table 2 must be encoded verbatim."""
+
+    @pytest.mark.parametrize(
+        "workload,requests,disks,capacity,rpm,platters",
+        [
+            (FINANCIAL, 5_334_945, 24, 19.07, 10000, 4),
+            (WEBSEARCH, 4_579_809, 6, 19.07, 10000, 4),
+            (TPCC, 6_155_547, 4, 37.17, 10000, 4),
+            (TPCH, 4_228_725, 15, 35.96, 7200, 6),
+        ],
+    )
+    def test_table2_row(
+        self, workload, requests, disks, capacity, rpm, platters
+    ):
+        assert workload.paper_requests == requests
+        assert workload.disks == disks
+        assert workload.disk_capacity_gb == capacity
+        assert workload.rpm == rpm
+        assert workload.platters == platters
+
+    def test_registry_order_matches_paper(self):
+        assert list(COMMERCIAL_WORKLOADS) == [
+            "financial",
+            "websearch",
+            "tpcc",
+            "tpch",
+        ]
+
+    def test_tpch_interarrival_from_paper(self):
+        assert TPCH.mean_interarrival_ms == pytest.approx(8.76)
+
+
+class TestCharacter:
+    def test_websearch_is_read_dominated(self):
+        trace = WEBSEARCH.generate(3000)
+        assert trace.read_fraction > 0.95
+
+    def test_financial_is_write_dominated(self):
+        trace = FINANCIAL.generate(3000)
+        assert trace.read_fraction < 0.4
+
+    def test_tpch_has_large_requests(self):
+        assert TPCH.generate(2000).mean_size_sectors > 2 * (
+            TPCC.generate(2000).mean_size_sectors
+        )
+
+    def test_tpch_is_substantially_sequential(self):
+        assert TPCH.generate(3000).sequential_fraction() > 0.3
+
+    def test_requests_confined_to_source_disks(self):
+        trace = TPCC.generate(2000)
+        capacity = TPCC.disk_capacity_sectors
+        assert all(0 <= r.source_disk < TPCC.disks for r in trace)
+        assert all(r.end_lba <= capacity for r in trace)
+
+    def test_all_source_disks_receive_traffic(self):
+        trace = WEBSEARCH.generate(5000)
+        assert set(trace.disks_touched()) == set(range(WEBSEARCH.disks))
+
+
+class TestGeneration:
+    def test_deterministic_by_default(self):
+        a = FINANCIAL.generate(500)
+        b = FINANCIAL.generate(500)
+        assert [(r.lba, r.source_disk) for r in a] == [
+            (r.lba, r.source_disk) for r in b
+        ]
+
+    def test_seed_override_changes_stream(self):
+        a = FINANCIAL.generate(500)
+        b = FINANCIAL.generate(500, seed=999)
+        assert [r.lba for r in a] != [r.lba for r in b]
+
+    def test_arrivals_monotone(self):
+        times = [r.arrival_time for r in WEBSEARCH.generate(1000)]
+        assert times == sorted(times)
+
+    def test_count_validated(self):
+        with pytest.raises(ValueError):
+            FINANCIAL.generate(0)
+
+    def test_interarrival_mean_respected(self):
+        trace = TPCC.generate(8000)
+        assert trace.mean_interarrival_ms == pytest.approx(
+            TPCC.mean_interarrival_ms, rel=0.05
+        )
+
+
+class TestDerived:
+    def test_md_drive_spec_inherits_table2(self):
+        spec = FINANCIAL.md_drive_spec()
+        assert spec.rpm == 10000
+        assert spec.platters == 4
+        assert spec.capacity_bytes == int(19.07 * 10**9)
+
+    def test_scaled_changes_intensity_only(self):
+        lighter = WEBSEARCH.scaled(2.0)
+        assert lighter.mean_interarrival_ms == pytest.approx(
+            2 * WEBSEARCH.mean_interarrival_ms
+        )
+        assert lighter.disks == WEBSEARCH.disks
+
+    def test_scaled_validation(self):
+        with pytest.raises(ValueError):
+            WEBSEARCH.scaled(0)
+
+    def test_hotspot_locality_shows_in_lba_distribution(self):
+        """Most accesses fall in narrow per-disk hot regions: the
+        busiest 10 % of (disk, 1 %-of-disk) buckets should absorb the
+        bulk of the traffic."""
+        trace = TPCC.generate(5000)
+        capacity = TPCC.disk_capacity_sectors
+        from collections import Counter
+
+        buckets = Counter()
+        for request in trace:
+            percent = min(99, request.lba * 100 // capacity)
+            buckets[(request.source_disk, percent)] += 1
+        total_buckets = TPCC.disks * 100
+        busiest = [
+            count for _, count in buckets.most_common(total_buckets // 10)
+        ]
+        assert sum(busiest) > 0.75 * len(trace)

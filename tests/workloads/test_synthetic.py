@@ -1,0 +1,89 @@
+"""Tests for the DiskSim-style synthetic generator."""
+
+import pytest
+
+from repro.workloads.synthetic import SyntheticWorkload
+
+CAPACITY = 1_000_000
+
+
+def make(**kwargs):
+    defaults = dict(
+        capacity_sectors=CAPACITY, mean_interarrival_ms=4.0, seed=1
+    )
+    defaults.update(kwargs)
+    return SyntheticWorkload(**defaults)
+
+
+class TestValidation:
+    def test_capacity_must_exceed_request(self):
+        with pytest.raises(ValueError):
+            SyntheticWorkload(8, 4.0, request_size_sectors=8)
+
+    def test_size_positive(self):
+        with pytest.raises(ValueError):
+            make(request_size_sectors=0)
+
+    def test_footprint_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            make(footprint_fraction=0.0)
+        with pytest.raises(ValueError):
+            make(footprint_fraction=1.5)
+
+    def test_count_positive(self):
+        with pytest.raises(ValueError):
+            make().generate(0)
+
+
+class TestStatisticalProperties:
+    def test_deterministic_from_seed(self):
+        a = make(seed=7).generate(500)
+        b = make(seed=7).generate(500)
+        assert [(r.lba, r.arrival_time) for r in a] == [
+            (r.lba, r.arrival_time) for r in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a = make(seed=1).generate(100)
+        b = make(seed=2).generate(100)
+        assert [r.lba for r in a] != [r.lba for r in b]
+
+    def test_read_fraction_near_paper_value(self):
+        trace = make().generate(10_000)
+        assert trace.read_fraction == pytest.approx(0.6, abs=0.03)
+
+    def test_sequential_fraction_near_paper_value(self):
+        trace = make().generate(10_000)
+        assert trace.sequential_fraction() == pytest.approx(0.2, abs=0.03)
+
+    def test_interarrival_mean(self):
+        trace = make().generate(10_000)
+        assert trace.mean_interarrival_ms == pytest.approx(4.0, rel=0.05)
+
+    def test_arrivals_monotone(self):
+        trace = make().generate(1000)
+        times = [r.arrival_time for r in trace]
+        assert times == sorted(times)
+
+
+class TestFootprint:
+    def test_all_requests_within_capacity(self):
+        trace = make().generate(5000)
+        assert all(r.end_lba <= CAPACITY for r in trace)
+
+    def test_footprint_fraction_restricts_range(self):
+        trace = make(footprint_fraction=0.1).generate(5000)
+        limit = CAPACITY * 0.1
+        assert all(r.lba <= limit for r in trace)
+
+    def test_fixed_request_size(self):
+        trace = make(request_size_sectors=32).generate(200)
+        assert all(r.size == 32 for r in trace)
+
+    def test_default_name_describes_parameters(self):
+        trace = make().generate(10)
+        assert "ia4" in trace.name
+
+    def test_custom_name(self):
+        trace = make().generate(10, name="custom")
+        assert trace.name == "custom"

@@ -1,0 +1,112 @@
+"""Tests for the trace container and ASCII trace I/O."""
+
+import pytest
+
+from repro.disk.request import IORequest
+from repro.workloads.trace import Trace, load_trace, save_trace
+
+
+def make_requests():
+    return [
+        IORequest(lba=0, size=8, is_read=True, arrival_time=0.0,
+                  source_disk=0),
+        IORequest(lba=100, size=16, is_read=False, arrival_time=2.5,
+                  source_disk=1),
+        IORequest(lba=116, size=16, is_read=True, arrival_time=5.0,
+                  source_disk=1),
+    ]
+
+
+class TestTrace:
+    def test_monotone_arrivals_enforced(self):
+        requests = make_requests()
+        requests[1].arrival_time = 10.0
+        with pytest.raises(ValueError, match="monotone"):
+            Trace(requests)
+
+    def test_len_and_iteration(self):
+        trace = Trace(make_requests())
+        assert len(trace) == 3
+        assert [r.lba for r in trace] == [0, 100, 116]
+        assert trace[1].lba == 100
+
+    def test_duration(self):
+        trace = Trace(make_requests())
+        assert trace.duration_ms == pytest.approx(5.0)
+
+    def test_read_fraction(self):
+        trace = Trace(make_requests())
+        assert trace.read_fraction == pytest.approx(2 / 3)
+
+    def test_mean_interarrival(self):
+        trace = Trace(make_requests())
+        assert trace.mean_interarrival_ms == pytest.approx(2.5)
+
+    def test_mean_size(self):
+        trace = Trace(make_requests())
+        assert trace.mean_size_sectors == pytest.approx(40 / 3)
+
+    def test_sequential_fraction_detects_contiguity(self):
+        trace = Trace(make_requests())
+        # Request 3 continues request 2 on disk 1.
+        assert trace.sequential_fraction() == pytest.approx(0.5)
+
+    def test_disks_touched(self):
+        trace = Trace(make_requests())
+        assert trace.disks_touched() == [0, 1]
+
+    def test_empty_trace(self):
+        trace = Trace([])
+        assert trace.duration_ms == 0.0
+        assert trace.read_fraction == 0.0
+        assert trace.summary()["requests"] == 0
+
+    def test_summary_keys(self):
+        summary = Trace(make_requests(), name="demo").summary()
+        assert summary["name"] == "demo"
+        assert summary["requests"] == 3
+        assert summary["disks"] == 2
+
+
+class TestIO:
+    def test_roundtrip(self, tmp_path):
+        original = Trace(make_requests(), name="roundtrip")
+        path = tmp_path / "trace.txt"
+        save_trace(path, original)
+        loaded = load_trace(path)
+        assert len(loaded) == 3
+        for a, b in zip(original, loaded):
+            assert a.lba == b.lba
+            assert a.size == b.size
+            assert a.is_read == b.is_read
+            assert a.source_disk == b.source_disk
+            assert a.arrival_time == pytest.approx(b.arrival_time)
+
+    def test_loads_name_from_filename(self, tmp_path):
+        path = tmp_path / "myworkload.trace"
+        save_trace(path, Trace(make_requests()))
+        assert load_trace(path).name == "myworkload"
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("# comment\n\n0.0 0 100 8 R\n")
+        trace = load_trace(path)
+        assert len(trace) == 1
+        assert trace[0].is_read
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0.0 0 100 8\n")
+        with pytest.raises(ValueError, match="expected 5 fields"):
+            load_trace(path)
+
+    def test_bad_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0.0 0 100 8 X\n")
+        with pytest.raises(ValueError, match="kind"):
+            load_trace(path)
+
+    def test_lowercase_kind_accepted(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("0.0 0 100 8 w\n")
+        assert not load_trace(path)[0].is_read
