@@ -8,6 +8,8 @@ Usage (``python -m repro <command> ...``)::
     python -m repro all --requests 2000
     python -m repro workloads                 # trace-model summaries
     python -m repro simulate --workload websearch --actuators 4
+    python -m repro fig5 --workers 4          # fan runs out over processes
+    python -m repro bench                     # write BENCH_<date>.json
 
 Every command prints the same plain-text tables the benchmark harness
 asserts against.
@@ -42,7 +44,9 @@ def _fig2(args) -> None:
     from repro.metrics.cdf import RESPONSE_TIME_EDGES_MS
     from repro.metrics.plot import ascii_chart
 
-    results = run_limit_study(requests=args.requests)
+    results = run_limit_study(
+        requests=args.requests, n_workers=args.workers
+    )
     print(format_figure2(results))
     labels = [f"{edge:g}" for edge in RESPONSE_TIME_EDGES_MS] + ["200+"]
     for name, result in results.items():
@@ -65,7 +69,11 @@ def _fig3(args) -> None:
         run_limit_study,
     )
 
-    print(format_figure3(run_limit_study(requests=args.requests)))
+    print(
+        format_figure3(
+            run_limit_study(requests=args.requests, n_workers=args.workers)
+        )
+    )
 
 
 def _fig4(args) -> None:
@@ -74,7 +82,13 @@ def _fig4(args) -> None:
         run_bottleneck_study,
     )
 
-    print(format_figure4(run_bottleneck_study(requests=args.requests)))
+    print(
+        format_figure4(
+            run_bottleneck_study(
+                requests=args.requests, n_workers=args.workers
+            )
+        )
+    )
 
 
 def _fig5(args) -> None:
@@ -87,7 +101,9 @@ def _fig5(args) -> None:
     from repro.metrics.cdf import RESPONSE_TIME_EDGES_MS
     from repro.metrics.plot import ascii_chart
 
-    results = run_parallel_study(requests=args.requests)
+    results = run_parallel_study(
+        requests=args.requests, n_workers=args.workers
+    )
     print(format_figure5_cdf(results))
     print()
     print(format_figure5_pdf(results))
@@ -109,13 +125,21 @@ def _fig5(args) -> None:
 def _fig6(args) -> None:
     from repro.experiments.rpm_study import format_figure6, run_rpm_study
 
-    print(format_figure6(run_rpm_study(requests=args.requests)))
+    print(
+        format_figure6(
+            run_rpm_study(requests=args.requests, n_workers=args.workers)
+        )
+    )
 
 
 def _fig7(args) -> None:
     from repro.experiments.rpm_study import format_figure7, run_rpm_study
 
-    print(format_figure7(run_rpm_study(requests=args.requests)))
+    print(
+        format_figure7(
+            run_rpm_study(requests=args.requests, n_workers=args.workers)
+        )
+    )
 
 
 def _fig8(args) -> None:
@@ -125,7 +149,9 @@ def _fig8(args) -> None:
         run_raid_study,
     )
 
-    result = run_raid_study(requests=args.requests)
+    result = run_raid_study(
+        requests=args.requests, n_workers=args.workers
+    )
     print(format_figure8_performance(result))
     print()
     print(format_figure8_power(result))
@@ -168,7 +194,8 @@ def _all(args) -> None:
 def _list(args) -> None:
     print("artifacts:", ", ".join(ARTIFACTS))
     print(
-        "other commands: all, report, scorecard, workloads, simulate, list"
+        "other commands: all, report, scorecard, workloads, simulate, "
+        "bench, list"
     )
 
 
@@ -226,7 +253,24 @@ def _scorecard(args) -> None:
         run_scorecard,
     )
 
-    print(format_scorecard(run_scorecard(requests=args.requests)))
+    print(
+        format_scorecard(
+            run_scorecard(requests=args.requests, n_workers=args.workers)
+        )
+    )
+
+
+def _bench(args) -> None:
+    from repro.tools.bench import format_bench, run_bench, write_bench
+
+    result = run_bench(
+        requests=args.requests,
+        workers=args.workers,
+        repeats=args.repeats,
+    )
+    print(format_bench(result))
+    path = write_bench(result, args.output)
+    print(f"wrote {path}")
 
 
 def _simulate(args) -> None:
@@ -297,6 +341,16 @@ def build_parser() -> argparse.ArgumentParser:
             default=4000,
             help="requests per simulation run (default 4000)",
         )
+        command.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help=(
+                "worker processes for independent runs (default 1 = "
+                "in-process; 0 = all cores); results are identical for "
+                "any worker count"
+            ),
+        )
         return command
 
     for name in ARTIFACTS:
@@ -312,6 +366,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="output file (default: stdout)",
     )
     add("workloads", _workloads, "summarise the trace models")
+    bench = add(
+        "bench",
+        _bench,
+        "benchmark the simulator on a fixed-seed workload",
+    )
+    bench.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="output JSON path (default: BENCH_<date>.json in cwd)",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timed repetitions per configuration (default 3)",
+    )
+    # The reference benchmark workload is the 6000-request limit study.
+    bench.set_defaults(requests=6000)
     add(
         "scorecard",
         _scorecard,

@@ -26,7 +26,7 @@ from typing import List, Optional, Tuple
 
 from repro.core.actuator import ArmAssembly
 from repro.core.taxonomy import DashConfig
-from repro.disk.drive import ConventionalDrive
+from repro.disk.drive import ConventionalDrive, DriveStats
 from repro.disk.geometry import PhysicalAddress
 from repro.disk.request import IORequest
 from repro.disk.scheduler import QueueScheduler
@@ -93,6 +93,11 @@ class ParallelDisk(ConventionalDrive):
             )
             for index, angle in enumerate(config.arm_mount_angles())
         ]
+        if len(self.arms) != len(self.stats.per_arm_seek_ms):
+            # The DASH config may request more (or fewer) assemblies
+            # than the spec advertises; re-preallocate so per-arm stats
+            # are shaped by the actual arm count.
+            self.stats = DriveStats.for_arms(len(self.arms))
         #: Enable firmware-style pre-positioning of idle assemblies
         #: (see :meth:`_preposition`); the knob exists for ablation.
         self.preposition_idle_arms = True
@@ -109,6 +114,7 @@ class ParallelDisk(ConventionalDrive):
         request: IORequest,
         at_time: float,
         include_busy: bool = False,
+        address: Optional[PhysicalAddress] = None,
     ) -> Tuple[ArmAssembly, float, float, int]:
         """The (arm, seek, rotation, head) minimising positioning time.
 
@@ -117,8 +123,10 @@ class ParallelDisk(ConventionalDrive):
         decision point.  With ``include_busy`` the search ignores
         busy/idle state — used by the overlapped extensions to judge
         whether waiting for a busy arm would beat dispatching now.
+        ``address`` lets callers pass an already-decoded target.
         """
-        address = self.geometry.to_physical(request.lba)
+        if address is None:
+            address = self.geometry.to_physical(request.lba)
         sector_angle = self.geometry.sector_angle(address)
         best: Optional[Tuple[float, ArmAssembly, float, float, int]] = None
         for arm in self.arms:
@@ -203,26 +211,23 @@ class ParallelDisk(ConventionalDrive):
         # evaluate the rotational gap for that instant so the charged
         # latency matches the platter's true phase.
         arm, seek, rotation, _head = self.best_arm_for(
-            request, self.env.now + overhead + settle
+            request, self.env.now + overhead + settle, address=address
         )
         seek += settle
         self._preposition(arm, address.cylinder)
 
-        yield self.env.timeout(overhead + seek)
+        # Seek, rotation (estimated at decision time for the instant the
+        # head comes ready) and transfer are all fixed here, so one
+        # combined timeout reaches the same completion instant as
+        # yielding per phase at a third of the engine-event cost.
+        transfer = self._transfer_time(request)
+        yield self.env.timeout(overhead + seek + rotation + transfer)
         self.stats.transfer_ms += overhead
         self.stats.seek_ms += seek
         self.stats.record_arm_seek(arm.arm_id, seek)
         if seek > 0.0:
             self.stats.nonzero_seeks += 1
-
-        # Rotation was estimated at decision time; the wait is
-        # unchanged because the platter and the clock advanced together
-        # during the seek (latency_to was evaluated at now + seek).
-        yield self.env.timeout(rotation)
         self.stats.rotational_latency_ms += rotation
-
-        transfer = self._transfer_time(request)
-        yield self.env.timeout(transfer)
         self.stats.transfer_ms += transfer
         self.stats.sectors_transferred += request.size
 

@@ -53,12 +53,19 @@ class DriveStats:
     reads_completed: int = 0
     cache_hits: int = 0
     sectors_transferred: int = 0
-    #: Per-arm seek-time totals (index = arm id); conventional drives
-    #: only ever populate index 0.
+    #: Per-arm seek-time totals (index = arm id).  Drives preallocate
+    #: one slot per actuator at construction, so the list shape depends
+    #: only on the configuration — not on which arms happened to seek —
+    #: and stats stay merge/compare-stable across worker processes.
     per_arm_seek_ms: List[float] = field(default_factory=lambda: [0.0])
     #: Requests whose seek time was non-zero (paper §7.2 reports this
     #: fraction rising with actuator count for Websearch).
     nonzero_seeks: int = 0
+
+    @classmethod
+    def for_arms(cls, arms: int) -> "DriveStats":
+        """Stats with ``per_arm_seek_ms`` preallocated for ``arms``."""
+        return cls(per_arm_seek_ms=[0.0] * max(1, arms))
 
     @property
     def busy_ms(self) -> float:
@@ -80,8 +87,13 @@ class DriveStats:
         }
 
     def record_arm_seek(self, arm_id: int, seek_ms: float) -> None:
-        while len(self.per_arm_seek_ms) <= arm_id:
-            self.per_arm_seek_ms.append(0.0)
+        if arm_id >= len(self.per_arm_seek_ms):
+            # Only reachable when stats were built without preallocation
+            # (e.g. hand-constructed in tests); drives size the list at
+            # construction so the shape never varies run to run.
+            self.per_arm_seek_ms.extend(
+                [0.0] * (arm_id + 1 - len(self.per_arm_seek_ms))
+            )
         self.per_arm_seek_ms[arm_id] += seek_ms
 
 
@@ -144,7 +156,7 @@ class ConventionalDrive:
         self.spindle.phase = (zlib.crc32(seed_text) % 9973) / 9973.0
         self.cache: DiskCache = spec.build_cache(segments=cache_segments)
 
-        self.stats = DriveStats()
+        self.stats = DriveStats.for_arms(getattr(spec, "actuators", 1))
         #: Callbacks invoked with each completed request.
         self.on_complete: List[Callable[[IORequest], None]] = []
 
@@ -153,6 +165,14 @@ class ConventionalDrive:
         self._wakeup: Optional[Event] = None
         self._current_cylinder = self.geometry.cylinders // 2
         self._cylinder_cache: Dict[int, int] = {}
+        # One reusable context object per drive: schedulers only read
+        # it, and allocating a fresh one per decision showed up in the
+        # dispatch profile.  ``_context()`` refreshes the mutable field.
+        self._scheduling_context = SchedulingContext(
+            current_cylinder=self._current_cylinder,
+            cylinder_of=self._cylinder_of,
+            positioning_time=self.positioning_estimate,
+        )
         self._server = env.process(self._serve_loop())
 
     # -- public API --------------------------------------------------------
@@ -214,11 +234,9 @@ class ConventionalDrive:
         return cached
 
     def _context(self) -> SchedulingContext:
-        return SchedulingContext(
-            current_cylinder=self._current_cylinder,
-            cylinder_of=self._cylinder_of,
-            positioning_time=self.positioning_estimate,
-        )
+        context = self._scheduling_context
+        context.current_cylinder = self._current_cylinder
+        return context
 
     def _serve_loop(self):
         while True:
@@ -260,24 +278,26 @@ class ConventionalDrive:
         if not request.is_read and self.spec.write_settle_ms > 0.0:
             # Writes need a tighter servo settle before the transfer.
             seek += self.spec.write_settle_ms
-        yield self.env.timeout(overhead + seek)
+        # Every phase duration is fixed at dispatch: the rotational gap
+        # is a pure function of the (absolute) time the head comes
+        # ready, and the transfer time of the layout.  One combined
+        # timeout therefore reaches the same completion instant as
+        # yielding per phase while costing a third of the engine events.
+        rotation = (
+            self.spindle.latency_to(
+                self.env.now + overhead + seek,
+                self.geometry.sector_angle(address),
+            )
+            * self.rotation_scale
+        )
+        transfer = self._transfer_time(request)
+        yield self.env.timeout(overhead + seek + rotation + transfer)
         self.stats.transfer_ms += overhead  # overhead billed as transfer
         self.stats.seek_ms += seek
         self.stats.record_arm_seek(request.arm_id, seek)
         if seek > 0.0:
             self.stats.nonzero_seeks += 1
-
-        rotation = (
-            self.spindle.latency_to(
-                self.env.now, self.geometry.sector_angle(address)
-            )
-            * self.rotation_scale
-        )
-        yield self.env.timeout(rotation)
         self.stats.rotational_latency_ms += rotation
-
-        transfer = self._transfer_time(request)
-        yield self.env.timeout(transfer)
         self.stats.transfer_ms += transfer
         self.stats.sectors_transferred += request.size
 

@@ -15,13 +15,14 @@ cylinder boundary don't miss a full revolution.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import List, Tuple
 
 __all__ = ["DiskGeometry", "PhysicalAddress", "Zone"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PhysicalAddress:
     """A decoded sector location."""
 
@@ -30,7 +31,7 @@ class PhysicalAddress:
     sector: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Zone:
     """A run of cylinders sharing one sectors-per-track value."""
 
@@ -103,6 +104,11 @@ class DiskGeometry:
         last = self._zones[-1]
         self.cylinders = last.first_cylinder + last.cylinder_count
         self.total_sectors = last.first_lba + last.capacity_sectors(surfaces)
+        # Address decoding is the simulator's hottest non-engine path;
+        # precompute the zone boundary tables once so per-lookup work is
+        # a bisect instead of a linear scan with derived capacities.
+        self._zone_first_lbas = [zone.first_lba for zone in self._zones]
+        self._zone_first_cyls = [zone.first_cylinder for zone in self._zones]
 
     @staticmethod
     def _build_zones(
@@ -154,21 +160,16 @@ class DiskGeometry:
 
     def zone_of_lba(self, lba: int) -> Zone:
         self._check_lba(lba)
-        # Zones are few (<= ~32); linear scan is cache-friendly and clear.
-        for zone in self._zones:
-            if lba < zone.first_lba + zone.capacity_sectors(self.surfaces):
-                return zone
-        raise AssertionError("unreachable: lba bounds already checked")
+        return self._zones[bisect_right(self._zone_first_lbas, lba) - 1]
 
     def zone_of_cylinder(self, cylinder: int) -> Zone:
         if not 0 <= cylinder < self.cylinders:
             raise ValueError(
                 f"cylinder {cylinder} out of range [0, {self.cylinders})"
             )
-        for zone in self._zones:
-            if cylinder <= zone.last_cylinder:
-                return zone
-        raise AssertionError("unreachable: cylinder bounds already checked")
+        return self._zones[
+            bisect_right(self._zone_first_cyls, cylinder) - 1
+        ]
 
     def _check_lba(self, lba: int) -> None:
         if not 0 <= lba < self.total_sectors:
@@ -178,14 +179,15 @@ class DiskGeometry:
 
     def to_physical(self, lba: int) -> PhysicalAddress:
         """Decode an LBA into (cylinder, surface, sector)."""
-        zone = self.zone_of_lba(lba)
+        if not 0 <= lba < self.total_sectors:
+            self._check_lba(lba)
+        zone = self._zones[bisect_right(self._zone_first_lbas, lba) - 1]
         offset = lba - zone.first_lba
-        per_cyl = zone.sectors_per_cylinder(self.surfaces)
-        cylinder = zone.first_cylinder + offset // per_cyl
-        rem = offset % per_cyl
-        surface = rem // zone.sectors_per_track
-        sector = rem % zone.sectors_per_track
-        return PhysicalAddress(cylinder, surface, sector)
+        spt = zone.sectors_per_track
+        per_cyl = spt * self.surfaces
+        cylinder, rem = divmod(offset, per_cyl)
+        surface, sector = divmod(rem, spt)
+        return PhysicalAddress(zone.first_cylinder + cylinder, surface, sector)
 
     def to_lba(self, address: PhysicalAddress) -> int:
         """Inverse of :meth:`to_physical`."""

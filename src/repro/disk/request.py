@@ -20,7 +20,7 @@ SECTOR_BYTES = 512
 _request_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class IORequest:
     """One logical I/O: ``size`` sectors at ``lba``, read or write.
 

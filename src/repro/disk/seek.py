@@ -26,13 +26,31 @@ __all__ = [
 
 
 class SeekModel:
-    """Interface: seek time (ms) as a function of cylinder distance."""
+    """Interface: seek time (ms) as a function of cylinder distance.
+
+    Seek time depends only on the cylinder *distance*, and a trace
+    revisits the same distances constantly (hot regions, sequential
+    runs), so every instance memoizes ``_time_for_distance`` keyed by
+    distance.  The cache is per-instance: two drives with different
+    parameters (or different limit-study scale factors applied by their
+    owners) never share entries.
+    """
+
+    def __init__(self) -> None:
+        #: distance -> seek time (ms); lazily filled, per instance.
+        self._memo: dict = {}
 
     def seek_time(self, from_cylinder: int, to_cylinder: int) -> float:
-        distance = abs(to_cylinder - from_cylinder)
+        distance = to_cylinder - from_cylinder
         if distance == 0:
             return 0.0
-        return self._time_for_distance(distance)
+        if distance < 0:
+            distance = -distance
+        memo = self._memo
+        time_ms = memo.get(distance)
+        if time_ms is None:
+            time_ms = memo[distance] = self._time_for_distance(distance)
+        return time_ms
 
     def _time_for_distance(self, distance: int) -> float:
         raise NotImplementedError
@@ -42,6 +60,7 @@ class ConstantSeekModel(SeekModel):
     """Every non-zero seek costs the same time (testing aid)."""
 
     def __init__(self, time_ms: float):
+        super().__init__()
         if time_ms < 0:
             raise ValueError(f"time must be non-negative, got {time_ms}")
         self.time_ms = time_ms
@@ -54,6 +73,7 @@ class LinearSeekModel(SeekModel):
     """``t(d) = base + slope * d`` (testing / old-drive approximation)."""
 
     def __init__(self, base_ms: float, slope_ms_per_cyl: float):
+        super().__init__()
         if base_ms < 0 or slope_ms_per_cyl < 0:
             raise ValueError("base and slope must be non-negative")
         self.base_ms = base_ms
@@ -87,6 +107,7 @@ class TwoPhaseSeekModel(SeekModel):
         max_velocity: float,
         settle_ms: float,
     ):
+        super().__init__()
         if acceleration <= 0:
             raise ValueError(
                 f"acceleration must be positive, got {acceleration}"
@@ -206,6 +227,7 @@ class ThreePointSeekModel(SeekModel):
         full_stroke_ms: float,
         cylinders: int,
     ):
+        super().__init__()
         if cylinders < 4:
             raise ValueError(f"need at least 4 cylinders, got {cylinders}")
         if not 0 < track_to_track_ms <= average_ms <= full_stroke_ms:

@@ -10,8 +10,11 @@
 * :mod:`repro.experiments.raid_study` — Figure 8.
 * :mod:`repro.experiments.technology` — Tables 1 and 2.
 * :mod:`repro.experiments.cost_study` — Table 9a / Figure 9b.
+* :mod:`repro.experiments.executor` — the process-parallel ``sweep()``
+  fan-out every driver above runs on (``n_workers`` parameter).
 """
 
+from repro.experiments.executor import Job, sweep, sweep_by_key
 from repro.experiments.configs import (
     build_hcsd_drive,
     build_hcsd_system,
@@ -27,6 +30,9 @@ from repro.experiments.raid_study import run_raid_study
 from repro.experiments.cost_study import run_cost_study
 
 __all__ = [
+    "Job",
+    "sweep",
+    "sweep_by_key",
     "RunResult",
     "build_hcsd_drive",
     "build_hcsd_system",

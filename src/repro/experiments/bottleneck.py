@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional
 
 from repro.experiments.configs import build_hcsd_system, build_md_system
+from repro.experiments.executor import Job, sweep_by_key
 from repro.experiments.runner import RunResult, run_trace
 from repro.metrics.cdf import RESPONSE_TIME_EDGES_MS
 from repro.metrics.report import format_cdf_table
@@ -58,25 +59,59 @@ class BottleneckResult:
         )
 
 
+def _md_job(workload: CommercialWorkload, requests: int) -> RunResult:
+    """The MD reference run for one workload (executes in a worker)."""
+    trace = workload.generate(requests)
+    env = Environment()
+    return run_trace(env, build_md_system(env, workload), trace)
+
+
+def _scaled_job(
+    workload: CommercialWorkload,
+    requests: int,
+    label: str,
+    seek_scale: float,
+    rotation_scale: float,
+) -> RunResult:
+    """One scaling-point HC-SD run (executes in a worker)."""
+    trace = workload.generate(requests)
+    env = Environment()
+    system = build_hcsd_system(
+        env,
+        workload,
+        seek_scale=seek_scale,
+        rotation_scale=rotation_scale,
+    )
+    return run_trace(env, system, trace, label=label)
+
+
 def run_bottleneck_study(
     workloads: Optional[Iterable[CommercialWorkload]] = None,
     requests: int = DEFAULT_REQUESTS,
+    n_workers: int = 1,
 ) -> Dict[str, BottleneckResult]:
-    results: Dict[str, BottleneckResult] = {}
-    for workload in workloads or COMMERCIAL_WORKLOADS.values():
-        trace = workload.generate(requests)
-        env = Environment()
-        md = run_trace(env, build_md_system(env, workload), trace)
-        result = BottleneckResult(workload=workload.name, md=md)
+    selected = list(workloads or COMMERCIAL_WORKLOADS.values())
+    jobs = []
+    for workload in selected:
+        jobs.append(
+            Job(_md_job, (workload, requests), key=(workload.name, "md"))
+        )
         for label, seek_scale, rotation_scale in SCALING_POINTS:
-            env = Environment()
-            system = build_hcsd_system(
-                env,
-                workload,
-                seek_scale=seek_scale,
-                rotation_scale=rotation_scale,
+            jobs.append(
+                Job(
+                    _scaled_job,
+                    (workload, requests, label, seek_scale, rotation_scale),
+                    key=(workload.name, label),
+                )
             )
-            result.runs[label] = run_trace(env, system, trace, label=label)
+    runs = sweep_by_key(jobs, n_workers=n_workers)
+    results: Dict[str, BottleneckResult] = {}
+    for workload in selected:
+        result = BottleneckResult(
+            workload=workload.name, md=runs[(workload.name, "md")]
+        )
+        for label, _, _ in SCALING_POINTS:
+            result.runs[label] = runs[(workload.name, label)]
         results[workload.name] = result
     return results
 

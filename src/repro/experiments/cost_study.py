@@ -17,6 +17,7 @@ from repro.cost.components import (
     COMPONENT_COSTS,
     drive_material_cost,
 )
+from repro.experiments.executor import Job, sweep
 from repro.metrics.report import format_table
 
 __all__ = ["format_figure9b", "format_table9a", "run_cost_study"]
@@ -52,9 +53,17 @@ def format_table9a(platters: int = 4) -> str:
     )
 
 
-def run_cost_study(platters: int = 4) -> List[ConfigurationCost]:
-    """The iso-performance configuration costs of Figure 9b."""
-    return iso_performance_comparison(platters=platters)
+def run_cost_study(
+    platters: int = 4, n_workers: int = 1
+) -> List[ConfigurationCost]:
+    """The iso-performance configuration costs of Figure 9b.
+
+    Pure arithmetic — a single :class:`Job` on the shared executor, so
+    the driver surface matches the simulation studies; with one job the
+    sweep always runs in-process regardless of ``n_workers``.
+    """
+    jobs = [Job(iso_performance_comparison, kwargs={"platters": platters})]
+    return sweep(jobs, n_workers=n_workers)[0]
 
 
 def format_figure9b(platters: int = 4) -> str:

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
 from repro.experiments.configs import build_hcsd_system, build_md_system
+from repro.experiments.executor import Job, sweep
 from repro.experiments.runner import RunResult, run_trace
 from repro.metrics.cdf import RESPONSE_TIME_EDGES_MS
 from repro.metrics.report import format_cdf_table, format_table
@@ -41,22 +42,38 @@ class LimitStudyResult:
         return self.md.power.total_watts / self.hcsd.power.total_watts
 
 
+def _limit_job(
+    workload: CommercialWorkload, requests: int
+) -> LimitStudyResult:
+    """One workload's MD and HC-SD runs (executes in a worker)."""
+    trace = workload.generate(requests)
+    env = Environment()
+    md = run_trace(env, build_md_system(env, workload), trace)
+    env = Environment()
+    hcsd = run_trace(env, build_hcsd_system(env, workload), trace)
+    return LimitStudyResult(workload=workload.name, md=md, hcsd=hcsd)
+
+
 def run_limit_study(
     workloads: Optional[Iterable[CommercialWorkload]] = None,
     requests: int = DEFAULT_REQUESTS,
+    n_workers: int = 1,
 ) -> Dict[str, LimitStudyResult]:
-    """Run the limit study; returns results keyed by workload name."""
-    results: Dict[str, LimitStudyResult] = {}
-    for workload in workloads or COMMERCIAL_WORKLOADS.values():
-        trace = workload.generate(requests)
-        env = Environment()
-        md = run_trace(env, build_md_system(env, workload), trace)
-        env = Environment()
-        hcsd = run_trace(env, build_hcsd_system(env, workload), trace)
-        results[workload.name] = LimitStudyResult(
-            workload=workload.name, md=md, hcsd=hcsd
-        )
-    return results
+    """Run the limit study; returns results keyed by workload name.
+
+    ``n_workers`` fans the per-workload jobs out across processes via
+    :func:`repro.experiments.executor.sweep`; results are bit-identical
+    to the serial path for any worker count.
+    """
+    selected = list(workloads or COMMERCIAL_WORKLOADS.values())
+    jobs = [
+        Job(_limit_job, (workload, requests), key=workload.name)
+        for workload in selected
+    ]
+    return {
+        result.workload: result
+        for result in sweep(jobs, n_workers=n_workers)
+    }
 
 
 def _edge_labels() -> List[str]:

@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 from repro.experiments.configs import build_hcsd_system, build_md_system
+from repro.experiments.executor import Job, sweep_by_key
 from repro.experiments.runner import RunResult, run_trace
 from repro.metrics.cdf import (
     RESPONSE_TIME_EDGES_MS,
@@ -51,24 +52,62 @@ class ParallelStudyResult:
         return base / self.by_actuators[actuators].mean_response_ms
 
 
+def _md_job(workload: CommercialWorkload, requests: int) -> RunResult:
+    """The MD reference run for one workload (executes in a worker)."""
+    trace = workload.generate(requests)
+    env = Environment()
+    return run_trace(env, build_md_system(env, workload), trace)
+
+
+def _sa_job(
+    workload: CommercialWorkload,
+    actuators: int,
+    requests: int,
+    label: str,
+) -> RunResult:
+    """One HC-SD-SA(n) run (executes in a worker).
+
+    The trace is regenerated from the workload's fixed seed, so every
+    job sees the byte-identical request stream the serial loop shares.
+    """
+    trace = workload.generate(requests)
+    env = Environment()
+    system = build_hcsd_system(env, workload, actuators=actuators)
+    return run_trace(env, system, trace, label=label)
+
+
 def run_parallel_study(
     workloads: Optional[Iterable[CommercialWorkload]] = None,
     actuator_counts: Iterable[int] = DEFAULT_ACTUATOR_COUNTS,
     requests: int = DEFAULT_REQUESTS,
+    n_workers: int = 1,
 ) -> Dict[str, ParallelStudyResult]:
-    results: Dict[str, ParallelStudyResult] = {}
     counts = list(actuator_counts)
-    for workload in workloads or COMMERCIAL_WORKLOADS.values():
-        trace = workload.generate(requests)
-        env = Environment()
-        md = run_trace(env, build_md_system(env, workload), trace)
-        result = ParallelStudyResult(workload=workload.name, md=md)
+    selected = list(workloads or COMMERCIAL_WORKLOADS.values())
+    jobs = []
+    for workload in selected:
+        jobs.append(
+            Job(_md_job, (workload, requests), key=(workload.name, "md"))
+        )
         for actuators in counts:
-            env = Environment()
-            system = build_hcsd_system(env, workload, actuators=actuators)
-            result.by_actuators[actuators] = run_trace(
-                env, system, trace, label=result.label(actuators)
+            label = (
+                "HC-SD" if actuators == 1 else f"HC-SD-SA({actuators})"
             )
+            jobs.append(
+                Job(
+                    _sa_job,
+                    (workload, actuators, requests, label),
+                    key=(workload.name, actuators),
+                )
+            )
+    runs = sweep_by_key(jobs, n_workers=n_workers)
+    results: Dict[str, ParallelStudyResult] = {}
+    for workload in selected:
+        result = ParallelStudyResult(
+            workload=workload.name, md=runs[(workload.name, "md")]
+        )
+        for actuators in counts:
+            result.by_actuators[actuators] = runs[(workload.name, actuators)]
         results[workload.name] = result
     return results
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.experiments.configs import build_raid0_system
+from repro.experiments.executor import Job, sweep_by_key
 from repro.experiments.runner import RunResult, run_trace
 from repro.metrics.report import format_table
 from repro.sim.engine import Environment
@@ -78,6 +79,27 @@ class RaidStudyResult:
         return (1.0 - rows[1][1] / base, 1.0 - rows[2][1] / base)
 
 
+def _cell_job(
+    ia_ms: float,
+    actuators: int,
+    disks: int,
+    requests: int,
+    footprint_fraction: float,
+    seed: int,
+) -> RunResult:
+    """One (inter-arrival, actuators, disks) cell (executes in a worker)."""
+    env = Environment()
+    system = build_raid0_system(env, disks, actuators=actuators)
+    workload = SyntheticWorkload(
+        capacity_sectors=system.capacity_sectors(),
+        mean_interarrival_ms=ia_ms,
+        footprint_fraction=footprint_fraction,
+        seed=seed,
+    )
+    trace = workload.generate(requests)
+    return run_trace(env, system, trace)
+
+
 def run_raid_study(
     interarrivals_ms: Iterable[float] = DEFAULT_INTERARRIVALS_MS,
     disk_counts: Iterable[int] = DEFAULT_DISK_COUNTS,
@@ -85,23 +107,20 @@ def run_raid_study(
     requests: int = DEFAULT_REQUESTS,
     footprint_fraction: float = DEFAULT_FOOTPRINT_FRACTION,
     seed: int = 99,
+    n_workers: int = 1,
 ) -> RaidStudyResult:
+    jobs = [
+        Job(
+            _cell_job,
+            (ia_ms, actuators, disks, requests, footprint_fraction, seed),
+            key=(ia_ms, actuators, disks),
+        )
+        for ia_ms in interarrivals_ms
+        for actuators in actuator_counts
+        for disks in disk_counts
+    ]
     result = RaidStudyResult(requests=requests)
-    for ia_ms in interarrivals_ms:
-        for actuators in actuator_counts:
-            for disks in disk_counts:
-                env = Environment()
-                system = build_raid0_system(env, disks, actuators=actuators)
-                workload = SyntheticWorkload(
-                    capacity_sectors=system.capacity_sectors(),
-                    mean_interarrival_ms=ia_ms,
-                    footprint_fraction=footprint_fraction,
-                    seed=seed,
-                )
-                trace = workload.generate(requests)
-                result.cells[(ia_ms, actuators, disks)] = run_trace(
-                    env, system, trace
-                )
+    result.cells.update(sweep_by_key(jobs, n_workers=n_workers))
     return result
 
 

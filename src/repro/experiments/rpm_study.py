@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.experiments.configs import build_hcsd_system, build_md_system
+from repro.experiments.executor import Job, sweep_by_key
 from repro.experiments.runner import RunResult, run_trace
 from repro.metrics.cdf import RESPONSE_TIME_EDGES_MS
 from repro.metrics.report import format_cdf_table, format_table
@@ -71,27 +72,59 @@ class RpmStudyResult:
         }
 
 
+def _md_job(workload: CommercialWorkload, requests: int) -> RunResult:
+    """The MD reference run for one workload (executes in a worker)."""
+    trace = workload.generate(requests)
+    env = Environment()
+    return run_trace(env, build_md_system(env, workload), trace)
+
+
+def _design_job(
+    workload: CommercialWorkload,
+    actuators: int,
+    rpm: Optional[float],
+    requests: int,
+) -> RunResult:
+    """One (actuators, rpm) design-point run (executes in a worker)."""
+    trace = workload.generate(requests)
+    env = Environment()
+    system = build_hcsd_system(env, workload, actuators=actuators, rpm=rpm)
+    label = design_label(actuators, rpm)
+    return run_trace(env, system, trace, label=label)
+
+
 def run_rpm_study(
     workloads: Optional[Iterable[CommercialWorkload]] = None,
     design_points: Iterable[Tuple[int, Optional[float]]] = (
         DEFAULT_DESIGN_POINTS
     ),
     requests: int = DEFAULT_REQUESTS,
+    n_workers: int = 1,
 ) -> Dict[str, RpmStudyResult]:
     points = list(design_points)
-    results: Dict[str, RpmStudyResult] = {}
-    for workload in workloads or COMMERCIAL_WORKLOADS.values():
-        trace = workload.generate(requests)
-        env = Environment()
-        md = run_trace(env, build_md_system(env, workload), trace)
-        result = RpmStudyResult(workload=workload.name, md=md)
+    selected = list(workloads or COMMERCIAL_WORKLOADS.values())
+    jobs = []
+    for workload in selected:
+        jobs.append(
+            Job(_md_job, (workload, requests), key=(workload.name, "md"))
+        )
         for actuators, rpm in points:
-            env = Environment()
-            system = build_hcsd_system(
-                env, workload, actuators=actuators, rpm=rpm
+            jobs.append(
+                Job(
+                    _design_job,
+                    (workload, actuators, rpm, requests),
+                    key=(workload.name, design_label(actuators, rpm)),
+                )
             )
+    runs = sweep_by_key(jobs, n_workers=n_workers)
+    results: Dict[str, RpmStudyResult] = {}
+    for workload in selected:
+        result = RpmStudyResult(
+            workload=workload.name, md=runs[(workload.name, "md")]
+        )
+        for actuators, rpm in points:
             label = design_label(actuators, rpm)
-            result.runs[label] = run_trace(env, system, trace, label=label)
+            result.runs[label] = runs[(workload.name, label)]
         results[workload.name] = result
     return results
 

@@ -81,6 +81,20 @@ def run_trace(
 
     system.on_complete.append(record)
     fresh: List[IORequest] = [request.clone() for request in trace]
+    # A Trace validates (or sorts) arrival order at construction, but
+    # ``trace`` may be any iterable of requests.  The producer below
+    # stamps each request's arrival at submission time, so an
+    # out-of-order request would be *silently* submitted late with a
+    # rewritten arrival time, corrupting every response-time figure.
+    # Fail loudly instead.
+    for index, (earlier, later) in enumerate(zip(fresh, fresh[1:])):
+        if later.arrival_time < earlier.arrival_time:
+            raise ValueError(
+                f"run_trace: trace arrival times not monotone at request "
+                f"{index + 1} ({later.arrival_time} after "
+                f"{earlier.arrival_time}); sort the trace first, e.g. "
+                "Trace(requests, sort=True)"
+            )
 
     def producer():
         for request in fresh:

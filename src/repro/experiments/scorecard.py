@@ -36,12 +36,16 @@ class Criterion:
     evidence: str
 
 
-def run_scorecard(requests: int = DEFAULT_REQUESTS) -> List[Criterion]:
+def run_scorecard(
+    requests: int = DEFAULT_REQUESTS, n_workers: int = 1
+) -> List[Criterion]:
     """Evaluate every success criterion; returns them in order.
 
     Use ``requests >= 2000``: criterion 4's "Financial never catches
     MD" rests on slow queue divergence under saturation, which a
-    shorter trace does not give time to develop.
+    shorter trace does not give time to develop.  ``n_workers`` fans
+    each study's independent runs out across processes; the verdicts
+    are identical for any worker count.
     """
     if requests < 500:
         raise ValueError(
@@ -51,7 +55,9 @@ def run_scorecard(requests: int = DEFAULT_REQUESTS) -> List[Criterion]:
     workloads = list(COMMERCIAL_WORKLOADS.values())
 
     # --- 1. Figure 2 shape ------------------------------------------------
-    limit = run_limit_study(workloads=workloads, requests=requests)
+    limit = run_limit_study(
+        workloads=workloads, requests=requests, n_workers=n_workers
+    )
     intense = ("financial", "websearch", "tpcc")
     gaps = {
         name: limit[name].hcsd.mean_response_ms
@@ -89,7 +95,7 @@ def run_scorecard(requests: int = DEFAULT_REQUESTS) -> List[Criterion]:
 
     # --- 3. Figure 4 shape -----------------------------------------------
     bottleneck = run_bottleneck_study(
-        workloads=workloads, requests=requests
+        workloads=workloads, requests=requests, n_workers=n_workers
     )
     rotation_primary = all(
         result.rotation_is_primary for result in bottleneck.values()
@@ -111,7 +117,9 @@ def run_scorecard(requests: int = DEFAULT_REQUESTS) -> List[Criterion]:
     )
 
     # --- 4. Figure 5 shape -----------------------------------------------
-    parallel = run_parallel_study(workloads=workloads, requests=requests)
+    parallel = run_parallel_study(
+        workloads=workloads, requests=requests, n_workers=n_workers
+    )
     sa_beats = all(
         parallel[name].by_actuators[4].mean_response_ms
         <= parallel[name].md.mean_response_ms
@@ -139,7 +147,9 @@ def run_scorecard(requests: int = DEFAULT_REQUESTS) -> List[Criterion]:
     )
 
     # --- 5. Figures 6/7 shape ----------------------------------------------
-    rpm = run_rpm_study(workloads=workloads, requests=requests)
+    rpm = run_rpm_study(
+        workloads=workloads, requests=requests, n_workers=n_workers
+    )
     matches = {}
     for name in ("websearch", "tpcc", "tpch"):
         reduced = [
@@ -166,7 +176,9 @@ def run_scorecard(requests: int = DEFAULT_REQUESTS) -> List[Criterion]:
     )
 
     # --- 6. Figure 8 shape --------------------------------------------------
-    raid = run_raid_study(requests=max(1200, requests // 2))
+    raid = run_raid_study(
+        requests=max(1200, requests // 2), n_workers=n_workers
+    )
     iso_ok = (
         raid.p90(1.0, 2, 8) <= raid.p90(1.0, 1, 16) * 1.35
         and raid.p90(1.0, 4, 4) <= raid.p90(1.0, 1, 16) * 1.35

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.experiments.configs import build_hcsd_system, build_md_system
+from repro.experiments.executor import Job, sweep
 from repro.experiments.runner import RunResult, run_trace
 from repro.metrics.report import format_table
 from repro.sim.engine import Environment
@@ -92,35 +93,49 @@ class SensitivityResult:
         return True
 
 
+def _cell_job(
+    workload: CommercialWorkload,
+    scale: float,
+    ladder: Tuple[int, ...],
+    requests: int,
+) -> SensitivityCell:
+    """One (workload, intensity-scale) cell (executes in a worker)."""
+    scaled = workload.scaled(scale)
+    trace = scaled.generate(requests)
+    env = Environment()
+    md = run_trace(env, build_md_system(env, scaled), trace)
+    cell = SensitivityCell(
+        workload=workload.name,
+        scale=scale,
+        interarrival_ms=scaled.mean_interarrival_ms,
+        md=md,
+    )
+    for actuators in ladder:
+        env = Environment()
+        system = build_hcsd_system(env, scaled, actuators=actuators)
+        cell.by_actuators[actuators] = run_trace(env, system, trace)
+    return cell
+
+
 def run_sensitivity_study(
     workloads: Optional[Iterable[CommercialWorkload]] = None,
     scales: Iterable[float] = DEFAULT_SCALES,
     actuator_ladder: Iterable[int] = DEFAULT_ACTUATOR_LADDER,
     requests: int = DEFAULT_REQUESTS,
+    n_workers: int = 1,
 ) -> SensitivityResult:
+    ladder = tuple(actuator_ladder)
+    jobs = [
+        Job(
+            _cell_job,
+            (workload, scale, ladder, requests),
+            key=(workload.name, scale),
+        )
+        for workload in (workloads or COMMERCIAL_WORKLOADS.values())
+        for scale in scales
+    ]
     result = SensitivityResult()
-    ladder = list(actuator_ladder)
-    for workload in workloads or COMMERCIAL_WORKLOADS.values():
-        for scale in scales:
-            scaled = workload.scaled(scale)
-            trace = scaled.generate(requests)
-            env = Environment()
-            md = run_trace(env, build_md_system(env, scaled), trace)
-            cell = SensitivityCell(
-                workload=workload.name,
-                scale=scale,
-                interarrival_ms=scaled.mean_interarrival_ms,
-                md=md,
-            )
-            for actuators in ladder:
-                env = Environment()
-                system = build_hcsd_system(
-                    env, scaled, actuators=actuators
-                )
-                cell.by_actuators[actuators] = run_trace(
-                    env, system, trace
-                )
-            result.cells.append(cell)
+    result.cells.extend(sweep(jobs, n_workers=n_workers))
     return result
 
 

@@ -79,8 +79,49 @@ class DiskArray:
         slices = self._map(request)
         completion = self.env.event()
         self._outstanding[request.request_id] = completion
-        self.env.process(self._run(request, slices, completion))
+        if len(slices) == 1:
+            # Fast path for the overwhelmingly common case (JBOD,
+            # concatenation, unstriped RAID-0 accesses): one physical
+            # slice needs no coordinating process or AllOf barrier — a
+            # completion callback on the drive event finishes the
+            # logical request at the same simulated instant.
+            piece = slices[0]
+            physical = request.clone(
+                lba=piece.lba,
+                size=piece.size,
+                is_read=piece.is_read,
+                arrival_time=self.env.now,
+                source_disk=piece.disk,
+            )
+            self.drives[piece.disk].submit(physical).callbacks.append(
+                lambda event: self._finish_single(
+                    request, physical, completion
+                )
+            )
+        else:
+            self.env.process(self._run(request, slices, completion))
         return completion
+
+    def _finish_single(
+        self,
+        request: IORequest,
+        physical: IORequest,
+        completion: Event,
+    ) -> None:
+        """Complete a one-slice logical request from its physical twin."""
+        request.completion_time = self.env.now
+        if request.start_service is None:
+            request.start_service = request.arrival_time
+        request.seek_time = physical.seek_time
+        request.rotational_latency = physical.rotational_latency
+        request.transfer_time = physical.transfer_time
+        request.cache_hit = physical.cache_hit
+        request.arm_id = physical.arm_id
+        self.requests_completed += 1
+        self._outstanding.pop(request.request_id, None)
+        completion.succeed(request)
+        for callback in self.on_complete:
+            callback(request)
 
     def _map(self, request: IORequest) -> List[Slice]:
         if self._failed_disk is not None:

@@ -13,6 +13,7 @@ The engine is deliberately small and deterministic:
 from __future__ import annotations
 
 import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -55,6 +56,8 @@ class Event:
     *triggered* (a value or exception has been set and the event is on
     the schedule), and *processed* (its callbacks have run).
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -125,6 +128,8 @@ class Event:
 class Timeout(Event):
     """An event that triggers ``delay`` time units after creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
@@ -138,6 +143,8 @@ class Timeout(Event):
 class Initialize(Event):
     """Internal: first resumption of a freshly created process."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process"):
         super().__init__(env)
         self.callbacks.append(process._resume)
@@ -147,6 +154,8 @@ class Initialize(Event):
 
 class Process(Event):
     """A running generator; also an event that triggers on termination."""
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "throw"):
@@ -249,6 +258,8 @@ class ConditionValue:
 class Condition(Event):
     """Composite event over several child events."""
 
+    __slots__ = ("_evaluate", "_events", "_count")
+
     def __init__(
         self,
         env: "Environment",
@@ -294,12 +305,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Triggers when every child event has triggered."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env, lambda events, count: count >= len(events), events)
 
 
 class AnyOf(Condition):
     """Triggers when at least one child event has triggered."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env, lambda events, count: count >= 1, events)
@@ -324,6 +339,11 @@ class Environment:
         return self._now
 
     @property
+    def scheduled_events(self) -> int:
+        """Total events scheduled so far (the bench's events/sec basis)."""
+        return self._eid
+
+    @property
     def active_process(self) -> Optional[Process]:
         return self._active_process
 
@@ -346,7 +366,7 @@ class Environment:
     # -- scheduling -------------------------------------------------------
     def _schedule(self, event: Event, priority: int, delay: float) -> None:
         self._eid += 1
-        heapq.heappush(
+        heappush(
             self._queue, (self._now + delay, priority, self._eid, event)
         )
 
@@ -356,11 +376,10 @@ class Environment:
 
     def step(self) -> None:
         """Process the next scheduled event."""
-        try:
-            when, _, _, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule() from None
-        self._now = when
+        queue = self._queue
+        if not queue:
+            raise EmptySchedule()
+        self._now, _, _, event = heappop(queue)
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
@@ -391,10 +410,21 @@ class Environment:
                 self._eid += 1
                 heapq.heappush(self._queue, (at, URGENT, self._eid, stop))
             stop.callbacks.append(_StopSignal.throw)
+        # Inlined step() loop: one event dispatch per iteration with the
+        # heap-pop and queue bound to locals.  This loop is the hottest
+        # frame of every simulation, so it avoids the per-event method
+        # call and attribute lookups of the public step() API.
+        queue = self._queue
+        pop = heappop
         try:
-            while True:
-                self.step()
-        except EmptySchedule:
+            while queue:
+                self._now, _, _, event = pop(queue)
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if event._ok is False and not event.defused:
+                    raise event._value
+            # Schedule exhausted.
             if stop is not None and stop.callbacks is not None:
                 if isinstance(until, Event):
                     raise SimulationError(

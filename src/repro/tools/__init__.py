@@ -6,8 +6,11 @@
   interface.
 * :mod:`repro.tools.validate` — analytic cross-checks of the simulator
   against M/G/1 queueing predictions.
+* :mod:`repro.tools.bench` — the reproducible benchmark harness behind
+  ``python -m repro bench``.
 """
 
+from repro.tools.bench import format_bench, run_bench, write_bench
 from repro.tools.characterize import (
     CharacterizationReport,
     characterize_drive,
@@ -23,6 +26,9 @@ __all__ = [
     "estimate_rotation_period_ms",
     "estimate_seek_curve",
     "estimate_zone_bandwidth",
+    "format_bench",
     "mg1_mean_response_ms",
+    "run_bench",
     "validate_against_mg1",
+    "write_bench",
 ]

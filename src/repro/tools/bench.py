@@ -1,0 +1,217 @@
+"""Reproducible benchmark harness for the simulator hot path.
+
+``python -m repro bench`` times a fixed-seed reference workload — the
+Figure 2 limit study (MD and HC-SD runs for every commercial workload)
+— at one worker and at the requested worker count, and writes a
+``BENCH_<date>.json`` snapshot with wall-clock, engine events/second
+and the parallel speedup.  The workload is fully deterministic, so two
+snapshots from the same machine and interpreter are directly
+comparable, and the recorded figure digest doubles as a regression
+check: serial and parallel runs must produce byte-identical figures.
+
+The JSON schema (``repro-bench/1``)::
+
+    {
+      "schema": "repro-bench/1",
+      "date": "2026-08-06",
+      "python": "3.11.x ...",
+      "cpu_count": 8,
+      "requests": 6000,
+      "repeats": 3,
+      "workloads": ["financial", "websearch", "tpcc", "tpch"],
+      "events": 123456,            # engine events per full pass
+      "figures_sha256": "...",     # digest of the per-run figures
+      "figures_identical": true,   # serial == parallel, bit for bit
+      "results": [
+        {"workers": 1, "wall_s": ..., "events_per_s": ...,
+         "speedup_vs_serial": 1.0},
+        {"workers": 4, "wall_s": ..., "events_per_s": ...,
+         "speedup_vs_serial": ...}
+      ]
+    }
+
+Wall-clock per configuration is the *minimum* over ``repeats`` timed
+passes — the standard estimator for the noise floor of a deterministic
+workload.
+"""
+
+from __future__ import annotations
+
+import datetime
+import hashlib
+import json
+import os
+import platform
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.configs import build_hcsd_system, build_md_system
+from repro.experiments.executor import Job, resolve_workers, sweep
+from repro.experiments.runner import run_trace
+from repro.metrics.report import format_table
+from repro.sim.engine import Environment
+from repro.workloads.commercial import COMMERCIAL_WORKLOADS
+
+__all__ = ["run_bench", "format_bench", "write_bench"]
+
+BENCH_SCHEMA = "repro-bench/1"
+
+
+def _bench_job(workload_name: str, requests: int) -> Dict:
+    """One limit-study workload pass, instrumented for the bench.
+
+    Returns the engine event count and a figure tuple (mean, p90,
+    total power for MD and HC-SD) — everything the harness needs to
+    compute events/second and to verify serial/parallel identity.
+    """
+    workload = COMMERCIAL_WORKLOADS[workload_name]
+    trace = workload.generate(requests)
+    env = Environment()
+    md = run_trace(env, build_md_system(env, workload), trace)
+    events = env.scheduled_events
+    env = Environment()
+    hcsd = run_trace(env, build_hcsd_system(env, workload), trace)
+    events += env.scheduled_events
+    return {
+        "workload": workload_name,
+        "events": events,
+        "figures": (
+            md.mean_response_ms,
+            md.percentile(90),
+            md.power.total_watts,
+            hcsd.mean_response_ms,
+            hcsd.percentile(90),
+            hcsd.power.total_watts,
+        ),
+    }
+
+
+def _jobs(workloads: Sequence[str], requests: int) -> List[Job]:
+    return [
+        Job(_bench_job, (name, requests), key=name) for name in workloads
+    ]
+
+
+def _figures_digest(outcomes: List[Dict]) -> str:
+    payload = json.dumps(
+        [[outcome["workload"], outcome["figures"]] for outcome in outcomes],
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("ascii")).hexdigest()
+
+
+def _timed_pass(
+    workloads: Sequence[str], requests: int, workers: int
+) -> Tuple[float, List[Dict]]:
+    start = time.perf_counter()
+    outcomes = sweep(_jobs(workloads, requests), n_workers=workers)
+    return time.perf_counter() - start, outcomes
+
+
+def run_bench(
+    requests: int = 6000,
+    workers: int = 1,
+    repeats: int = 3,
+    workloads: Optional[Sequence[str]] = None,
+) -> Dict:
+    """Time the reference workload; returns the ``repro-bench/1`` dict.
+
+    ``workers`` adds a second timed configuration beyond the serial
+    baseline (pass 1, the default, to time only the baseline); the
+    parallel pass's figures are checked against the serial pass's.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    selected = list(workloads or COMMERCIAL_WORKLOADS)
+    unknown = [name for name in selected if name not in COMMERCIAL_WORKLOADS]
+    if unknown:
+        raise ValueError(
+            f"unknown workloads {unknown}; choose from "
+            f"{sorted(COMMERCIAL_WORKLOADS)}"
+        )
+    worker_counts = [1]
+    resolved = resolve_workers(workers)
+    if resolved > 1:
+        worker_counts.append(resolved)
+
+    results = []
+    serial_digest: Optional[str] = None
+    serial_wall: Optional[float] = None
+    events = 0
+    figures_identical = True
+    for count in worker_counts:
+        wall = float("inf")
+        outcomes: List[Dict] = []
+        for _ in range(repeats):
+            elapsed, outcomes = _timed_pass(selected, requests, count)
+            wall = min(wall, elapsed)
+        events = sum(outcome["events"] for outcome in outcomes)
+        digest = _figures_digest(outcomes)
+        if serial_digest is None:
+            serial_digest = digest
+            serial_wall = wall
+        elif digest != serial_digest:
+            figures_identical = False
+        results.append(
+            {
+                "workers": count,
+                "wall_s": round(wall, 6),
+                "events_per_s": round(events / wall, 1),
+                "speedup_vs_serial": round(serial_wall / wall, 3),
+            }
+        )
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "date": datetime.date.today().isoformat(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "requests": requests,
+        "repeats": repeats,
+        "workloads": selected,
+        "events": events,
+        "figures_sha256": serial_digest,
+        "figures_identical": figures_identical,
+        "results": results,
+    }
+
+
+def format_bench(result: Dict) -> str:
+    rows = [
+        (
+            entry["workers"],
+            entry["wall_s"],
+            entry["events_per_s"],
+            entry["speedup_vs_serial"],
+        )
+        for entry in result["results"]
+    ]
+    table = format_table(
+        ["workers", "wall_s", "events_per_s", "speedup"],
+        rows,
+        title=(
+            f"Benchmark: {result['requests']} requests x "
+            f"{len(result['workloads'])} workloads (MD + HC-SD), "
+            f"best of {result['repeats']}"
+        ),
+        float_format="{:.3f}",
+    )
+    footer = (
+        f"engine events per pass: {result['events']}; "
+        f"cpu_count: {result['cpu_count']}; "
+        f"figures identical across worker counts: "
+        f"{result['figures_identical']}"
+    )
+    return f"{table}\n{footer}"
+
+
+def write_bench(result: Dict, path: Optional[str] = None) -> str:
+    """Write the snapshot; returns the path written."""
+    if path is None:
+        stamp = result["date"].replace("-", "")
+        path = f"BENCH_{stamp}.json"
+    with open(path, "w", encoding="ascii") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -21,14 +21,27 @@ __all__ = ["Trace", "load_trace", "save_trace"]
 class Trace:
     """An ordered sequence of I/O requests plus summary statistics."""
 
-    def __init__(self, requests: Iterable[IORequest], name: str = "trace"):
+    def __init__(
+        self,
+        requests: Iterable[IORequest],
+        name: str = "trace",
+        sort: bool = False,
+    ):
         self.requests: List[IORequest] = list(requests)
         self.name = name
-        for earlier, later in zip(self.requests, self.requests[1:]):
+        if sort:
+            # Stable, so simultaneous arrivals keep their input order
+            # (and therefore their FCFS tie-break behaviour).
+            self.requests.sort(key=lambda request: request.arrival_time)
+            return
+        for index, (earlier, later) in enumerate(
+            zip(self.requests, self.requests[1:])
+        ):
             if later.arrival_time < earlier.arrival_time:
                 raise ValueError(
-                    f"trace {name!r} arrival times not monotone: "
-                    f"{later.arrival_time} after {earlier.arrival_time}"
+                    f"trace {name!r} arrival times not monotone at "
+                    f"request {index + 1}: {later.arrival_time} after "
+                    f"{earlier.arrival_time}; pass sort=True to reorder"
                 )
 
     def __len__(self) -> int:

@@ -236,6 +236,33 @@ class TestStats:
         stats.record_arm_seek(2, 5.0)
         assert stats.per_arm_seek_ms == [0.0, 0.0, 5.0]
 
+    def test_for_arms_preallocates_shape(self):
+        assert DriveStats.for_arms(4).per_arm_seek_ms == [0.0] * 4
+        assert DriveStats.for_arms(0).per_arm_seek_ms == [0.0]
+
+    def test_drive_stats_preallocated_from_spec(self, tiny_spec):
+        """Regression: per-arm lists used to grow lazily on first seek,
+        so two drives' stats had different shapes until both had
+        serviced every arm — merging them misaligned the columns."""
+        import dataclasses
+
+        env = Environment()
+        single = ConventionalDrive(env, tiny_spec)
+        assert single.stats.per_arm_seek_ms == [0.0]
+        quad_spec = dataclasses.replace(tiny_spec, actuators=4)
+        quad = ConventionalDrive(env, quad_spec)
+        assert quad.stats.per_arm_seek_ms == [0.0] * 4
+
+    def test_parallel_disk_stats_match_arm_count(self, tiny_spec):
+        from repro.core.parallel_disk import ParallelDisk
+        from repro.core.taxonomy import DashConfig
+
+        env = Environment()
+        disk = ParallelDisk(
+            env, tiny_spec, config=DashConfig(arm_assemblies=3)
+        )
+        assert disk.stats.per_arm_seek_ms == [0.0] * 3
+
 
 class TestSpindlePhases:
     def test_same_label_drives_decorrelate(self, tiny_spec):

@@ -188,3 +188,69 @@ class TestTwoPhaseSeekModel:
 
         with pytest.raises(ValueError):
             TwoPhaseSeekModel.fit_published(5.0, 1.0, 17.0, 1000)
+
+
+class TestSeekMemo:
+    """The per-instance distance -> time cache on every seek model."""
+
+    def make(self):
+        return ThreePointSeekModel(0.8, 8.5, 17.0, 90_000)
+
+    def test_memo_starts_empty_and_fills_by_distance(self):
+        model = self.make()
+        assert model._memo == {}
+        first = model.seek_time(100, 5100)
+        assert model._memo == {5000: first}
+
+    def test_memoized_value_matches_uncached_curve(self):
+        model = self.make()
+        warm = self.make()
+        for distance in (1, 17, 5000, 89_999):
+            warm.seek_time(0, distance)  # populate
+            assert warm.seek_time(0, distance) == model.seek_time(
+                0, distance
+            )
+
+    def test_direction_and_origin_share_entries(self):
+        model = self.make()
+        forward = model.seek_time(0, 1234)
+        assert model.seek_time(1234, 0) == forward
+        assert model.seek_time(40_000, 41_234) == forward
+        assert len(model._memo) == 1
+
+    def test_zero_distance_bypasses_memo(self):
+        model = self.make()
+        assert model.seek_time(7, 7) == 0.0
+        assert model._memo == {}
+
+    def test_instances_never_share_caches(self):
+        """Guards against a class-level cache: each instance owns its
+        memo, so differently parameterised models can't cross-feed."""
+        fast = ThreePointSeekModel(0.4, 4.0, 8.0, 90_000)
+        slow = self.make()
+        fast_time = fast.seek_time(0, 3000)
+        assert slow._memo == {}
+        assert slow.seek_time(0, 3000) != fast_time
+
+    def test_scaled_drive_variants_stay_independent(self, tiny_spec):
+        """Figure 4's (1/2)S, (1/4)S and S=0 drives scale seeks
+        *outside* the model; warming one variant's cache must not leak
+        into another's results."""
+        from repro.disk.drive import ConventionalDrive
+        from repro.sim.engine import Environment
+
+        baseline = ConventionalDrive(Environment(), tiny_spec)
+        distance = 2500
+        unscaled = baseline.seek_model.seek_time(0, distance)
+        for scale in (0.5, 0.25, 0.0):
+            drive = ConventionalDrive(
+                Environment(), tiny_spec, seek_scale=scale
+            )
+            scaled = (
+                drive.seek_model.seek_time(0, distance) * drive.seek_scale
+            )
+            assert scaled == pytest.approx(unscaled * scale)
+            # The variant warmed only its own model's cache.
+            assert drive.seek_model._memo == {
+                distance: pytest.approx(unscaled)
+            }

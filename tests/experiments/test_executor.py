@@ -1,0 +1,153 @@
+"""Tests for the process-parallel experiment executor.
+
+The determinism tests are the tentpole guarantee: fanning a study out
+over worker processes must reproduce the serial figures *bit for bit*.
+"""
+
+import pickle
+import warnings
+
+import pytest
+
+from repro.experiments.executor import (
+    Job,
+    resolve_workers,
+    sweep,
+    sweep_by_key,
+)
+from repro.experiments.limit_study import run_limit_study
+from repro.experiments.rpm_study import run_rpm_study
+from repro.workloads.commercial import COMMERCIAL_WORKLOADS
+
+
+def _square(value):
+    return value * value
+
+
+def _with_kwargs(base, offset=0):
+    return base + offset
+
+
+class TestJob:
+    def test_run_applies_args_and_kwargs(self):
+        assert Job(_square, (3,)).run() == 9
+        assert Job(_with_kwargs, (10,), {"offset": 5}).run() == 15
+
+    def test_jobs_pickle(self):
+        job = Job(_square, (4,), key="sq4")
+        clone = pickle.loads(pickle.dumps(job))
+        assert clone.run() == 16
+        assert clone.key == "sq4"
+
+
+class TestResolveWorkers:
+    def test_explicit_count_passes_through(self):
+        assert resolve_workers(3) == 3
+
+    def test_none_and_zero_mean_all_cores(self):
+        assert resolve_workers(None) >= 1
+        assert resolve_workers(0) == resolve_workers(None)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+
+
+class TestSweep:
+    def test_serial_preserves_job_order(self):
+        jobs = [Job(_square, (n,)) for n in range(6)]
+        assert sweep(jobs) == [n * n for n in range(6)]
+
+    def test_parallel_preserves_job_order(self):
+        jobs = [Job(_square, (n,)) for n in range(6)]
+        assert sweep(jobs, n_workers=3) == [n * n for n in range(6)]
+
+    def test_unpicklable_jobs_fall_back_with_warning(self):
+        jobs = [Job(lambda: 1), Job(lambda: 2)]
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            assert sweep(jobs, n_workers=2) == [1, 2]
+
+    def test_single_worker_never_warns(self):
+        jobs = [Job(lambda: 1), Job(lambda: 2)]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert sweep(jobs, n_workers=1) == [1, 2]
+
+    def test_by_key_maps_results(self):
+        jobs = [Job(_square, (n,), key=f"n{n}") for n in range(3)]
+        assert sweep_by_key(jobs) == {"n0": 0, "n1": 1, "n2": 4}
+
+    def test_by_key_rejects_duplicates(self):
+        jobs = [Job(_square, (1,), key="dup"), Job(_square, (2,), key="dup")]
+        with pytest.raises(ValueError, match="unique"):
+            sweep_by_key(jobs)
+
+
+def _limit_figures(results):
+    return [
+        (
+            name,
+            result.md.mean_response_ms,
+            result.md.percentile(90),
+            result.md.power.total_watts,
+            result.hcsd.mean_response_ms,
+            result.hcsd.percentile(90),
+            result.hcsd.power.total_watts,
+        )
+        for name, result in results.items()
+    ]
+
+
+def _rpm_figures(results):
+    return [
+        (
+            name,
+            result.md.mean_response_ms,
+            tuple(
+                (
+                    label,
+                    run.mean_response_ms,
+                    run.percentile(90),
+                    run.power.total_watts,
+                )
+                for label, run in sorted(result.runs.items())
+            ),
+        )
+        for name, result in results.items()
+    ]
+
+
+class TestDeterminism:
+    """sweep(n_workers=4) == serial, bit for bit (fixed seeds)."""
+
+    WORKLOADS = ("websearch", "tpch")
+    REQUESTS = 400
+
+    def _workloads(self):
+        return [COMMERCIAL_WORKLOADS[name] for name in self.WORKLOADS]
+
+    def test_figure2_limit_study_identical_across_workers(self):
+        serial = run_limit_study(
+            workloads=self._workloads(), requests=self.REQUESTS
+        )
+        parallel = run_limit_study(
+            workloads=self._workloads(),
+            requests=self.REQUESTS,
+            n_workers=4,
+        )
+        assert _limit_figures(serial) == _limit_figures(parallel)
+
+    def test_figure7_rpm_study_identical_across_workers(self):
+        points = ((1, None), (2, 5200), (4, 4200))
+        serial = run_rpm_study(
+            workloads=self._workloads(),
+            design_points=points,
+            requests=self.REQUESTS,
+        )
+        parallel = run_rpm_study(
+            workloads=self._workloads(),
+            design_points=points,
+            requests=self.REQUESTS,
+            n_workers=4,
+        )
+        assert _rpm_figures(serial) == _rpm_figures(parallel)

@@ -32,6 +32,16 @@ class TestRunTrace:
         run_trace(env, system, trace)
         assert all(r.completion_time is None for r in trace)
 
+    def test_unsorted_iterable_rejected(self, light_workload):
+        """Regression: out-of-order arrivals used to be silently
+        submitted late with rewritten arrival times."""
+        requests = [r.clone() for r in light_workload.generate(20)]
+        requests[5], requests[6] = requests[6], requests[5]
+        env = Environment()
+        system = build_hcsd_system(env, light_workload)
+        with pytest.raises(ValueError, match="not monotone"):
+            run_trace(env, system, requests)
+
     def test_trace_reusable_across_runs(self, light_workload):
         trace = light_workload.generate(150)
 

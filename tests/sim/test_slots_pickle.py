@@ -1,0 +1,88 @@
+"""The hot-path classes use ``__slots__``; they must stay picklable.
+
+The parallel executor ships jobs (and anything they close over) across
+process boundaries, so the slotted simulation objects have to survive
+pickle round-trips, and the slots must actually be in effect (no
+``__dict__`` quietly re-adding per-instance overhead).
+"""
+
+import pickle
+
+import pytest
+
+from repro.disk.geometry import PhysicalAddress, Zone
+from repro.disk.request import IORequest
+from repro.sim.engine import Environment, Event, Timeout
+
+
+class TestSlotsAreInEffect:
+    def test_no_instance_dict(self):
+        env = Environment()
+        for obj in (
+            env.event(),
+            env.timeout(1.0),
+            IORequest(lba=0, size=8, is_read=True, arrival_time=0.0),
+            PhysicalAddress(cylinder=1, surface=0, sector=2),
+        ):
+            assert not hasattr(obj, "__dict__"), type(obj).__name__
+
+    def test_unknown_attribute_rejected(self):
+        event = Environment().event()
+        with pytest.raises(AttributeError):
+            event.no_such_attribute = 1
+
+
+class TestPickleRoundTrips:
+    def test_io_request(self):
+        request = IORequest(
+            lba=1234, size=16, is_read=False, arrival_time=7.5
+        )
+        request.seek_time = 3.25
+        clone = pickle.loads(pickle.dumps(request))
+        assert clone.lba == 1234
+        assert clone.size == 16
+        assert clone.is_read is False
+        assert clone.arrival_time == 7.5
+        assert clone.seek_time == 3.25
+
+    def test_physical_address_and_zone(self):
+        address = PhysicalAddress(cylinder=9, surface=2, sector=100)
+        assert pickle.loads(pickle.dumps(address)) == address
+        zone = Zone(
+            first_cylinder=0,
+            cylinder_count=100,
+            sectors_per_track=500,
+            first_lba=0,
+        )
+        clone = pickle.loads(pickle.dumps(zone))
+        assert clone.sectors_per_track == 500
+        assert clone.last_cylinder == 99
+
+    def test_event_and_timeout_graph(self):
+        env = Environment()
+        timeout = env.timeout(5.0)
+        event = env.event()
+        env_clone = pickle.loads(pickle.dumps(env))
+        timeout_clone, event_clone = pickle.loads(
+            pickle.dumps((timeout, event))
+        )
+        assert isinstance(timeout_clone, Timeout)
+        assert timeout_clone.delay == 5.0
+        assert isinstance(event_clone, Event)
+        assert not event_clone.triggered
+        # The unpickled environment is a working engine: its pending
+        # timeout still drives the clock.
+        env_clone.run()
+        assert env_clone.now == 5.0
+
+    def test_unpickled_environment_runs_fresh_processes(self):
+        env = pickle.loads(pickle.dumps(Environment()))
+        fired = []
+
+        def proc():
+            yield env.timeout(2.0)
+            fired.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert fired == [2.0]

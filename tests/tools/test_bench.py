@@ -1,0 +1,90 @@
+"""Smoke tests for the benchmark harness (``python -m repro bench``).
+
+Marked ``bench_smoke``: a tiny (500-request) pass that checks the
+``repro-bench/1`` JSON schema and the harness's determinism promise
+without timing anything meaningful.  Runs inside the tier-1 suite.
+"""
+
+import json
+
+import pytest
+
+from repro.tools.bench import (
+    BENCH_SCHEMA,
+    format_bench,
+    run_bench,
+    write_bench,
+)
+
+REQUIRED_KEYS = {
+    "schema",
+    "date",
+    "python",
+    "platform",
+    "cpu_count",
+    "requests",
+    "repeats",
+    "workloads",
+    "events",
+    "figures_sha256",
+    "figures_identical",
+    "results",
+}
+
+RESULT_KEYS = {"workers", "wall_s", "events_per_s", "speedup_vs_serial"}
+
+
+@pytest.fixture(scope="module")
+def smoke_result():
+    return run_bench(
+        requests=500,
+        workers=1,
+        repeats=1,
+        workloads=("websearch",),
+    )
+
+
+@pytest.mark.bench_smoke
+class TestBenchSmoke:
+    def test_schema_keys(self, smoke_result):
+        assert smoke_result["schema"] == BENCH_SCHEMA
+        assert REQUIRED_KEYS <= set(smoke_result)
+        for entry in smoke_result["results"]:
+            assert RESULT_KEYS <= set(entry)
+
+    def test_serial_baseline_shape(self, smoke_result):
+        assert smoke_result["requests"] == 500
+        assert smoke_result["workloads"] == ["websearch"]
+        assert smoke_result["cpu_count"] >= 1
+        assert smoke_result["events"] > 0
+        baseline = smoke_result["results"][0]
+        assert baseline["workers"] == 1
+        assert baseline["wall_s"] > 0
+        assert baseline["events_per_s"] > 0
+        assert baseline["speedup_vs_serial"] == 1.0
+        assert smoke_result["figures_identical"] is True
+
+    def test_snapshot_round_trips_as_json(self, smoke_result, tmp_path):
+        path = write_bench(smoke_result, str(tmp_path / "BENCH_test.json"))
+        with open(path, encoding="ascii") as handle:
+            loaded = json.load(handle)
+        assert loaded == smoke_result
+
+    def test_default_path_uses_date_stamp(self, smoke_result, tmp_path,
+                                          monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        path = write_bench(smoke_result)
+        stamp = smoke_result["date"].replace("-", "")
+        assert path == f"BENCH_{stamp}.json"
+        assert (tmp_path / path).exists()
+
+    def test_format_mentions_throughput(self, smoke_result):
+        text = format_bench(smoke_result)
+        assert "events_per_s" in text
+        assert "cpu_count" in text
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            run_bench(requests=500, repeats=0)
+        with pytest.raises(ValueError, match="unknown workloads"):
+            run_bench(requests=500, workloads=("nope",))

@@ -24,6 +24,21 @@ class TestTrace:
         with pytest.raises(ValueError, match="monotone"):
             Trace(requests)
 
+    def test_sort_reorders_unsorted_requests(self):
+        requests = make_requests()
+        requests[1].arrival_time = 10.0
+        trace = Trace(requests, sort=True)
+        arrivals = [r.arrival_time for r in trace]
+        assert arrivals == sorted(arrivals)
+        assert [r.lba for r in trace] == [0, 116, 100]
+
+    def test_sort_is_stable_for_simultaneous_arrivals(self):
+        requests = make_requests()
+        for request in requests:
+            request.arrival_time = 1.0
+        trace = Trace(requests, sort=True)
+        assert [r.lba for r in trace] == [0, 100, 116]
+
     def test_len_and_iteration(self):
         trace = Trace(make_requests())
         assert len(trace) == 3
