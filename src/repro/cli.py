@@ -10,9 +10,14 @@ Usage (``python -m repro <command> ...``)::
     python -m repro simulate --workload websearch --actuators 4
     python -m repro fig5 --workers 4          # fan runs out over processes
     python -m repro bench                     # write BENCH_<date>.json
+    python -m repro trace limit_study --out trace.json   # Perfetto trace
+    python -m repro fig5 --trace fig5.json    # trace any command's runs
 
 Every command prints the same plain-text tables the benchmark harness
-asserts against.
+asserts against.  ``--trace PATH`` records a request-lifecycle trace of
+the command (Chrome trace-event JSON, loadable in ui.perfetto.dev)
+without changing any figure; the dedicated ``trace`` subcommand runs a
+named experiment with richer per-arm instrumentation.
 """
 
 from __future__ import annotations
@@ -195,7 +200,7 @@ def _list(args) -> None:
     print("artifacts:", ", ".join(ARTIFACTS))
     print(
         "other commands: all, report, scorecard, workloads, simulate, "
-        "bench, list"
+        "bench, trace, list"
     )
 
 
@@ -270,6 +275,39 @@ def _bench(args) -> None:
     )
     print(format_bench(result))
     path = write_bench(result, args.output)
+    print(f"wrote {path}")
+
+
+def _trace(args) -> None:
+    from repro.obs.export import write_chrome_trace, write_span_jsonl
+    from repro.obs.run import TRACEABLE_EXPERIMENTS, trace_experiment
+
+    if args.experiment not in TRACEABLE_EXPERIMENTS:
+        raise SystemExit(
+            f"unknown experiment {args.experiment!r}; choose from "
+            f"{', '.join(sorted(TRACEABLE_EXPERIMENTS))}"
+        )
+    run = trace_experiment(
+        args.experiment,
+        requests=args.requests,
+        n_workers=args.workers,
+        actuators=args.actuators,
+    )
+    tracer = run.tracer
+    for line in run.summary:
+        print(line)
+    categories = ", ".join(
+        f"{cat}={count}"
+        for cat, count in sorted(tracer.spans_by_category().items())
+    )
+    print(f"spans: {len(tracer.spans)} ({categories})")
+    if tracer.dropped_spans:
+        print(f"dropped spans (max_spans cap): {tracer.dropped_spans}")
+    print(f"figures sha256: {run.figures_sha256}")
+    if args.format == "jsonl":
+        path = write_span_jsonl(tracer, args.out)
+    else:
+        path = write_chrome_trace(tracer, args.out)
     print(f"wrote {path}")
 
 
@@ -351,6 +389,16 @@ def build_parser() -> argparse.ArgumentParser:
                 "any worker count"
             ),
         )
+        command.add_argument(
+            "--trace",
+            metavar="PATH",
+            default=None,
+            help=(
+                "record a request-lifecycle trace of this command and "
+                "write Chrome trace-event JSON to PATH (open in "
+                "ui.perfetto.dev); figures are unchanged"
+            ),
+        )
         return command
 
     for name in ARTIFACTS:
@@ -393,6 +441,61 @@ def build_parser() -> argparse.ArgumentParser:
     listing = sub.add_parser("list", help="list available artifacts")
     listing.set_defaults(handler=_list)
 
+    trace = sub.add_parser(
+        "trace",
+        help=(
+            "run an experiment with request-lifecycle tracing and "
+            "export the trace"
+        ),
+    )
+    trace.set_defaults(handler=_trace)
+    trace.add_argument(
+        "experiment",
+        help=(
+            "experiment to trace: limit_study | parallel_study | "
+            "bottleneck | rpm_study | rebuild"
+        ),
+    )
+    trace.add_argument(
+        "-o",
+        "--out",
+        default="trace.json",
+        help="output path (default trace.json)",
+    )
+    trace.add_argument(
+        "--format",
+        choices=("chrome", "jsonl"),
+        default="chrome",
+        help=(
+            "chrome = trace-event JSON for Perfetto (default); "
+            "jsonl = one span per line"
+        ),
+    )
+    trace.add_argument(
+        "--requests",
+        type=int,
+        default=1000,
+        help="requests per traced run (default 1000)",
+    )
+    trace.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "worker processes (default 1; 0 = all cores); worker "
+            "traces are merged, figures identical for any count"
+        ),
+    )
+    trace.add_argument(
+        "--actuators",
+        type=int,
+        default=4,
+        help=(
+            "arm count of the supplementary HC-SD-SA(n) runs "
+            "(limit_study) and RAID members (rebuild); default 4"
+        ),
+    )
+
     simulate = add("simulate", _simulate, "run one custom configuration")
     simulate.add_argument(
         "--workload",
@@ -416,7 +519,17 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    args.handler(args)
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        from repro.obs.export import write_chrome_trace
+        from repro.obs.tracer import tracing
+
+        with tracing() as tracer:
+            args.handler(args)
+        write_chrome_trace(tracer, trace_path)
+        print(f"wrote {trace_path} ({len(tracer.spans)} spans)")
+    else:
+        args.handler(args)
     return 0
 
 

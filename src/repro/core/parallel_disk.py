@@ -200,6 +200,16 @@ class ParallelDisk(ConventionalDrive):
         self.stats.seek_ms += move
         self.stats.record_arm_seek(farthest.arm_id, move)
         self.repositions += 1
+        if self.tracer.enabled:
+            self.tracer.span(
+                "preposition",
+                "seek",
+                now,
+                move,
+                (self.label, f"arm {farthest.arm_id}"),
+                args={"to_cylinder": target_cylinder},
+            )
+            self.tracer.telemetry.counter("arms.repositions").inc()
 
     # -- service ------------------------------------------------------------
     def _service_media(self, request: IORequest, overhead: float):
@@ -214,6 +224,28 @@ class ParallelDisk(ConventionalDrive):
             request, self.env.now + overhead + settle, address=address
         )
         seek += settle
+        if self.tracer.enabled:
+            # Annotate the SPTF arm decision: which assembly won, what
+            # it cost, and how contested the choice was — the per-arm
+            # view behind the paper's Figure 5 latency shortening.
+            now = self.env.now
+            self.tracer.instant(
+                "arm-select",
+                now,
+                (self.label, f"arm {arm.arm_id}"),
+                args={
+                    "req": request.request_id,
+                    "arm": arm.arm_id,
+                    "seek_ms": seek,
+                    "rotation_ms": rotation,
+                    "idle_arms": sum(
+                        1 for a in self.arms if a.is_idle(now)
+                    ),
+                },
+            )
+            self.tracer.telemetry.counter(
+                f"arms.selected.{arm.arm_id}"
+            ).inc()
         self._preposition(arm, address.cylinder)
 
         # Seek, rotation (estimated at decision time for the instant the
@@ -221,6 +253,16 @@ class ParallelDisk(ConventionalDrive):
         # combined timeout reaches the same completion instant as
         # yielding per phase at a third of the engine-event cost.
         transfer = self._transfer_time(request)
+        if self.tracer.enabled:
+            self._record_phase_spans(
+                request,
+                self.env.now,
+                overhead,
+                seek,
+                rotation,
+                transfer,
+                arm.arm_id,
+            )
         yield self.env.timeout(overhead + seek + rotation + transfer)
         self.stats.transfer_ms += overhead
         self.stats.seek_ms += seek

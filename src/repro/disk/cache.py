@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 __all__ = ["CacheStats", "DiskCache"]
 
@@ -37,6 +37,15 @@ class CacheStats:
     def hit_ratio(self) -> float:
         lookups = self.read_lookups
         return self.read_hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> dict:
+        """Snapshot for telemetry exports."""
+        return {
+            "read_hits": self.read_hits,
+            "read_misses": self.read_misses,
+            "write_installs": self.write_installs,
+            "hit_ratio": self.hit_ratio,
+        }
 
 
 class _Segment:
@@ -93,6 +102,12 @@ class DiskCache:
         self.segment_capacity = capacity_sectors // segments
         self.cache_writes = cache_writes
         self.stats = CacheStats()
+        #: Optional observability hook: called with ``(kind, lba, size)``
+        #: for ``"hit"`` / ``"miss"`` lookups and ``"install_write"`` /
+        #: ``"invalidate"`` updates.  The owning drive wires this to the
+        #: telemetry registry when tracing is enabled; the default
+        #: ``None`` keeps the lookup path branch-cheap.
+        self.listener: Optional[Callable[[str, int, int], None]] = None
         # LRU order: oldest first. Keys are opaque ids.
         self._segments: "OrderedDict[int, _Segment]" = OrderedDict()
         self._next_id = 0
@@ -110,8 +125,12 @@ class DiskCache:
             if segment.covers(lba, size):
                 self._segments.move_to_end(key)
                 self.stats.read_hits += 1
+                if self.listener is not None:
+                    self.listener("hit", lba, size)
                 return True
         self.stats.read_misses += 1
+        if self.listener is not None:
+            self.listener("miss", lba, size)
         return False
 
     def contains(self, lba: int, size: int) -> bool:
@@ -149,6 +168,8 @@ class DiskCache:
             start = end - self.segment_capacity
         self._install(start, end)
         self.stats.write_installs += 1
+        if self.listener is not None:
+            self.listener("install_write", lba, size)
 
     def invalidate(self, lba: int, size: int) -> int:
         """Drop any segment overlapping ``[lba, lba+size)``.
@@ -164,6 +185,8 @@ class DiskCache:
         ]
         for key in doomed:
             del self._segments[key]
+        if doomed and self.listener is not None:
+            self.listener("invalidate", lba, size)
         return len(doomed)
 
     def _install(self, start: int, end: int) -> None:

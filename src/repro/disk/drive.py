@@ -32,6 +32,7 @@ from repro.disk.scheduler import (
 )
 from repro.disk.seek import SeekModel
 from repro.disk.specs import DriveSpec
+from repro.obs.tracer import tracer_for
 from repro.sim.engine import Environment, Event
 
 __all__ = ["ConventionalDrive", "DriveStats"]
@@ -157,6 +158,14 @@ class ConventionalDrive:
         self.cache: DiskCache = spec.build_cache(segments=cache_segments)
 
         self.stats = DriveStats.for_arms(getattr(spec, "actuators", 1))
+        #: Observability: resolved once at construction (``env.tracer``
+        #: or the ambient tracer; the zero-cost null tracer otherwise).
+        #: Every instrumentation site below is guarded by
+        #: ``tracer.enabled`` so untraced hot paths pay one attribute
+        #: load and a branch, nothing more.
+        self.tracer = tracer_for(env)
+        if self.tracer.enabled:
+            self._wire_cache_telemetry()
         #: Callbacks invoked with each completed request.
         self.on_complete: List[Callable[[IORequest], None]] = []
 
@@ -238,6 +247,33 @@ class ConventionalDrive:
         context.current_cylinder = self._current_cylinder
         return context
 
+    def _wire_cache_telemetry(self) -> None:
+        """Route cache events into the tracer's telemetry registry."""
+        telemetry = self.tracer.telemetry
+        hits = telemetry.counter("cache.read_hits")
+        misses = telemetry.counter("cache.read_misses")
+        installs = telemetry.counter("cache.write_installs")
+        invalidations = telemetry.counter("cache.invalidations")
+        by_kind = {
+            "hit": hits,
+            "miss": misses,
+            "install_write": installs,
+            "invalidate": invalidations,
+        }
+
+        def listener(kind: str, lba: int, size: int) -> None:
+            by_kind[kind].inc()
+
+        self.cache.listener = listener
+
+    def _span_args(self, request: IORequest) -> Dict:
+        return {
+            "req": request.request_id,
+            "lba": request.lba,
+            "sectors": request.size,
+            "rw": "R" if request.is_read else "W",
+        }
+
     def _serve_loop(self):
         while True:
             while not self._pending:
@@ -251,6 +287,15 @@ class ConventionalDrive:
 
     def _service(self, request: IORequest):
         request.start_service = self.env.now
+        if self.tracer.enabled:
+            self.tracer.span(
+                "queue",
+                "queue",
+                request.arrival_time,
+                self.env.now - request.arrival_time,
+                (self.label, "queue"),
+                args=self._span_args(request),
+            )
         overhead = self.spec.controller_overhead_ms
         if request.is_read and self.cache.lookup_read(
             request.lba, request.size
@@ -263,6 +308,15 @@ class ConventionalDrive:
     def _service_cache_hit(self, request: IORequest, overhead: float):
         bus_ms = (request.size * 512 / self.spec.bus_bytes_per_s) * 1000.0
         total = overhead + bus_ms
+        if self.tracer.enabled:
+            self.tracer.span(
+                "cache-hit",
+                "cache",
+                self.env.now,
+                total,
+                (self.label, "cache"),
+                args=self._span_args(request),
+            )
         yield self.env.timeout(total)
         request.cache_hit = True
         request.transfer_time = bus_ms
@@ -291,6 +345,10 @@ class ConventionalDrive:
             * self.rotation_scale
         )
         transfer = self._transfer_time(request)
+        if self.tracer.enabled:
+            self._record_phase_spans(
+                request, self.env.now, overhead, seek, rotation, transfer, 0
+            )
         yield self.env.timeout(overhead + seek + rotation + transfer)
         self.stats.transfer_ms += overhead  # overhead billed as transfer
         self.stats.seek_ms += seek
@@ -308,6 +366,37 @@ class ConventionalDrive:
             request.lba + request.size - 1
         ).cylinder
         self._update_cache(request, address)
+
+    def _record_phase_spans(
+        self,
+        request: IORequest,
+        start: float,
+        overhead: float,
+        seek: float,
+        rotation: float,
+        transfer: float,
+        arm_id: int,
+    ) -> None:
+        """Emit the per-phase service spans on the servicing arm's track.
+
+        Every phase duration is fixed at dispatch (the drives issue one
+        combined timeout), so the spans can be recorded prospectively —
+        recording schedules no engine events and cannot perturb the run.
+        """
+        tracer = self.tracer
+        track = (self.label, f"arm {arm_id}")
+        args = self._span_args(request)
+        at = start
+        if overhead > 0.0:
+            tracer.span("overhead", "overhead", at, overhead, track, args)
+            at += overhead
+        if seek > 0.0:
+            tracer.span("seek", "seek", at, seek, track, args)
+            at += seek
+        if rotation > 0.0:
+            tracer.span("rotation", "rotation", at, rotation, track, args)
+            at += rotation
+        tracer.span("transfer", "transfer", at, transfer, track, args)
 
     def _transfer_time(self, request: IORequest) -> float:
         spt, track_crossings, cylinder_crossings = (

@@ -23,6 +23,16 @@ Determinism guarantee
 single-worker behaviour — including breakpoints, monkeypatching and
 ad-hoc instrumentation inside job functions — is exactly the plain
 serial call.
+
+Observability
+-------------
+When an ambient tracer (:func:`repro.obs.tracing`) is active, a
+multi-process sweep transparently collects each worker's spans and
+telemetry: the job is wrapped so the worker runs it under a fresh
+tracer and ships the recorded payload back with the result, and the
+parent merges the payloads into the ambient tracer in job order —
+deterministic, and without re-running anything.  Tracing never changes
+job *results*; the figures stay bit-identical to an untraced sweep.
 """
 
 from __future__ import annotations
@@ -68,6 +78,20 @@ def _run_job(job: Job) -> Any:
     return job.run()
 
 
+def _run_job_traced(job: Job) -> Tuple[Any, Dict]:
+    """Worker-side wrapper: run ``job`` under a fresh tracer.
+
+    Returns ``(result, payload)`` where the payload is the plain-data
+    form of everything the job recorded (spans + telemetry), ready to
+    cross the process boundary.
+    """
+    from repro.obs.tracer import Tracer, tracing
+
+    with tracing(Tracer()) as tracer:
+        result = job.run()
+    return result, tracer.payload()
+
+
 def _picklable(jobs: List[Job]) -> bool:
     try:
         pickle.dumps(jobs)
@@ -107,7 +131,27 @@ def sweep(
         )
         workers = 1
     if workers <= 1 or len(job_list) <= 1:
+        # In-process: an active ambient tracer observes the jobs
+        # directly, no wrapping required.
         return [job.run() for job in job_list]
+    from repro.obs.tracer import current_tracer
+
+    tracer = current_tracer()
+    if tracer.enabled:
+        # Fan out with per-worker tracers and merge the recorded
+        # payloads back (in job order, so merged traces are
+        # deterministic for any worker count).
+        wrapped = [Job(_run_job_traced, (job,), key=job.key)
+                   for job in job_list]
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(job_list))
+        ) as pool:
+            pairs = list(pool.map(_run_job, wrapped, chunksize=chunksize))
+        results = []
+        for result, payload in pairs:
+            tracer.merge_payload(payload)
+            results.append(result)
+        return results
     with ProcessPoolExecutor(
         max_workers=min(workers, len(job_list))
     ) as pool:

@@ -14,6 +14,7 @@ from typing import List, Optional
 
 from repro.disk.request import IORequest
 from repro.metrics.collector import RequestCollector
+from repro.obs.tracer import tracer_for
 from repro.power.accounting import PowerBreakdown, array_power
 from repro.raid.array import DiskArray
 from repro.sim.engine import Environment
@@ -104,8 +105,37 @@ def run_trace(
             request.arrival_time = env.now
             system.submit(request)
 
+    # Every span a run records fires inside env.run(); scoping the run
+    # by its label separates identically named drives of different
+    # runs onto distinct exporter tracks (e.g. the HC-SD drive, which
+    # is always called after its spec, across four workloads).
+    run_label = label or system.label
+    tracer = tracer_for(env)
     env.process(producer())
-    env.run()
+    with tracer.scope(run_label):
+        if tracer.enabled:
+            tracer.instant(
+                "run-start",
+                env.now,
+                (system.label, "run"),
+                args={"requests": len(fresh)},
+            )
+        env.run()
+        if tracer.enabled:
+            tracer.instant(
+                "run-end",
+                env.now,
+                (system.label, "run"),
+                args={"requests": len(fresh), "elapsed_ms": env.now},
+            )
+    if tracer.enabled:
+        telemetry = tracer.telemetry
+        telemetry.counter("runs.completed").inc()
+        telemetry.stats("run.elapsed_ms").add(env.now)
+        if collector.completed:
+            telemetry.stats("run.mean_response_ms").add(
+                collector.mean_response_ms
+            )
     completed = collector.completed + warmed_up
     if completed != len(fresh):
         raise RuntimeError(

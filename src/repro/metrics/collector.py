@@ -72,6 +72,47 @@ class RequestCollector:
         if self.keep_samples:
             self.response_times.append(response)
 
+    def merge(self, other: "RequestCollector") -> "RequestCollector":
+        """Return a new collector combining this one and ``other``.
+
+        Stats merge with the parallel Welford formula and histograms
+        bucket-wise, so the result is what a single collector would
+        have recorded over both request streams.  Samples concatenate
+        only when *both* sides kept them; otherwise the merged
+        collector has ``keep_samples=False`` and the same shape as any
+        sample-free collector (histogram-backed summaries still work).
+        Neither input is modified.
+        """
+        merged = RequestCollector(
+            keep_samples=self.keep_samples and other.keep_samples
+        )
+        merged.response_stats = self.response_stats.merge(
+            other.response_stats
+        )
+        merged.rotational_stats = self.rotational_stats.merge(
+            other.rotational_stats
+        )
+        merged.seek_stats = self.seek_stats.merge(other.seek_stats)
+        merged.response_histogram = self.response_histogram.merge(
+            other.response_histogram
+        )
+        merged.rotational_histogram = self.rotational_histogram.merge(
+            other.rotational_histogram
+        )
+        merged.completed = self.completed + other.completed
+        merged.cache_hits = self.cache_hits + other.cache_hits
+        merged.reads = self.reads + other.reads
+        merged.nonzero_seeks = self.nonzero_seeks + other.nonzero_seeks
+        if merged.keep_samples:
+            merged.response_times = (
+                self.response_times + other.response_times
+            )
+            merged.rotational_latencies = (
+                self.rotational_latencies + other.rotational_latencies
+            )
+            merged.seek_times = self.seek_times + other.seek_times
+        return merged
+
     # -- summaries --------------------------------------------------------
     def response_cdf(self) -> List[float]:
         """Cumulative fractions at the paper's response-time edges."""

@@ -1,0 +1,64 @@
+"""``repro.obs`` — request-lifecycle tracing and telemetry.
+
+The observability subsystem makes the paper's analytical decomposition
+of response time (queue vs. seek vs. rotational latency vs. transfer,
+§7.1–§7.2) directly visible from a single run instead of being
+inferred from aggregate histograms after the fact.
+
+Three pieces:
+
+* :class:`~repro.obs.tracer.Tracer` — a low-overhead span recorder
+  with per-request, per-drive and per-arm attribution.  The default
+  everywhere is the zero-cost :class:`~repro.obs.tracer.NullTracer`,
+  so untraced runs execute the exact same arithmetic (figures are
+  bit-identical with tracing on or off).
+* :class:`~repro.obs.registry.TelemetryRegistry` — counters, gauges
+  and distribution collectors built on
+  :class:`~repro.sim.stats.OnlineStats` /
+  :class:`~repro.sim.stats.BucketHistogram`, mergeable across worker
+  processes.
+* Exporters — Chrome trace-event / Perfetto JSON
+  (:func:`~repro.obs.export.write_chrome_trace`) and a JSONL span log
+  (:func:`~repro.obs.export.write_span_jsonl`), so a limit-study run
+  opens in ``ui.perfetto.dev`` with drives as processes and arms as
+  tracks.
+
+See ``docs/observability.md`` for the span schema and a walkthrough.
+"""
+
+from repro.obs.export import (
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_span_jsonl,
+)
+from repro.obs.registry import NULL_REGISTRY, TelemetryRegistry
+from repro.obs.tracer import (
+    NULL_TRACER,
+    PHASES,
+    NullTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    set_current_tracer,
+    tracer_for,
+    tracing,
+)
+
+__all__ = [
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "PHASES",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "TelemetryRegistry",
+    "current_tracer",
+    "set_current_tracer",
+    "to_chrome_trace",
+    "tracer_for",
+    "tracing",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_span_jsonl",
+]

@@ -1,0 +1,243 @@
+"""Counters, gauges and distribution collectors for telemetry.
+
+A :class:`TelemetryRegistry` is a flat, name-keyed store of metrics.
+Distribution metrics reuse the single-pass collectors from
+:mod:`repro.sim.stats`, so every metric kind supports an exact
+pairwise :meth:`~TelemetryRegistry.merge_snapshot` — the property the
+experiment executor relies on to combine per-worker telemetry without
+re-running anything.
+
+Snapshots are plain JSON-compatible dicts (and therefore picklable),
+which is what crosses the process boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.stats import BucketHistogram, OnlineStats
+
+__all__ = ["Counter", "Gauge", "NULL_REGISTRY", "TelemetryRegistry"]
+
+
+class Counter:
+    """A monotonically increasing integer/float count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment")
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins scalar (e.g. rebuild progress)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+def _stats_to_dict(stats: OnlineStats) -> Dict:
+    return {
+        "count": stats.count,
+        "mean": stats._mean,
+        "m2": stats._m2,
+        "min": stats.minimum,
+        "max": stats.maximum,
+        "total": stats.total,
+    }
+
+
+def _stats_from_dict(payload: Dict) -> OnlineStats:
+    stats = OnlineStats()
+    stats.count = payload["count"]
+    stats._mean = payload["mean"]
+    stats._m2 = payload["m2"]
+    stats.minimum = payload["min"]
+    stats.maximum = payload["max"]
+    stats.total = payload["total"]
+    return stats
+
+
+class TelemetryRegistry:
+    """Name-keyed counters, gauges, online stats and histograms.
+
+    Accessors are get-or-create, so instrumentation sites never need
+    registration boilerplate::
+
+        registry.counter("cache.read_hits").inc()
+        registry.stats("run.elapsed_ms").add(elapsed)
+    """
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._stats: Dict[str, OnlineStats] = {}
+        self._histograms: Dict[str, BucketHistogram] = {}
+
+    # -- get-or-create accessors ------------------------------------------
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def stats(self, name: str) -> OnlineStats:
+        metric = self._stats.get(name)
+        if metric is None:
+            metric = self._stats[name] = OnlineStats()
+        return metric
+
+    def histogram(
+        self, name: str, edges: Optional[Sequence[float]] = None
+    ) -> BucketHistogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            if edges is None:
+                raise ValueError(
+                    f"histogram {name!r} does not exist yet; supply edges"
+                )
+            metric = self._histograms[name] = BucketHistogram(list(edges))
+        return metric
+
+    def __len__(self) -> int:
+        return (
+            len(self._counters)
+            + len(self._gauges)
+            + len(self._stats)
+            + len(self._histograms)
+        )
+
+    # -- snapshots and merging --------------------------------------------
+    def snapshot(self) -> Dict:
+        """A JSON-compatible (and picklable) copy of every metric."""
+        return {
+            "counters": {
+                name: metric.value for name, metric in self._counters.items()
+            },
+            "gauges": {
+                name: metric.value for name, metric in self._gauges.items()
+            },
+            "stats": {
+                name: _stats_to_dict(stats)
+                for name, stats in self._stats.items()
+            },
+            "histograms": {
+                name: {"edges": list(hist.edges), "counts": list(hist.counts)}
+                for name, hist in self._histograms.items()
+            },
+        }
+
+    def merge_snapshot(self, snapshot: Dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters and histograms add; stats merge exactly (parallel
+        Welford); gauges are last-write-wins, matching their scalar
+        semantics.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).value += value
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).value = value
+        for name, payload in snapshot.get("stats", {}).items():
+            merged = self.stats(name).merge(_stats_from_dict(payload))
+            self._stats[name] = merged
+        for name, payload in snapshot.get("histograms", {}).items():
+            hist = self.histogram(name, payload["edges"])
+            if hist.edges != list(payload["edges"]):
+                raise ValueError(
+                    f"histogram {name!r}: incompatible edges in snapshot"
+                )
+            hist.counts = [
+                a + b for a, b in zip(hist.counts, payload["counts"])
+            ]
+            hist.total += sum(payload["counts"])
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable one-liners, sorted by metric name."""
+        lines = []
+        for name in sorted(self._counters):
+            lines.append(f"counter {name} = {self._counters[name].value}")
+        for name in sorted(self._gauges):
+            lines.append(f"gauge {name} = {self._gauges[name].value:g}")
+        for name in sorted(self._stats):
+            stats = self._stats[name]
+            lines.append(
+                f"stats {name}: n={stats.count} mean={stats.mean:.3f} "
+                f"min={stats.minimum:.3f} max={stats.maximum:.3f}"
+            )
+        for name in sorted(self._histograms):
+            hist = self._histograms[name]
+            lines.append(f"histogram {name}: n={hist.total}")
+        return lines
+
+
+class _NullMetric:
+    """Accepts any update and stores nothing."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, value: float) -> None:
+        pass
+
+    def extend(self, values) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class _NullRegistry:
+    """Registry stand-in for :class:`~repro.obs.tracer.NullTracer`."""
+
+    __slots__ = ()
+
+    def counter(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def stats(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name, edges=None) -> _NullMetric:
+        return _NULL_METRIC
+
+    def snapshot(self) -> Dict:
+        return {}
+
+    def merge_snapshot(self, snapshot: Dict) -> None:
+        pass
+
+    def summary_lines(self) -> List[str]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+
+NULL_REGISTRY = _NullRegistry()

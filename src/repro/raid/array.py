@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.disk.drive import ConventionalDrive
 from repro.disk.request import IORequest
+from repro.obs.tracer import tracer_for
 from repro.raid.layout import Layout, Slice
 from repro.sim.engine import Environment, Event
 
@@ -55,6 +56,10 @@ class DiskArray:
         self.layout = layout
         self.label = label or f"array[{len(drives)}x{drives[0].label}]"
         self.requests_completed = 0
+        #: Observability (resolved like the drives: ``env.tracer`` or
+        #: the ambient tracer).  The array records logical-request
+        #: envelopes, slice fan-out, degraded mapping and rebuild rows.
+        self.tracer = tracer_for(env)
         #: Callbacks invoked with each completed *logical* request.
         self.on_complete: List[Callable[[IORequest], None]] = []
         self._outstanding: Dict[int, Event] = {}
@@ -119,22 +124,58 @@ class DiskArray:
         request.arm_id = physical.arm_id
         self.requests_completed += 1
         self._outstanding.pop(request.request_id, None)
+        if self.tracer.enabled:
+            self._record_logical_span(request, slices=1, phases=1)
         completion.succeed(request)
         for callback in self.on_complete:
             callback(request)
+
+    def _record_logical_span(
+        self, request: IORequest, slices: int, phases: int
+    ) -> None:
+        """Envelope span for one completed logical request."""
+        self.tracer.span(
+            "request",
+            "array",
+            request.arrival_time,
+            self.env.now - request.arrival_time,
+            (self.label, "requests"),
+            args={
+                "req": request.request_id,
+                "rw": "R" if request.is_read else "W",
+                "slices": slices,
+                "phases": phases,
+                "degraded": self._failed_disk is not None,
+            },
+        )
 
     def _map(self, request: IORequest) -> List[Slice]:
         if self._failed_disk is not None:
             from repro.raid.layout import Raid5Layout, degraded_raid5_map
 
             if isinstance(self.layout, Raid5Layout):
-                return degraded_raid5_map(
+                slices = degraded_raid5_map(
                     self.layout,
                     request.lba,
                     request.size,
                     request.is_read,
                     self._failed_disk,
                 )
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "degraded-map",
+                        self.env.now,
+                        (self.label, "requests"),
+                        args={
+                            "req": request.request_id,
+                            "failed_disk": self._failed_disk,
+                            "slices": len(slices),
+                        },
+                    )
+                    self.tracer.telemetry.counter(
+                        "array.degraded_requests"
+                    ).inc()
+                return slices
             raise RuntimeError(
                 f"{self.label}: drive {self._failed_disk} failed and the "
                 f"layout {type(self.layout).__name__} has no redundancy"
@@ -187,7 +228,9 @@ class DiskArray:
         unit = layout.stripe_unit
         rows = layout.disk_capacity // unit
         self.rebuild_progress = 0.0
+        tracer = self.tracer
         for row in range(rows):
+            row_start = self.env.now
             physical = row * unit
             reads = []
             for member, drive in enumerate(self.drives):
@@ -204,6 +247,7 @@ class DiskArray:
                     )
                 )
             yield self.env.all_of(reads)
+            reconstruct_done = self.env.now
             write = replacement.submit(
                 IORequest(
                     lba=physical,
@@ -214,6 +258,28 @@ class DiskArray:
             )
             yield write
             self.rebuild_progress = (row + 1) / rows
+            if tracer.enabled:
+                track = (self.label, "rebuild")
+                tracer.span(
+                    "reconstruct",
+                    "rebuild",
+                    row_start,
+                    reconstruct_done - row_start,
+                    track,
+                    args={"row": row},
+                )
+                tracer.span(
+                    "rebuild-write",
+                    "rebuild",
+                    reconstruct_done,
+                    self.env.now - reconstruct_done,
+                    track,
+                    args={"row": row, "progress": self.rebuild_progress},
+                )
+                tracer.telemetry.counter("rebuild.rows").inc()
+                tracer.telemetry.gauge("rebuild.progress").set(
+                    self.rebuild_progress
+                )
         self.drives[failed] = replacement
         self._failed_disk = None
 
@@ -250,6 +316,10 @@ class DiskArray:
             request.arm_id = last_done.arm_id
         self.requests_completed += 1
         self._outstanding.pop(request.request_id, None)
+        if self.tracer.enabled:
+            self._record_logical_span(
+                request, slices=len(slices), phases=len(phases)
+            )
         completion.succeed(request)
         for callback in self.on_complete:
             callback(request)

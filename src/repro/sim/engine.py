@@ -325,13 +325,23 @@ class EmptySchedule(Exception):
 
 
 class Environment:
-    """Owns simulated time and the pending-event schedule."""
+    """Owns simulated time and the pending-event schedule.
 
-    def __init__(self, initial_time: float = 0.0):
+    ``tracer`` optionally attaches an observability tracer
+    (:mod:`repro.obs`) to this environment: components built against
+    the environment resolve it via ``repro.obs.tracer_for`` and the
+    engine itself records run-level telemetry (events dispatched,
+    final simulated time) when a tracer is enabled.  ``None`` (the
+    default) falls back to the ambient tracer, which is the zero-cost
+    null tracer unless a traced session is active.
+    """
+
+    def __init__(self, initial_time: float = 0.0, tracer: Any = None):
         self._now = float(initial_time)
         self._queue: List[tuple] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        self.tracer = tracer
 
     @property
     def now(self) -> float:
@@ -416,6 +426,7 @@ class Environment:
         # call and attribute lookups of the public step() API.
         queue = self._queue
         pop = heappop
+        eid_at_entry = self._eid
         try:
             while queue:
                 self._now, _, _, event = pop(queue)
@@ -432,7 +443,23 @@ class Environment:
                     ) from None
         except _StopSignal as signal:
             return signal.value
+        finally:
+            self._record_run_telemetry(eid_at_entry)
         return None
+
+    def _record_run_telemetry(self, eid_at_entry: int) -> None:
+        """Engine-level counters for an enabled tracer (no-op otherwise)."""
+        tracer = self.tracer
+        if tracer is None:
+            from repro.obs.tracer import current_tracer
+
+            tracer = current_tracer()
+        if not tracer.enabled:
+            return
+        telemetry = tracer.telemetry
+        telemetry.counter("engine.runs").inc()
+        telemetry.counter("engine.events").inc(self._eid - eid_at_entry)
+        telemetry.gauge("engine.sim_time_ms").set(self._now)
 
 
 class _StopSignal(Exception):

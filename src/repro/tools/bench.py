@@ -9,10 +9,10 @@ snapshots from the same machine and interpreter are directly
 comparable, and the recorded figure digest doubles as a regression
 check: serial and parallel runs must produce byte-identical figures.
 
-The JSON schema (``repro-bench/1``)::
+The JSON schema (``repro-bench/2``)::
 
     {
-      "schema": "repro-bench/1",
+      "schema": "repro-bench/2",
       "date": "2026-08-06",
       "python": "3.11.x ...",
       "cpu_count": 8,
@@ -29,6 +29,13 @@ The JSON schema (``repro-bench/1``)::
          "speedup_vs_serial": ...}
       ]
     }
+
+Worker counts above ``cpu_count`` are never timed: on an oversubscribed
+host a "parallel" pass measures scheduler contention, not speedup (a
+1-core machine once recorded workers=4 at 0.754× and made the executor
+look like a slowdown).  The sweep caps the parallel configuration at
+``cpu_count`` and appends a ``{"workers": N, "skipped": true, ...}``
+entry documenting the request (schema bump 1 → 2).
 
 Wall-clock per configuration is the *minimum* over ``repeats`` timed
 passes — the standard estimator for the noise floor of a deterministic
@@ -54,7 +61,7 @@ from repro.workloads.commercial import COMMERCIAL_WORKLOADS
 
 __all__ = ["run_bench", "format_bench", "write_bench"]
 
-BENCH_SCHEMA = "repro-bench/1"
+BENCH_SCHEMA = "repro-bench/2"
 
 
 def _bench_job(workload_name: str, requests: int) -> Dict:
@@ -114,11 +121,14 @@ def run_bench(
     repeats: int = 3,
     workloads: Optional[Sequence[str]] = None,
 ) -> Dict:
-    """Time the reference workload; returns the ``repro-bench/1`` dict.
+    """Time the reference workload; returns the ``repro-bench/2`` dict.
 
     ``workers`` adds a second timed configuration beyond the serial
     baseline (pass 1, the default, to time only the baseline); the
     parallel pass's figures are checked against the serial pass's.
+    Counts above the host's ``cpu_count`` are not timed — an
+    oversubscribed pool measures contention, not parallelism — and are
+    recorded as skipped entries instead.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
@@ -129,8 +139,20 @@ def run_bench(
             f"unknown workloads {unknown}; choose from "
             f"{sorted(COMMERCIAL_WORKLOADS)}"
         )
+    cpu = os.cpu_count() or 1
     worker_counts = [1]
+    skipped = []
     resolved = resolve_workers(workers)
+    if resolved > cpu:
+        skipped.append(
+            {
+                "workers": resolved,
+                "skipped": True,
+                "reason": f"exceeds cpu_count={cpu}",
+                "timed_as": cpu if cpu > 1 else 1,
+            }
+        )
+        resolved = cpu
     if resolved > 1:
         worker_counts.append(resolved)
 
@@ -160,6 +182,7 @@ def run_bench(
                 "speedup_vs_serial": round(serial_wall / wall, 3),
             }
         )
+    results.extend(skipped)
 
     return {
         "schema": BENCH_SCHEMA,
@@ -178,6 +201,12 @@ def run_bench(
 
 
 def format_bench(result: Dict) -> str:
+    timed = [
+        entry for entry in result["results"] if not entry.get("skipped")
+    ]
+    skipped = [
+        entry for entry in result["results"] if entry.get("skipped")
+    ]
     rows = [
         (
             entry["workers"],
@@ -185,7 +214,7 @@ def format_bench(result: Dict) -> str:
             entry["events_per_s"],
             entry["speedup_vs_serial"],
         )
-        for entry in result["results"]
+        for entry in timed
     ]
     table = format_table(
         ["workers", "wall_s", "events_per_s", "speedup"],
@@ -203,7 +232,12 @@ def format_bench(result: Dict) -> str:
         f"figures identical across worker counts: "
         f"{result['figures_identical']}"
     )
-    return f"{table}\n{footer}"
+    lines = [table, footer]
+    lines.extend(
+        f"skipped workers={entry['workers']}: {entry['reason']}"
+        for entry in skipped
+    )
+    return "\n".join(lines)
 
 
 def write_bench(result: Dict, path: Optional[str] = None) -> str:

@@ -103,3 +103,85 @@ class TestSummaries:
             collector.record(completed_request(response=response))
         assert collector.response_times == []
         assert collector.response_histogram.total == 2
+
+
+class TestMerge:
+    def filled(self, responses, keep_samples=True, cache_hit=False):
+        collector = RequestCollector(keep_samples=keep_samples)
+        for response in responses:
+            collector.record(
+                completed_request(
+                    response=response,
+                    rotational=response / 2,
+                    seek=response / 4,
+                    cache_hit=cache_hit,
+                )
+            )
+        return collector
+
+    def test_merge_matches_single_collector(self):
+        left = self.filled([1.0, 5.0, 9.0])
+        right = self.filled([2.0, 400.0])
+        both = self.filled([1.0, 5.0, 9.0, 2.0, 400.0])
+        merged = left.merge(right)
+        assert merged.completed == both.completed
+        assert merged.reads == both.reads
+        assert merged.nonzero_seeks == both.nonzero_seeks
+        assert merged.mean_response_ms == pytest.approx(
+            both.mean_response_ms
+        )
+        assert merged.mean_rotational_ms == pytest.approx(
+            both.mean_rotational_ms
+        )
+        assert merged.mean_seek_ms == pytest.approx(both.mean_seek_ms)
+        assert merged.response_histogram.counts == (
+            both.response_histogram.counts
+        )
+        assert sorted(merged.response_times) == sorted(
+            both.response_times
+        )
+        assert merged.response_percentile(50) == pytest.approx(
+            both.response_percentile(50)
+        )
+
+    def test_merge_counts_cache_hits(self):
+        left = self.filled([1.0], cache_hit=True)
+        right = self.filled([2.0, 3.0])
+        merged = left.merge(right)
+        assert merged.cache_hits == 1
+        assert merged.completed == 3
+
+    def test_merge_inputs_untouched(self):
+        left = self.filled([1.0])
+        right = self.filled([2.0])
+        left.merge(right)
+        assert left.completed == 1
+        assert right.completed == 1
+        assert left.response_times == [1.0]
+
+    def test_merge_shape_stable_without_samples(self):
+        left = self.filled([1.0, 5.0], keep_samples=False)
+        right = self.filled([300.0], keep_samples=False)
+        merged = left.merge(right)
+        assert merged.keep_samples is False
+        assert merged.response_times == []
+        assert merged.rotational_latencies == []
+        assert merged.seek_times == []
+        assert merged.response_histogram.total == 3
+        assert merged.fraction_within(10.0) == pytest.approx(2 / 3)
+        with pytest.raises(ValueError):
+            merged.response_percentile(90)
+
+    def test_merge_mixed_sample_modes_drops_samples(self):
+        left = self.filled([1.0])
+        right = self.filled([2.0], keep_samples=False)
+        merged = left.merge(right)
+        assert merged.keep_samples is False
+        assert merged.response_times == []
+        assert merged.completed == 2
+
+    def test_merge_with_empty_collector(self):
+        left = self.filled([4.0, 8.0])
+        merged = left.merge(RequestCollector())
+        assert merged.completed == 2
+        assert merged.mean_response_ms == pytest.approx(6.0)

@@ -1,0 +1,122 @@
+"""CLI-level tests for ``repro trace`` and the ``--trace`` flag.
+
+Small-request versions of the issue's acceptance criterion: the trace
+subcommand must emit valid Chrome trace-event JSON containing the
+queue/seek/rotation/transfer phases and per-arm thread tracks for the
+multi-actuator runs.
+"""
+
+import json
+
+from repro.cli import main
+from repro.obs.export import validate_chrome_trace
+
+
+def load_trace(path):
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class TestTraceSubcommand:
+    def test_limit_study_trace(self, tmp_path, capsys):
+        target = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "trace",
+                    "limit_study",
+                    "--requests",
+                    "150",
+                    "--actuators",
+                    "2",
+                    "-o",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "figures sha256" in out
+        trace = load_trace(str(target))
+        assert validate_chrome_trace(trace) == []
+        events = trace["traceEvents"]
+        categories = {e.get("cat") for e in events if e["ph"] == "X"}
+        assert {"queue", "seek", "rotation", "transfer"} <= categories
+        thread_names = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert {"arm 0", "arm 1"} <= thread_names
+
+    def test_rebuild_trace_has_rebuild_spans(self, tmp_path):
+        target = tmp_path / "rebuild.json"
+        assert (
+            main(
+                [
+                    "trace",
+                    "rebuild",
+                    "--requests",
+                    "80",
+                    "--actuators",
+                    "1",
+                    "-o",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        trace = load_trace(str(target))
+        assert validate_chrome_trace(trace) == []
+        categories = {
+            e.get("cat") for e in trace["traceEvents"] if e["ph"] == "X"
+        }
+        assert "rebuild" in categories
+
+    def test_jsonl_format(self, tmp_path):
+        target = tmp_path / "spans.jsonl"
+        assert (
+            main(
+                [
+                    "trace",
+                    "rebuild",
+                    "--requests",
+                    "80",
+                    "--actuators",
+                    "1",
+                    "--format",
+                    "jsonl",
+                    "-o",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        with open(target, encoding="utf-8") as handle:
+            first = json.loads(next(handle))
+        assert first["schema"] == "repro-span/1"
+
+    def test_unknown_experiment_rejected(self):
+        try:
+            main(["trace", "nope"])
+        except SystemExit:
+            return
+        raise AssertionError("expected SystemExit for unknown experiment")
+
+
+class TestTraceFlag:
+    def test_fig2_with_trace_flag(self, tmp_path, capsys):
+        target = tmp_path / "fig2-trace.json"
+        assert (
+            main(["fig2", "--requests", "200", "--trace", str(target)])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        trace = load_trace(str(target))
+        assert validate_chrome_trace(trace) == []
+        assert any(
+            e.get("cat") == "seek"
+            for e in trace["traceEvents"]
+            if e["ph"] == "X"
+        )

@@ -1,0 +1,178 @@
+"""Tests for the span recorder, null tracer, and discovery rules."""
+
+import pickle
+
+import pytest
+
+from repro.obs.tracer import (
+    NULL_TRACER,
+    PHASES,
+    NullTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    set_current_tracer,
+    tracer_for,
+    tracing,
+)
+
+
+class TestSpan:
+    def test_interval_span(self):
+        span = Span("seek", "seek", 1.0, 2.5, ("drive", "arm 0"))
+        assert not span.is_instant
+        assert span.track == ("drive", "arm 0")
+
+    def test_instant_span(self):
+        span = Span("arm-select", "instant", 4.0, None, ("d", "arm 1"))
+        assert span.is_instant
+
+    def test_tuple_round_trip(self):
+        span = Span(
+            "transfer", "transfer", 3.0, 0.25, ("d", "arm 2"),
+            args={"req": 7},
+        )
+        clone = Span.from_tuple(span.to_tuple())
+        assert clone.name == span.name
+        assert clone.cat == span.cat
+        assert clone.ts == span.ts
+        assert clone.dur == span.dur
+        assert clone.track == span.track
+        assert clone.args == span.args
+
+    def test_tuple_is_picklable(self):
+        span = Span("queue", "queue", 0.0, 1.0, ("d", "queue"))
+        assert pickle.loads(pickle.dumps(span.to_tuple()))
+
+
+class TestTracer:
+    def test_records_spans_and_instants(self):
+        tracer = Tracer()
+        tracer.span("seek", "seek", 0.0, 1.0, ("d", "arm 0"))
+        tracer.instant("mark", 0.5, ("d", "arm 0"))
+        assert len(tracer.spans) == 2
+        assert tracer.spans_by_category() == {"seek": 1, "instant": 1}
+
+    def test_enabled_flag(self):
+        assert Tracer().enabled is True
+
+    def test_tracks_first_seen_order(self):
+        tracer = Tracer()
+        tracer.span("a", "seek", 0, 1, ("d", "arm 1"))
+        tracer.span("b", "seek", 0, 1, ("d", "arm 0"))
+        tracer.span("c", "seek", 1, 1, ("d", "arm 1"))
+        assert tracer.tracks() == [("d", "arm 1"), ("d", "arm 0")]
+
+    def test_max_spans_cap(self):
+        tracer = Tracer(max_spans=2)
+        for index in range(5):
+            tracer.span("s", "seek", index, 1.0, ("d", "arm 0"))
+        assert len(tracer.spans) == 2
+        assert tracer.dropped_spans == 3
+
+    def test_max_spans_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_spans"):
+            Tracer(max_spans=0)
+
+    def test_scope_prefixes_process(self):
+        tracer = Tracer()
+        with tracer.scope("run-a"):
+            tracer.span("s", "seek", 0, 1, ("drive", "arm 0"))
+            with tracer.scope("inner"):
+                tracer.instant("i", 0, ("drive", "arm 0"))
+        tracer.span("t", "seek", 1, 1, ("drive", "arm 0"))
+        assert tracer.spans[0].track == ("run-a/drive", "arm 0")
+        assert tracer.spans[1].track == ("run-a/inner/drive", "arm 0")
+        assert tracer.spans[2].track == ("drive", "arm 0")
+
+    def test_payload_merge_round_trip(self):
+        worker = Tracer()
+        worker.span("seek", "seek", 0, 1, ("d", "arm 0"), args={"req": 1})
+        worker.instant("mark", 2, ("d", "arm 0"))
+        worker.telemetry.counter("cache.read_hits").inc(3)
+        worker.telemetry.stats("run.elapsed_ms").add(10.0)
+        payload = pickle.loads(pickle.dumps(worker.payload()))
+
+        parent = Tracer()
+        parent.telemetry.counter("cache.read_hits").inc(2)
+        parent.merge_payload(payload)
+        assert len(parent.spans) == 2
+        assert parent.spans[0].args == {"req": 1}
+        assert parent.telemetry.counter("cache.read_hits").value == 5
+        assert parent.telemetry.stats("run.elapsed_ms").count == 1
+
+    def test_merge_payload_accumulates_drops(self):
+        parent = Tracer()
+        parent.merge_payload({"spans": [], "telemetry": {},
+                              "dropped_spans": 4})
+        assert parent.dropped_spans == 4
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.span("s", "seek", 0, 1, ("d", "arm 0"))
+        tracer.telemetry.counter("x").inc()
+        tracer.clear()
+        assert tracer.spans == []
+        assert len(tracer.telemetry) == 0
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        null = NullTracer()
+        assert null.enabled is False
+        null.span("s", "seek", 0, 1, ("d", "arm 0"))
+        null.instant("i", 0, ("d", "arm 0"))
+        with null.scope("run"):
+            pass
+        null.telemetry.counter("x").inc()
+        null.telemetry.stats("y").add(1.0)
+        assert null.spans == []
+        assert null.spans_by_category() == {}
+        assert null.tracks() == []
+        assert null.payload()["spans"] == []
+
+    def test_singleton_default(self):
+        assert current_tracer() is NULL_TRACER
+
+
+class TestDiscovery:
+    def test_tracing_installs_and_restores(self):
+        before = current_tracer()
+        with tracing() as tracer:
+            assert current_tracer() is tracer
+            assert tracer.enabled
+        assert current_tracer() is before
+
+    def test_tracing_accepts_existing_tracer(self):
+        mine = Tracer()
+        with tracing(mine) as active:
+            assert active is mine
+
+    def test_set_current_tracer_none_resets_to_null(self):
+        previous = set_current_tracer(Tracer())
+        try:
+            assert set_current_tracer(None) is not NULL_TRACER
+            assert current_tracer() is NULL_TRACER
+        finally:
+            set_current_tracer(previous)
+
+    def test_env_attribute_wins(self):
+        class Env:
+            tracer = Tracer()
+
+        with tracing():
+            assert tracer_for(Env()) is Env.tracer
+
+    def test_ambient_fallback(self):
+        class Env:
+            pass
+
+        with tracing() as ambient:
+            assert tracer_for(Env()) is ambient
+        assert tracer_for(Env()) is NULL_TRACER
+
+
+def test_phase_names_are_the_papers_decomposition():
+    assert PHASES == (
+        "queue", "seek", "rotation", "transfer", "cache", "rebuild"
+    )

@@ -1,11 +1,12 @@
 """Smoke tests for the benchmark harness (``python -m repro bench``).
 
 Marked ``bench_smoke``: a tiny (500-request) pass that checks the
-``repro-bench/1`` JSON schema and the harness's determinism promise
+``repro-bench/2`` JSON schema and the harness's determinism promise
 without timing anything meaningful.  Runs inside the tier-1 suite.
 """
 
 import json
+import os
 
 import pytest
 
@@ -50,7 +51,10 @@ class TestBenchSmoke:
         assert smoke_result["schema"] == BENCH_SCHEMA
         assert REQUIRED_KEYS <= set(smoke_result)
         for entry in smoke_result["results"]:
-            assert RESULT_KEYS <= set(entry)
+            if entry.get("skipped"):
+                assert {"workers", "skipped", "reason"} <= set(entry)
+            else:
+                assert RESULT_KEYS <= set(entry)
 
     def test_serial_baseline_shape(self, smoke_result):
         assert smoke_result["requests"] == 500
@@ -82,6 +86,22 @@ class TestBenchSmoke:
         text = format_bench(smoke_result)
         assert "events_per_s" in text
         assert "cpu_count" in text
+
+    def test_oversubscribed_workers_not_timed(self):
+        cpu = os.cpu_count() or 1
+        result = run_bench(
+            requests=300,
+            workers=cpu + 3,
+            repeats=1,
+            workloads=("websearch",),
+        )
+        timed = [e for e in result["results"] if not e.get("skipped")]
+        skipped = [e for e in result["results"] if e.get("skipped")]
+        assert all(entry["workers"] <= cpu for entry in timed)
+        assert len(skipped) == 1
+        assert skipped[0]["workers"] == cpu + 3
+        assert f"cpu_count={cpu}" in skipped[0]["reason"]
+        assert f"skipped workers={cpu + 3}" in format_bench(result)
 
     def test_bad_inputs_rejected(self):
         with pytest.raises(ValueError, match="repeats"):
