@@ -10,14 +10,19 @@ Usage (``python -m repro <command> ...``)::
     python -m repro simulate --workload websearch --actuators 4
     python -m repro fig5 --workers 4          # fan runs out over processes
     python -m repro bench                     # write BENCH_<date>.json
+    python -m repro bench --check BENCH_X.json   # regression gate
     python -m repro trace limit_study --out trace.json   # Perfetto trace
     python -m repro fig5 --trace fig5.json    # trace any command's runs
+    python -m repro report limit_study --html report.html   # analytics
+    python -m repro report --from-trace trace.json          # post hoc
 
 Every command prints the same plain-text tables the benchmark harness
 asserts against.  ``--trace PATH`` records a request-lifecycle trace of
 the command (Chrome trace-event JSON, loadable in ui.perfetto.dev)
 without changing any figure; the dedicated ``trace`` subcommand runs a
-named experiment with richer per-arm instrumentation.
+named experiment with richer per-arm instrumentation, and ``report``
+turns a traced run (or a previously exported trace) into utilization,
+queue-depth and bottleneck-attribution analytics.
 """
 
 from __future__ import annotations
@@ -27,6 +32,10 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 __all__ = ["main"]
+
+#: The reference benchmark scale (the paper's 6000-request limit study);
+#: ``bench --check`` uses it to detect an un-overridden ``--requests``.
+_BENCH_DEFAULT_REQUESTS = 6000
 
 
 def _table1(args) -> None:
@@ -199,12 +208,12 @@ def _all(args) -> None:
 def _list(args) -> None:
     print("artifacts:", ", ".join(ARTIFACTS))
     print(
-        "other commands: all, report, scorecard, workloads, simulate, "
-        "bench, trace, list"
+        "other commands: all, results, report, scorecard, workloads, "
+        "simulate, bench, trace, list"
     )
 
 
-def _report(args) -> None:
+def _results(args) -> None:
     """Write a self-contained markdown results report."""
     import contextlib
     import io
@@ -266,16 +275,113 @@ def _scorecard(args) -> None:
 
 
 def _bench(args) -> None:
-    from repro.tools.bench import format_bench, run_bench, write_bench
-
-    result = run_bench(
-        requests=args.requests,
-        workers=args.workers,
-        repeats=args.repeats,
+    from repro.tools.bench import (
+        format_bench,
+        load_bench,
+        run_bench,
+        write_bench,
     )
+
+    baseline = None
+    if args.check:
+        try:
+            baseline = load_bench(args.check)
+        except (OSError, ValueError) as error:
+            raise SystemExit(f"bench --check: {error}")
+        # Time the same configuration the baseline did, so the figure
+        # digests are comparable; explicit flags still win.
+        if args.requests == _BENCH_DEFAULT_REQUESTS:
+            args.requests = baseline["requests"]
+        if args.workloads is None:
+            args.workloads = baseline["workloads"]
+    try:
+        result = run_bench(
+            requests=args.requests,
+            workers=args.workers,
+            repeats=args.repeats,
+            workloads=args.workloads,
+        )
+    except ValueError as error:
+        raise SystemExit(f"bench: {error}")
     print(format_bench(result))
-    path = write_bench(result, args.output)
-    print(f"wrote {path}")
+    if baseline is not None:
+        from repro.tools.regress import compare_bench, format_check
+
+        check = compare_bench(
+            baseline, result, tolerance=args.tolerance
+        )
+        print(format_check(check))
+        if args.output:
+            print(f"wrote {write_bench(result, args.output)}")
+        if not check.ok:
+            raise SystemExit(1)
+    else:
+        print(f"wrote {write_bench(result, args.output)}")
+
+
+def _report_analysis(args) -> None:
+    """Trace analytics: utilization, queueing, bottleneck attribution."""
+    from repro.obs.analysis import analyze
+    from repro.obs.report import render_text, write_html_report
+
+    if bool(args.experiment) == bool(args.from_trace):
+        raise SystemExit(
+            "report: give an experiment to trace OR --from-trace PATH"
+        )
+    if args.from_trace:
+        from repro.obs.export import read_chrome_trace
+
+        try:
+            tracer = read_chrome_trace(args.from_trace)
+        except (OSError, ValueError) as error:
+            raise SystemExit(f"report: {error}")
+        title = f"Trace analysis: {args.from_trace}"
+        # Exported timestamps round-trip through µs floats; allow the
+        # last-bit wobble instead of failing the exactness check.
+        tolerance = 1e-6
+    else:
+        from repro.obs.run import TRACEABLE_EXPERIMENTS, trace_experiment
+
+        if args.experiment not in TRACEABLE_EXPERIMENTS:
+            raise SystemExit(
+                f"unknown experiment {args.experiment!r}; choose from "
+                f"{', '.join(sorted(TRACEABLE_EXPERIMENTS))}"
+            )
+        run = trace_experiment(
+            args.experiment,
+            requests=args.requests,
+            n_workers=args.workers,
+            actuators=args.actuators,
+        )
+        tracer = run.tracer
+        title = f"Trace analysis: {args.experiment} ({args.requests} requests)"
+        tolerance = 0.0
+    analysis = analyze(tracer)
+    if args.scope:
+        analysis = analysis.filter(args.scope)
+        title += f" [scope {args.scope}]"
+    text = render_text(analysis, title=title, tolerance_ms=tolerance)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    if args.html:
+        path = write_html_report(
+            analysis, args.html, title=title, tolerance_ms=tolerance
+        )
+        print(f"wrote {path}")
+    failed = [
+        report
+        for report in analysis.reconcile(tolerance_ms=tolerance)
+        if not report.ok
+    ]
+    if failed:
+        for report in failed:
+            print(f"reconciliation FAILED: {report.summary()}")
+        raise SystemExit(1)
 
 
 def _trace(args) -> None:
@@ -404,10 +510,10 @@ def build_parser() -> argparse.ArgumentParser:
     for name in ARTIFACTS:
         add(name, ARTIFACTS[name], f"regenerate paper artifact {name}")
     add("all", _all, "regenerate every table and figure")
-    report = add(
-        "report", _report, "write a markdown report of every artifact"
+    results = add(
+        "results", _results, "write a markdown report of every artifact"
     )
-    report.add_argument(
+    results.add_argument(
         "-o",
         "--output",
         default=None,
@@ -431,8 +537,39 @@ def build_parser() -> argparse.ArgumentParser:
         default=3,
         help="timed repetitions per configuration (default 3)",
     )
+    bench.add_argument(
+        "--check",
+        metavar="BASELINE",
+        default=None,
+        help=(
+            "compare against a baseline BENCH_*.json snapshot "
+            "(validating schema, figure digest and throughput) and "
+            "exit non-zero on regression; the run adopts the "
+            "baseline's request count unless --requests is given"
+        ),
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help=(
+            "minimum acceptable fraction of baseline serial "
+            "events/sec for --check (default 0.5; 0 disables the "
+            "throughput gate)"
+        ),
+    )
+    bench.add_argument(
+        "--workloads",
+        nargs="+",
+        metavar="NAME",
+        default=None,
+        help=(
+            "subset of commercial workloads to time (default: all); "
+            "--check adopts the baseline's workload set unless given"
+        ),
+    )
     # The reference benchmark workload is the 6000-request limit study.
-    bench.set_defaults(requests=6000)
+    bench.set_defaults(requests=_BENCH_DEFAULT_REQUESTS)
     add(
         "scorecard",
         _scorecard,
@@ -487,6 +624,76 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     trace.add_argument(
+        "--actuators",
+        type=int,
+        default=4,
+        help=(
+            "arm count of the supplementary HC-SD-SA(n) runs "
+            "(limit_study) and RAID members (rebuild); default 4"
+        ),
+    )
+
+    report = sub.add_parser(
+        "report",
+        help=(
+            "trace analytics: per-arm utilization, queue depth, "
+            "phase breakdowns and bottleneck attribution, as text "
+            "and/or self-contained HTML"
+        ),
+    )
+    report.set_defaults(handler=_report_analysis)
+    report.add_argument(
+        "experiment",
+        nargs="?",
+        default=None,
+        help=(
+            "experiment to trace and analyse: limit_study | "
+            "parallel_study | bottleneck | rpm_study | rebuild "
+            "(omit with --from-trace)"
+        ),
+    )
+    report.add_argument(
+        "--from-trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "analyse a previously exported Chrome trace-event JSON "
+            "instead of running an experiment"
+        ),
+    )
+    report.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the plain-text report here (default: stdout)",
+    )
+    report.add_argument(
+        "--html",
+        metavar="PATH",
+        default=None,
+        help="also write a self-contained HTML report to PATH",
+    )
+    report.add_argument(
+        "--scope",
+        default=None,
+        help=(
+            "restrict the analysis to run scopes with this process "
+            "prefix (e.g. 'HC-SD' or 'MD-websearch')"
+        ),
+    )
+    report.add_argument(
+        "--requests",
+        type=int,
+        default=1000,
+        help="requests per traced run (default 1000)",
+    )
+    report.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the traced run (default 1)",
+    )
+    report.add_argument(
         "--actuators",
         type=int,
         default=4,

@@ -87,6 +87,8 @@ def hbar(
     fill: str = "#",
 ) -> str:
     """A fixed-width horizontal bar for quick visual comparison."""
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
     if maximum <= 0:
         return ""
     if value < 0:

@@ -5,7 +5,7 @@ of response time (queue vs. seek vs. rotational latency vs. transfer,
 §7.1–§7.2) directly visible from a single run instead of being
 inferred from aggregate histograms after the fact.
 
-Three pieces:
+Four pieces:
 
 * :class:`~repro.obs.tracer.Tracer` — a low-overhead span recorder
   with per-request, per-drive and per-arm attribution.  The default
@@ -22,16 +22,29 @@ Three pieces:
   (:func:`~repro.obs.export.write_span_jsonl`), so a limit-study run
   opens in ``ui.perfetto.dev`` with drives as processes and arms as
   tracks.
+* Analytics — :func:`~repro.obs.analysis.analyze` turns a recorded
+  span stream into utilization, queue-depth timelines, per-request
+  phase breakdowns and bottleneck attribution, with an exact (zero
+  tolerance) reconciliation against the metrics pipeline;
+  :mod:`repro.obs.report` renders it as text or self-contained HTML
+  (``python -m repro report``).
 
 See ``docs/observability.md`` for the span schema and a walkthrough.
 """
 
+from repro.obs.analysis import (
+    TraceAnalysis,
+    analyze,
+    reconcile_with_collector,
+)
 from repro.obs.export import (
+    read_chrome_trace,
     to_chrome_trace,
     validate_chrome_trace,
     write_chrome_trace,
     write_span_jsonl,
 )
+from repro.obs.report import render_html, render_text, write_html_report
 from repro.obs.registry import NULL_REGISTRY, TelemetryRegistry
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -53,12 +66,19 @@ __all__ = [
     "Span",
     "Tracer",
     "TelemetryRegistry",
+    "TraceAnalysis",
+    "analyze",
     "current_tracer",
+    "read_chrome_trace",
+    "reconcile_with_collector",
+    "render_html",
+    "render_text",
     "set_current_tracer",
     "to_chrome_trace",
     "tracer_for",
     "tracing",
     "validate_chrome_trace",
     "write_chrome_trace",
+    "write_html_report",
     "write_span_jsonl",
 ]

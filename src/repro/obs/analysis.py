@@ -1,0 +1,723 @@
+"""Post-hoc trace analytics: utilization, queueing, phase attribution.
+
+Where :mod:`repro.obs.tracer` *records* what the simulator did, this
+module turns a recorded span stream into the quantities storage papers
+actually argue with:
+
+* **Per-track utilization** — busy time, busy fraction and idle-gap
+  distribution for every ``(process, thread)`` track (each drive's
+  arms, caches and rebuild streams), over the trace's global window.
+* **Queue-depth and in-flight timelines** — reconstructed by sweeping
+  the boundaries of ``queue`` spans (waiting requests) and ``array``
+  envelope spans (submitted-but-incomplete logical requests).
+* **Per-request phase breakdowns** — queue / overhead / seek /
+  rotation / transfer / cache milliseconds for every physical request,
+  grouped from span ``args["req"]`` attribution.
+* **Bottleneck attribution** — phases ranked by aggregate time, plus
+  the paper's ½S/½R cross-check computed directly from the trace.
+
+Exactness.  The drives record spans *prospectively* with the very
+floats they pass to the engine, and the engine fires a timeout at
+``now + delay`` with no intermediate arithmetic.  A request's response
+time can therefore be reconstructed bit-exactly from its spans as
+``(service_start + sum(phase durations, in recorded order)) -
+arrival``: ``service_start`` is the exact dispatch instant (the first
+service span's ``ts``), the left-to-right sum reproduces the exact
+timeout the drive issued, and ``arrival`` is the queue span's ``ts``.
+:func:`reconcile_with_collector` asserts this invariant against the
+response times a live :class:`~repro.metrics.collector.RequestCollector`
+measured — the cross-check that the analysis layer and the metrics
+layer agree on every single request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.sim.stats import BucketHistogram, OnlineStats
+
+__all__ = [
+    "BottleneckAttribution",
+    "DepthTimeline",
+    "IDLE_GAP_EDGES_MS",
+    "ReconciliationReport",
+    "RequestBreakdown",
+    "ScalingCrossCheck",
+    "TraceAnalysis",
+    "TrackUtilization",
+    "WORK_CATEGORIES",
+    "analyze",
+    "bottleneck_ranking",
+    "crosscheck_scaling",
+    "depth_timeline",
+    "phase_totals",
+    "reconcile_internal",
+    "reconcile_with_collector",
+    "request_breakdowns",
+    "track_utilization",
+]
+
+#: Span categories that occupy hardware (count toward busy time).
+#: ``queue`` is waiting, ``array`` is a logical envelope around member
+#: work, ``instant`` is a point annotation — none of them is work.
+WORK_CATEGORIES = (
+    "overhead",
+    "seek",
+    "rotation",
+    "transfer",
+    "cache",
+    "rebuild",
+)
+
+#: Bucket edges (ms) for idle-gap histograms: sub-revolution gaps up
+#: to multi-second lulls.
+IDLE_GAP_EDGES_MS = (0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0,
+                     100.0, 500.0, 1000.0)
+
+
+def _merge_intervals(
+    intervals: List[Tuple[float, float]]
+) -> List[Tuple[float, float]]:
+    """Union of half-open intervals, sorted and coalesced."""
+    if not intervals:
+        return []
+    intervals = sorted(intervals)
+    merged = [intervals[0]]
+    for start, end in intervals[1:]:
+        last_start, last_end = merged[-1]
+        if start <= last_end:
+            if end > last_end:
+                merged[-1] = (last_start, end)
+        else:
+            merged.append((start, end))
+    return merged
+
+
+@dataclass
+class TrackUtilization:
+    """Busy-time accounting for one ``(process, thread)`` track."""
+
+    process: str
+    thread: str
+    spans: int
+    busy_ms: float
+    #: Global trace window the utilization is computed over.
+    window_start: float
+    window_end: float
+    #: Idle gaps (ms) between coalesced busy intervals, including the
+    #: lead-in from the window start and tail-out to the window end.
+    idle_gaps: List[float] = field(default_factory=list)
+
+    @property
+    def window_ms(self) -> float:
+        return max(0.0, self.window_end - self.window_start)
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of the window (0 when the window is empty)."""
+        return self.busy_ms / self.window_ms if self.window_ms > 0 else 0.0
+
+    @property
+    def idle_ms(self) -> float:
+        return max(0.0, self.window_ms - self.busy_ms)
+
+    def idle_gap_histogram(
+        self, edges: Sequence[float] = IDLE_GAP_EDGES_MS
+    ) -> BucketHistogram:
+        histogram = BucketHistogram(list(edges))
+        for gap in self.idle_gaps:
+            histogram.add(gap)
+        return histogram
+
+
+def _trace_window(spans) -> Tuple[float, float]:
+    """The ``[first start, last end]`` window across every span."""
+    start = None
+    end = None
+    for span in spans:
+        if start is None or span.ts < start:
+            start = span.ts
+        finish = span.ts + (span.dur or 0.0)
+        if end is None or finish > end:
+            end = finish
+    if start is None:
+        return (0.0, 0.0)
+    return (start, end)
+
+
+def track_utilization(
+    spans, window: Optional[Tuple[float, float]] = None
+) -> List[TrackUtilization]:
+    """Busy time, utilization and idle gaps per work track.
+
+    Only :data:`WORK_CATEGORIES` spans count as busy; overlapping
+    spans on one track (e.g. a preposition move during another arm's
+    rotation window) are coalesced so no instant is double-billed.
+    ``window`` defaults to the global trace window, which makes
+    utilizations directly comparable across tracks — an arm that never
+    worked shows up as 0, not as absent.
+    """
+    if window is None:
+        window = _trace_window(spans)
+    window_start, window_end = window
+    by_track: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
+    counts: Dict[Tuple[str, str], int] = {}
+    for span in spans:
+        if span.dur is None or span.cat not in WORK_CATEGORIES:
+            continue
+        track = span.track
+        by_track.setdefault(track, []).append(
+            (span.ts, span.ts + span.dur)
+        )
+        counts[track] = counts.get(track, 0) + 1
+    results = []
+    for track, intervals in by_track.items():
+        merged = _merge_intervals(intervals)
+        busy = sum(end - start for start, end in merged)
+        gaps: List[float] = []
+        cursor = window_start
+        for start, end in merged:
+            if start > cursor:
+                gaps.append(start - cursor)
+            cursor = max(cursor, end)
+        if window_end > cursor:
+            gaps.append(window_end - cursor)
+        results.append(
+            TrackUtilization(
+                process=track[0],
+                thread=track[1],
+                spans=counts[track],
+                busy_ms=busy,
+                window_start=window_start,
+                window_end=window_end,
+                idle_gaps=gaps,
+            )
+        )
+    results.sort(key=lambda item: (item.process, item.thread))
+    return results
+
+
+@dataclass
+class DepthTimeline:
+    """A step function of concurrent intervals (queue depth, in-flight).
+
+    ``steps`` is ``[(time, depth), ...]``: the depth that holds *from*
+    each time until the next step.
+    """
+
+    label: str
+    steps: List[Tuple[float, int]] = field(default_factory=list)
+    intervals: int = 0
+
+    @property
+    def max_depth(self) -> int:
+        return max((depth for _, depth in self.steps), default=0)
+
+    @property
+    def mean_depth(self) -> float:
+        """Time-weighted mean depth over the timeline's own extent."""
+        if len(self.steps) < 2:
+            return 0.0
+        total = 0.0
+        span = self.steps[-1][0] - self.steps[0][0]
+        if span <= 0:
+            return 0.0
+        for (time, depth), (next_time, _) in zip(
+            self.steps, self.steps[1:]
+        ):
+            total += depth * (next_time - time)
+        return total / span
+
+
+def depth_timeline(
+    intervals: Iterable[Tuple[float, float]], label: str = ""
+) -> DepthTimeline:
+    """Sweep ``[start, end)`` intervals into a concurrency step function."""
+    deltas: Dict[float, int] = {}
+    count = 0
+    for start, end in intervals:
+        count += 1
+        deltas[start] = deltas.get(start, 0) + 1
+        deltas[end] = deltas.get(end, 0) - 1
+    steps: List[Tuple[float, int]] = []
+    depth = 0
+    for time in sorted(deltas):
+        depth += deltas[time]
+        steps.append((time, depth))
+    return DepthTimeline(label=label, steps=steps, intervals=count)
+
+
+def queue_depth_timelines(spans) -> Dict[str, DepthTimeline]:
+    """Per-process queue-depth step functions from ``queue`` spans."""
+    by_process: Dict[str, List[Tuple[float, float]]] = {}
+    for span in spans:
+        if span.cat != "queue" or span.dur is None:
+            continue
+        by_process.setdefault(span.track[0], []).append(
+            (span.ts, span.ts + span.dur)
+        )
+    return {
+        process: depth_timeline(intervals, label=process)
+        for process, intervals in sorted(by_process.items())
+    }
+
+
+def inflight_timelines(spans) -> Dict[str, DepthTimeline]:
+    """Per-array in-flight logical requests from ``array`` envelopes."""
+    by_process: Dict[str, List[Tuple[float, float]]] = {}
+    for span in spans:
+        if span.cat != "array" or span.dur is None:
+            continue
+        by_process.setdefault(span.track[0], []).append(
+            (span.ts, span.ts + span.dur)
+        )
+    return {
+        process: depth_timeline(intervals, label=process)
+        for process, intervals in sorted(by_process.items())
+    }
+
+
+@dataclass
+class RequestBreakdown:
+    """One physical request's lifecycle, reassembled from its spans."""
+
+    process: str
+    req: int
+    arrival: float
+    service_start: float
+    queue_ms: float
+    #: Per-category service milliseconds (overhead/seek/rotation/
+    #: transfer/cache), in recorded order.
+    phases: Dict[str, float]
+
+    @property
+    def service_ms(self) -> float:
+        """Exact service total: phase durations summed in span order."""
+        total = 0.0
+        for duration in self._ordered_durations:
+            total += duration
+        return total
+
+    @property
+    def response_ms(self) -> float:
+        """Bit-exact reconstruction of the request's response time.
+
+        The drive dispatched one timeout of exactly
+        ``sum(phase durations)`` at exactly ``service_start``, so the
+        completion instant is ``service_start + service_ms`` and the
+        response is that minus the arrival — the same floats the
+        engine and the collector computed.
+        """
+        return (self.service_start + self.service_ms) - self.arrival
+
+    # populated by request_breakdowns(); kept off the dataclass repr
+    _ordered_durations: List[float] = field(
+        default_factory=list, repr=False
+    )
+
+
+def request_breakdowns(spans) -> List[RequestBreakdown]:
+    """Group drive-level spans into per-request phase breakdowns.
+
+    Only requests observed end to end — a ``queue`` span plus at least
+    one service span — are returned; rebuild rows and array envelopes
+    are attributed elsewhere.  Results are ordered by service start.
+    """
+    queue: Dict[Tuple[str, int], Tuple[float, float]] = {}
+    service: Dict[Tuple[str, int], List[Tuple[float, str, float]]] = {}
+    for span in spans:
+        if span.dur is None or not span.args:
+            continue
+        req = span.args.get("req")
+        if req is None:
+            continue
+        key = (span.track[0], req)
+        if span.cat == "queue":
+            queue[key] = (span.ts, span.dur)
+        elif span.cat in WORK_CATEGORIES and span.cat != "rebuild":
+            # Recorded order == phase order (overhead, seek, rotation,
+            # transfer); appending preserves it for the exact sum.
+            service.setdefault(key, []).append(
+                (span.ts, span.cat, span.dur)
+            )
+    breakdowns = []
+    for key, phases in service.items():
+        queued = queue.get(key)
+        if queued is None:
+            continue
+        arrival, queue_ms = queued
+        per_category: Dict[str, float] = {}
+        for _, category, duration in phases:
+            per_category[category] = (
+                per_category.get(category, 0.0) + duration
+            )
+        breakdown = RequestBreakdown(
+            process=key[0],
+            req=key[1],
+            arrival=arrival,
+            service_start=phases[0][0],
+            queue_ms=queue_ms,
+            phases=per_category,
+        )
+        breakdown._ordered_durations = [dur for _, _, dur in phases]
+        breakdowns.append(breakdown)
+    breakdowns.sort(key=lambda item: (item.service_start, item.req))
+    return breakdowns
+
+
+def phase_totals(spans) -> Dict[str, float]:
+    """Aggregate milliseconds per span category (instants excluded)."""
+    totals: Dict[str, float] = {}
+    for span in spans:
+        if span.dur is None:
+            continue
+        totals[span.cat] = totals.get(span.cat, 0.0) + span.dur
+    return totals
+
+
+def bottleneck_ranking(
+    totals: Dict[str, float],
+    exclude: Sequence[str] = ("array",),
+) -> List[Tuple[str, float]]:
+    """Categories ranked by aggregate time, largest first."""
+    return sorted(
+        (
+            (category, total)
+            for category, total in totals.items()
+            if category not in exclude
+        ),
+        key=lambda item: (-item[1], item[0]),
+    )
+
+
+@dataclass
+class BottleneckAttribution:
+    """Phase ranking plus the derived primary-bottleneck verdict."""
+
+    #: ``(category, total_ms)``, largest first, ``array`` excluded.
+    ranking: List[Tuple[str, float]]
+
+    @property
+    def total_ms(self) -> float:
+        return sum(total for _, total in self.ranking)
+
+    @property
+    def top_phase(self) -> Optional[str]:
+        return self.ranking[0][0] if self.ranking else None
+
+    @property
+    def top_service_phase(self) -> Optional[str]:
+        """The dominant phase excluding queueing delay.
+
+        Queueing amplifies whatever the underlying bottleneck is, so
+        the attribution the paper argues about is over *service*
+        phases; for the HC-SD baseline this names rotational latency.
+        """
+        for category, _ in self.ranking:
+            if category not in ("queue", "overhead"):
+                return category
+        return None
+
+    def share(self, category: str) -> float:
+        total = self.total_ms
+        if total <= 0:
+            return 0.0
+        for name, value in self.ranking:
+            if name == category:
+                return value / total
+        return 0.0
+
+
+def attribute_bottleneck(spans) -> BottleneckAttribution:
+    """Rank phases by aggregate time across ``spans``."""
+    return BottleneckAttribution(
+        ranking=bottleneck_ranking(phase_totals(spans))
+    )
+
+
+def _scope_of(process: str) -> str:
+    """The run-scope prefix of a span's process name.
+
+    Scoped processes are ``<scope path>/<component label>``.  Run
+    labels may themselves contain slashes — the paper's ``(1/2)S``
+    scaling points, the RPM study's ``HC-SD/7200`` — while component
+    (drive/array) labels never do, so the scope is everything before
+    the *last* separator.
+    """
+    return process.rsplit("/", 1)[0] if "/" in process else process
+
+
+def scope_response_stats(spans) -> Dict[str, OnlineStats]:
+    """Mean/min/max logical response time per run scope.
+
+    Array envelope spans carry the exact response time of each logical
+    request as their duration; grouping them by the run scope the
+    experiment drivers install reproduces each run's response-time
+    summary without touching a collector.
+    """
+    stats: Dict[str, OnlineStats] = {}
+    for span in spans:
+        if span.cat != "array" or span.dur is None:
+            continue
+        scope = _scope_of(span.track[0])
+        collector = stats.get(scope)
+        if collector is None:
+            collector = stats[scope] = OnlineStats()
+        collector.add(span.dur)
+    return stats
+
+
+@dataclass
+class ScalingCrossCheck:
+    """The paper's ½S vs ½R comparison, measured from the trace."""
+
+    half_seek_mean_ms: float
+    half_rotation_mean_ms: float
+
+    @property
+    def rotation_is_primary(self) -> bool:
+        """Halving rotation helps more than halving seeks (§7.1)."""
+        return self.half_rotation_mean_ms < self.half_seek_mean_ms
+
+
+def crosscheck_scaling(spans) -> Optional[ScalingCrossCheck]:
+    """Check ½S/½R directly from a traced bottleneck study.
+
+    Returns ``None`` when the trace does not contain both scaling
+    scopes (i.e. it is not a bottleneck-experiment trace).
+    """
+    stats = scope_response_stats(spans)
+    half_seek = stats.get("(1/2)S")
+    half_rotation = stats.get("(1/2)R")
+    if half_seek is None or half_rotation is None:
+        return None
+    return ScalingCrossCheck(
+        half_seek_mean_ms=half_seek.mean,
+        half_rotation_mean_ms=half_rotation.mean,
+    )
+
+
+@dataclass
+class ReconciliationReport:
+    """Outcome of matching reconstructed responses against a reference."""
+
+    label: str
+    requests: int
+    reference: int
+    max_abs_error_ms: float
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def exact(self) -> bool:
+        return not self.problems and self.max_abs_error_ms == 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def summary(self) -> str:
+        verdict = (
+            "exact"
+            if self.exact
+            else f"max |error| {self.max_abs_error_ms:.3g} ms"
+        )
+        state = "OK" if self.ok else "FAILED"
+        return (
+            f"{self.label}: {self.requests} requests vs "
+            f"{self.reference} reference samples — {state} ({verdict})"
+        )
+
+
+def _match_sorted(
+    reconstructed: List[float],
+    reference: List[float],
+    label: str,
+    tolerance_ms: float,
+) -> ReconciliationReport:
+    report = ReconciliationReport(
+        label=label,
+        requests=len(reconstructed),
+        reference=len(reference),
+        max_abs_error_ms=0.0,
+    )
+    if len(reconstructed) != len(reference):
+        report.problems.append(
+            f"{label}: {len(reconstructed)} reconstructed requests vs "
+            f"{len(reference)} reference samples"
+        )
+        return report
+    worst = 0.0
+    for ours, theirs in zip(sorted(reconstructed), sorted(reference)):
+        worst = max(worst, abs(ours - theirs))
+    report.max_abs_error_ms = worst
+    if worst > tolerance_ms:
+        report.problems.append(
+            f"{label}: responses diverge by up to {worst:.6g} ms "
+            f"(tolerance {tolerance_ms:g} ms)"
+        )
+    return report
+
+
+def reconcile_with_collector(
+    breakdowns: Sequence[RequestBreakdown],
+    response_times: Sequence[float],
+    label: str = "collector",
+    tolerance_ms: float = 0.0,
+) -> ReconciliationReport:
+    """Match per-request span sums against collector response times.
+
+    The default tolerance is **zero**: for a live traced run the
+    reconstruction is bit-exact (see the module docstring), so any
+    nonzero difference means the instrumentation and the metrics
+    pipeline disagree about what happened.
+    """
+    return _match_sorted(
+        [breakdown.response_ms for breakdown in breakdowns],
+        list(response_times),
+        label,
+        tolerance_ms,
+    )
+
+
+def reconcile_internal(
+    spans, tolerance_ms: float = 0.0
+) -> List[ReconciliationReport]:
+    """Cross-check drive-level breakdowns against array envelopes.
+
+    For every run scope whose logical and physical request counts
+    match 1:1 (every layout except multi-phase RAID fan-out), the
+    multiset of reconstructed drive-level responses must equal the
+    multiset of array envelope durations.  Scopes with fan-out are
+    skipped — slices there legitimately outnumber logical requests.
+    """
+    envelopes: Dict[str, List[float]] = {}
+    for span in spans:
+        if span.cat != "array" or span.dur is None:
+            continue
+        envelopes.setdefault(_scope_of(span.track[0]), []).append(span.dur)
+    reconstructed: Dict[str, List[float]] = {}
+    for breakdown in request_breakdowns(spans):
+        reconstructed.setdefault(_scope_of(breakdown.process), []).append(
+            breakdown.response_ms
+        )
+    reports = []
+    for scope in sorted(envelopes):
+        ours = reconstructed.get(scope, [])
+        theirs = envelopes[scope]
+        if len(ours) != len(theirs):
+            continue  # fan-out scope: slices != logical requests
+        reports.append(
+            _match_sorted(ours, theirs, scope, tolerance_ms)
+        )
+    return reports
+
+
+class TraceAnalysis:
+    """Lazy, cached analytics over one span stream.
+
+    Build from a tracer (:meth:`from_tracer`) or any span sequence; an
+    optional telemetry snapshot rides along for reporting.  Use
+    :meth:`filter` to narrow the analysis to one run scope (process
+    prefix) — e.g. ``analysis.filter("HC-SD")`` for the paper's
+    baseline attribution.
+    """
+
+    def __init__(
+        self,
+        spans,
+        telemetry: Optional[Dict] = None,
+        dropped_spans: int = 0,
+    ):
+        self.spans = list(spans)
+        self.telemetry = telemetry or {}
+        self.dropped_spans = dropped_spans
+        self._cache: Dict[str, object] = {}
+
+    @classmethod
+    def from_tracer(cls, tracer) -> "TraceAnalysis":
+        return cls(
+            tracer.spans,
+            telemetry=tracer.telemetry.snapshot(),
+            dropped_spans=tracer.dropped_spans,
+        )
+
+    def filter(self, process_prefix: str) -> "TraceAnalysis":
+        """A new analysis restricted to processes under ``prefix``."""
+        return TraceAnalysis(
+            [
+                span
+                for span in self.spans
+                if span.track[0].startswith(process_prefix)
+            ],
+            telemetry=self.telemetry,
+            dropped_spans=self.dropped_spans,
+        )
+
+    def _cached(self, key: str, build):
+        if key not in self._cache:
+            self._cache[key] = build()
+        return self._cache[key]
+
+    @property
+    def window(self) -> Tuple[float, float]:
+        return self._cached("window", lambda: _trace_window(self.spans))
+
+    @property
+    def scopes(self) -> List[str]:
+        return self._cached(
+            "scopes",
+            lambda: sorted(
+                {_scope_of(span.track[0]) for span in self.spans}
+            ),
+        )
+
+    @property
+    def utilization(self) -> List[TrackUtilization]:
+        return self._cached(
+            "utilization", lambda: track_utilization(self.spans)
+        )
+
+    @property
+    def queue_depth(self) -> Dict[str, DepthTimeline]:
+        return self._cached(
+            "queue_depth", lambda: queue_depth_timelines(self.spans)
+        )
+
+    @property
+    def inflight(self) -> Dict[str, DepthTimeline]:
+        return self._cached(
+            "inflight", lambda: inflight_timelines(self.spans)
+        )
+
+    @property
+    def breakdowns(self) -> List[RequestBreakdown]:
+        return self._cached(
+            "breakdowns", lambda: request_breakdowns(self.spans)
+        )
+
+    @property
+    def attribution(self) -> BottleneckAttribution:
+        return self._cached(
+            "attribution", lambda: attribute_bottleneck(self.spans)
+        )
+
+    @property
+    def scaling_crosscheck(self) -> Optional[ScalingCrossCheck]:
+        return self._cached(
+            "scaling", lambda: crosscheck_scaling(self.spans)
+        )
+
+    @property
+    def response_stats(self) -> Dict[str, OnlineStats]:
+        return self._cached(
+            "response_stats", lambda: scope_response_stats(self.spans)
+        )
+
+    def reconcile(self, tolerance_ms: float = 0.0):
+        return reconcile_internal(self.spans, tolerance_ms=tolerance_ms)
+
+
+def analyze(tracer) -> TraceAnalysis:
+    """Analytics over everything ``tracer`` recorded."""
+    return TraceAnalysis.from_tracer(tracer)

@@ -19,6 +19,7 @@ from typing import Dict, List, Tuple
 
 __all__ = [
     "SPAN_JSONL_SCHEMA",
+    "read_chrome_trace",
     "to_chrome_trace",
     "to_span_records",
     "validate_chrome_trace",
@@ -146,6 +147,63 @@ def validate_chrome_trace(trace: Dict) -> List[str]:
             if not isinstance(dur, (int, float)) or dur < 0:
                 problems.append(f"{where}: X event needs dur >= 0")
     return problems
+
+
+def read_chrome_trace(path: str):
+    """Load an exported Chrome trace back into a :class:`Tracer`.
+
+    The inverse of :func:`write_chrome_trace`, for post-hoc analysis
+    (``python -m repro report --from-trace``): metadata events restore
+    the ``(process, thread)`` track names, ``X``/``i`` events become
+    spans/instants, and the embedded telemetry snapshot is merged into
+    the tracer's registry.
+
+    Round-trip caveat: exported timestamps are ms × 1000 (trace-event
+    µs), so reloaded ``ts``/``dur`` values can differ from the
+    originals in the last float bit — analyses of a *loaded* trace
+    should reconcile with a small tolerance rather than exactly.
+    """
+    from repro.obs.tracer import Span, Tracer
+
+    with open(path, encoding="utf-8") as handle:
+        trace = json.load(handle)
+    problems = validate_chrome_trace(trace)
+    if problems:
+        raise ValueError(
+            f"{path}: not a valid repro trace export: {problems[:3]}"
+        )
+    processes: Dict[int, str] = {}
+    threads: Dict[Tuple[int, int], str] = {}
+    for event in trace["traceEvents"]:
+        if event.get("ph") != "M":
+            continue
+        if event["name"] == "process_name":
+            processes[event["pid"]] = event["args"]["name"]
+        elif event["name"] == "thread_name":
+            threads[(event["pid"], event["tid"])] = event["args"]["name"]
+    tracer = Tracer()
+    for event in trace["traceEvents"]:
+        phase = event.get("ph")
+        if phase not in ("X", "i"):
+            continue
+        pid, tid = event["pid"], event["tid"]
+        track = (
+            processes.get(pid, f"process {pid}"),
+            threads.get((pid, tid), f"thread {tid}"),
+        )
+        span = Span(
+            event["name"],
+            event.get("cat", "instant"),
+            event["ts"] / _US_PER_MS,
+            event["dur"] / _US_PER_MS if phase == "X" else None,
+            track,
+            event.get("args"),
+        )
+        tracer.spans.append(span)
+    other = trace.get("otherData", {})
+    tracer.telemetry.merge_snapshot(other.get("telemetry", {}))
+    tracer.dropped_spans = other.get("dropped_spans", 0)
+    return tracer
 
 
 def to_span_records(tracer) -> List[Dict]:

@@ -48,7 +48,18 @@ class TraceRun:
 
 
 def figures_digest(figures: List) -> str:
-    """SHA-256 of the canonical JSON form of ``figures``."""
+    """SHA-256 of the canonical JSON form of ``figures``.
+
+    An empty figure list is a driver bug, not a degenerate input: every
+    traceable experiment produces at least one canonical figure, and
+    hashing ``[]`` would let a broken driver pass determinism checks
+    with a vacuous digest.
+    """
+    if not figures:
+        raise ValueError(
+            "figures_digest: empty figure list (the experiment driver "
+            "produced no canonical figures)"
+        )
     payload = json.dumps(figures, sort_keys=True)
     return hashlib.sha256(payload.encode("ascii")).hexdigest()
 

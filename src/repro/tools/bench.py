@@ -59,9 +59,33 @@ from repro.metrics.report import format_table
 from repro.sim.engine import Environment
 from repro.workloads.commercial import COMMERCIAL_WORKLOADS
 
-__all__ = ["run_bench", "format_bench", "write_bench"]
+__all__ = [
+    "format_bench",
+    "load_bench",
+    "migrate_bench",
+    "run_bench",
+    "validate_bench",
+    "write_bench",
+]
 
 BENCH_SCHEMA = "repro-bench/2"
+BENCH_SCHEMA_V1 = "repro-bench/1"
+
+#: Keys every valid snapshot (any schema version) must carry.
+REQUIRED_KEYS = (
+    "schema",
+    "date",
+    "python",
+    "platform",
+    "cpu_count",
+    "requests",
+    "repeats",
+    "workloads",
+    "events",
+    "figures_sha256",
+    "figures_identical",
+    "results",
+)
 
 
 def _bench_job(workload_name: str, requests: int) -> Dict:
@@ -238,6 +262,93 @@ def format_bench(result: Dict) -> str:
         for entry in skipped
     )
     return "\n".join(lines)
+
+
+def validate_bench(snapshot: Dict, source: str = "snapshot") -> None:
+    """Structural validation of a bench snapshot; raises ``ValueError``.
+
+    Accepts both schema versions — use :func:`migrate_bench` (or
+    :func:`load_bench`, which validates *and* migrates) to normalise a
+    v1 snapshot to the current schema.
+    """
+    if not isinstance(snapshot, dict):
+        raise ValueError(f"{source}: not a JSON object")
+    schema = snapshot.get("schema")
+    if schema is None:
+        raise ValueError(f"{source}: missing 'schema' field")
+    if schema not in (BENCH_SCHEMA, BENCH_SCHEMA_V1):
+        raise ValueError(
+            f"{source}: unsupported schema {schema!r} (expected "
+            f"{BENCH_SCHEMA} or {BENCH_SCHEMA_V1})"
+        )
+    missing = [key for key in REQUIRED_KEYS if key not in snapshot]
+    if missing:
+        raise ValueError(f"{source}: missing keys {missing}")
+    if not isinstance(snapshot["results"], list) or not snapshot["results"]:
+        raise ValueError(f"{source}: 'results' must be a non-empty list")
+    for index, entry in enumerate(snapshot["results"]):
+        if "workers" not in entry:
+            raise ValueError(
+                f"{source}: results[{index}] missing 'workers'"
+            )
+        if not entry.get("skipped") and "events_per_s" not in entry:
+            raise ValueError(
+                f"{source}: results[{index}] missing 'events_per_s'"
+            )
+
+
+def migrate_bench(snapshot: Dict) -> Dict:
+    """Normalise a snapshot to the current ``repro-bench/2`` schema.
+
+    The v1 → v2 change is the worker cap: v1 happily *timed* worker
+    counts above ``cpu_count`` (measuring scheduler contention, not
+    parallelism), where v2 records them as skipped entries.  Migration
+    therefore demotes any oversubscribed timed entry to a skipped one
+    — its wall-clock is untrustworthy — and stamps the snapshot with
+    the schema it now satisfies.  Current-schema snapshots are
+    returned as (copies of) themselves.
+    """
+    validate_bench(snapshot)
+    if snapshot["schema"] == BENCH_SCHEMA:
+        return dict(snapshot)
+    migrated = dict(snapshot)
+    cpu = snapshot.get("cpu_count") or 1
+    results = []
+    for entry in snapshot["results"]:
+        if not entry.get("skipped") and entry["workers"] > cpu:
+            results.append(
+                {
+                    "workers": entry["workers"],
+                    "skipped": True,
+                    "reason": (
+                        f"exceeds cpu_count={cpu} (untrusted v1 "
+                        "timing dropped on migration)"
+                    ),
+                    "timed_as": cpu if cpu > 1 else 1,
+                }
+            )
+        else:
+            results.append(dict(entry))
+    migrated["results"] = results
+    migrated["schema"] = BENCH_SCHEMA
+    migrated["migrated_from"] = BENCH_SCHEMA_V1
+    return migrated
+
+
+def load_bench(path: str) -> Dict:
+    """Read, validate and migrate a bench snapshot from ``path``.
+
+    Unknown or missing schemas raise ``ValueError`` (no more silently
+    comparing incompatible snapshots); v1 snapshots come back migrated
+    to ``repro-bench/2``.
+    """
+    with open(path, encoding="utf-8") as handle:
+        try:
+            snapshot = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{path}: not valid JSON: {error}") from None
+    validate_bench(snapshot, source=path)
+    return migrate_bench(snapshot)
 
 
 def write_bench(result: Dict, path: Optional[str] = None) -> str:

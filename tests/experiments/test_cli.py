@@ -92,18 +92,18 @@ class TestCommands:
         assert "200+" in out
 
 
-class TestReport:
-    def test_report_to_stdout(self, capsys):
-        assert main(["report", "--requests", "300"]) == 0
+class TestResults:
+    def test_results_to_stdout(self, capsys):
+        assert main(["results", "--requests", "300"]) == 0
         out = capsys.readouterr().out
         assert "# Reproduction results" in out
         assert "## table1" in out
         assert "## fig8" in out
 
-    def test_report_to_file(self, tmp_path, capsys):
+    def test_results_to_file(self, tmp_path, capsys):
         target = tmp_path / "results.md"
         assert (
-            main(["report", "--requests", "300", "-o", str(target)]) == 0
+            main(["results", "--requests", "300", "-o", str(target)]) == 0
         )
         text = target.read_text()
         assert text.count("## ") == 10

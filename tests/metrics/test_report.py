@@ -68,3 +68,44 @@ class TestHbar:
     def test_negative_value_rejected(self):
         with pytest.raises(ValueError):
             hbar(-1, 10)
+
+    def test_zero_width(self):
+        assert hbar(5, 10, width=0) == ""
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError, match="width"):
+            hbar(5, 10, width=-4)
+
+    def test_negative_maximum_is_empty(self):
+        assert hbar(5, -10) == ""
+
+    def test_partial_bar_rounding(self):
+        assert hbar(1, 4, width=4) == "#..."
+        assert hbar(1, 3, width=4) == "#..."
+
+    def test_custom_fill(self):
+        assert hbar(2, 4, width=4, fill="=") == "==.."
+
+
+class TestFormatTableMore:
+    def test_no_title_starts_with_header(self):
+        text = format_table(["col"], [(1,)])
+        assert text.splitlines()[0].startswith("col")
+
+    def test_empty_rows_render_header_only(self):
+        lines = format_table(["a", "b"], []).splitlines()
+        assert len(lines) == 2  # header + rule, no data rows
+
+    def test_ragged_row_message_names_counts(self):
+        with pytest.raises(ValueError, match="3 cells, expected 2"):
+            format_table(["a", "b"], [("x", "y", "z")])
+
+
+class TestFormatCdfTableMore:
+    def test_title_passed_through(self):
+        text = format_cdf_table(["1"], [("s", [0.5])], title="CDF")
+        assert text.splitlines()[0] == "CDF"
+
+    def test_empty_series_list(self):
+        text = format_cdf_table(["1", "2"], [])
+        assert "bucket_ms" in text
