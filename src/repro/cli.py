@@ -208,8 +208,8 @@ def _all(args) -> None:
 def _list(args) -> None:
     print("artifacts:", ", ".join(ARTIFACTS))
     print(
-        "other commands: all, results, report, scorecard, workloads, "
-        "simulate, bench, trace, list"
+        "other commands: all, results, report, scorecard, faults, "
+        "workloads, simulate, bench, trace, list"
     )
 
 
@@ -272,6 +272,55 @@ def _scorecard(args) -> None:
             run_scorecard(requests=args.requests, n_workers=args.workers)
         )
     )
+
+
+def _faults(args) -> None:
+    """Fault injection and the reliability study (§8 of the paper)."""
+    from repro.experiments.reliability_study import (
+        default_fault_plan,
+        format_mttdl_table,
+        format_reliability_cdfs,
+        format_reliability_summary,
+        run_reliability_study,
+    )
+    from repro.faults.plan import load_fault_plan, write_fault_plan
+
+    if args.validate:
+        from repro.tools.validate import validate_fault_plan_file
+
+        problems = validate_fault_plan_file(args.validate)
+        if problems:
+            for problem in problems:
+                print(f"INVALID: {problem}")
+            raise SystemExit(1)
+        print(f"{args.validate}: valid fault plan")
+        return
+
+    plan = None
+    if args.plan:
+        try:
+            plan = load_fault_plan(args.plan)
+        except (OSError, ValueError) as error:
+            raise SystemExit(f"faults --plan: {error}")
+    if args.emit_plan:
+        horizon_ms = args.requests * 4.0
+        emitted = plan if plan is not None else default_fault_plan(
+            args.fault_seed, horizon_ms
+        )
+        write_fault_plan(emitted, args.emit_plan)
+        print(f"wrote {args.emit_plan} ({len(emitted)} events)")
+
+    result = run_reliability_study(
+        requests=args.requests,
+        fault_seed=args.fault_seed,
+        plan=plan,
+        n_workers=args.workers,
+    )
+    print(format_reliability_summary(result))
+    print()
+    print(format_reliability_cdfs(result))
+    print()
+    print(format_mttdl_table(result))
 
 
 def _bench(args) -> None:
@@ -575,6 +624,44 @@ def build_parser() -> argparse.ArgumentParser:
         _scorecard,
         "evaluate DESIGN.md's success criteria in one pass",
     )
+    faults = add(
+        "faults",
+        _faults,
+        "replay a seeded fault plan: degraded CDFs + MTTDL table",
+    )
+    faults.add_argument(
+        "--plan",
+        metavar="PATH",
+        default=None,
+        help=(
+            "replay this fault-plan JSON instead of the default "
+            "seeded plan"
+        ),
+    )
+    faults.add_argument(
+        "--emit-plan",
+        metavar="PATH",
+        default=None,
+        help="write the plan the study replays to PATH, then run",
+    )
+    faults.add_argument(
+        "--fault-seed",
+        type=int,
+        default=101,
+        help="seed for the generated fault plan (default 101)",
+    )
+    faults.add_argument(
+        "--validate",
+        metavar="PATH",
+        default=None,
+        help=(
+            "schema-check a fault-plan JSON and exit (non-zero if "
+            "invalid); no simulation runs"
+        ),
+    )
+    # The reliability cells run with an aggressive retry policy and a
+    # structural failure mid-run; 2000 requests keeps the study quick.
+    faults.set_defaults(requests=2000)
     listing = sub.add_parser("list", help="list available artifacts")
     listing.set_defaults(handler=_list)
 

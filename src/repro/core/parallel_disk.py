@@ -59,6 +59,7 @@ class ParallelDisk(ConventionalDrive):
         rotation_scale: float = 1.0,
         cache_segments: int = 16,
         label: Optional[str] = None,
+        retry_policy=None,
     ):
         config = config or DashConfig(arm_assemblies=spec.actuators)
         if config.disk_stacks != 1:
@@ -74,6 +75,7 @@ class ParallelDisk(ConventionalDrive):
             rotation_scale=rotation_scale,
             cache_segments=cache_segments,
             label=label or f"{spec.name}-{config.notation}",
+            retry_policy=retry_policy,
         )
         self.config = config
         if config.surfaces > self.geometry.surfaces:
@@ -130,6 +132,12 @@ class ParallelDisk(ConventionalDrive):
         sector_angle = self.geometry.sector_angle(address)
         best: Optional[Tuple[float, ArmAssembly, float, float, int]] = None
         for arm in self.arms:
+            if arm.failed:
+                # Deconfigured assemblies never serve again; SPTF
+                # degrades transparently to the survivors (and
+                # ``is_idle`` alone would not exclude them for the
+                # overlapped extensions' ``include_busy`` searches).
+                continue
             if not include_busy and not arm.is_idle(at_time):
                 continue
             seek = (
@@ -253,6 +261,9 @@ class ParallelDisk(ConventionalDrive):
         # combined timeout reaches the same completion instant as
         # yielding per phase at a third of the engine-event cost.
         transfer = self._transfer_time(request)
+        penalty = (
+            self._media_retry_penalty(request) if self._armed_faults else 0.0
+        )
         if self.tracer.enabled:
             self._record_phase_spans(
                 request,
@@ -262,14 +273,17 @@ class ParallelDisk(ConventionalDrive):
                 rotation,
                 transfer,
                 arm.arm_id,
+                retry=penalty,
             )
-        yield self.env.timeout(overhead + seek + rotation + transfer)
+        yield self.env.timeout(overhead + seek + rotation + transfer + penalty)
         self.stats.transfer_ms += overhead
         self.stats.seek_ms += seek
         self.stats.record_arm_seek(arm.arm_id, seek)
         if seek > 0.0:
             self.stats.nonzero_seeks += 1
         self.stats.rotational_latency_ms += rotation
+        if penalty > 0.0:
+            self.stats.rotational_latency_ms += penalty
         self.stats.transfer_ms += transfer
         self.stats.sectors_transferred += request.size
 
@@ -336,6 +350,20 @@ class ParallelDisk(ConventionalDrive):
                 "cannot deconfigure the last healthy arm assembly"
             )
         arm.failed = True
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "arm-deconfigured",
+                self.env.now,
+                (self.label, f"arm {arm.arm_id}"),
+                args={
+                    "arm": arm.arm_id,
+                    "healthy_remaining": self.healthy_arm_count,
+                },
+            )
+            self.tracer.telemetry.counter("arms.deconfigured").inc()
+            self.tracer.telemetry.gauge("arms.healthy").set(
+                self.healthy_arm_count
+            )
 
     # -- diagnostics ----------------------------------------------------------
     def arm_report(self) -> List[dict]:

@@ -32,6 +32,11 @@ from repro.disk.scheduler import (
 )
 from repro.disk.seek import SeekModel
 from repro.disk.specs import DriveSpec
+from repro.faults.policy import (
+    DEFAULT_MEDIA_RETRY,
+    ArmedMediaFault,
+    RetryPolicy,
+)
 from repro.obs.tracer import tracer_for
 from repro.sim.engine import Environment, Event
 
@@ -62,6 +67,18 @@ class DriveStats:
     #: Requests whose seek time was non-zero (paper §7.2 reports this
     #: fraction rising with actuator count for Websearch).
     nonzero_seeks: int = 0
+    #: Media errors consumed (injected faults that hit an access).
+    media_errors: int = 0
+    #: Retry revolutions spent recovering media errors.
+    media_retries: int = 0
+    #: Media errors that survived the retry budget (surfaced to the
+    #: layer above as ``request.media_error``).
+    unrecovered_errors: int = 0
+    #: Total time spent in retry revolutions (+ backoff).  Billed into
+    #: ``rotational_latency_ms`` as well — the platter really is
+    #: spinning under a waiting head — so mode/power accounting stays
+    #: exact; this field just keeps the retry share visible.
+    retry_ms: float = 0.0
 
     @classmethod
     def for_arms(cls, arms: int) -> "DriveStats":
@@ -126,6 +143,7 @@ class ConventionalDrive:
         rotation_scale: float = 1.0,
         cache_segments: int = 16,
         label: Optional[str] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         if seek_scale < 0 or rotation_scale < 0:
             raise ValueError("latency scales must be non-negative")
@@ -135,6 +153,13 @@ class ConventionalDrive:
         self.scheduler = scheduler or SPTFScheduler()
         self.seek_scale = seek_scale
         self.rotation_scale = rotation_scale
+        #: Budget for in-place media-error retries (each retry costs a
+        #: platter revolution plus the policy's backoff).
+        self.retry_policy = retry_policy or DEFAULT_MEDIA_RETRY
+        #: Media faults armed by a fault injector, consumed by the
+        #: next matching media access.  Empty on the healthy path,
+        #: which therefore pays one truthiness check and nothing else.
+        self._armed_faults: List[ArmedMediaFault] = []
 
         self.geometry: DiskGeometry = spec.build_geometry()
         self.seek_model: SeekModel = spec.build_seek_model(self.geometry)
@@ -212,6 +237,68 @@ class ConventionalDrive:
         if self._wakeup is not None and not self._wakeup.triggered:
             self._wakeup.succeed()
         return completion
+
+    def inject_media_error(
+        self, attempts: int = 1, lba: Optional[int] = None
+    ) -> None:
+        """Arm a media error for the next matching media access.
+
+        ``attempts`` is how many read attempts fail before the sector
+        yields (a transient error recovers within a small budget; a
+        latent sector error is sized to exceed any budget).  With
+        ``lba`` set, only an access covering that sector consumes the
+        fault; otherwise the next media access does.
+        """
+        if attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {attempts}")
+        if lba is not None and not 0 <= lba < self.geometry.total_sectors:
+            raise ValueError(
+                f"lba {lba} outside [0, {self.geometry.total_sectors})"
+            )
+        self._armed_faults.append(ArmedMediaFault(attempts=attempts, lba=lba))
+        if self.tracer.enabled:
+            self.tracer.telemetry.counter("faults.armed").inc()
+
+    def _media_retry_penalty(self, request: IORequest) -> float:
+        """Consume an armed fault hitting ``request``; returns the
+        retry time it costs (0.0 when no fault matches).
+
+        Each retry waits one full revolution — the damaged sector must
+        come back under the head — plus the policy's backoff.  Errors
+        whose severity exceeds the retry budget leave the request
+        marked ``media_error`` for the layer above.  The full
+        revolution is charged unscaled: the limit-study knobs shrink
+        *positioning*, not the physics of a re-read.
+        """
+        fault = None
+        for candidate in self._armed_faults:
+            if (
+                candidate.lba is None
+                or request.lba <= candidate.lba < request.end_lba
+            ):
+                fault = candidate
+                break
+        if fault is None:
+            return 0.0
+        self._armed_faults.remove(fault)
+        policy = self.retry_policy
+        retries = min(fault.attempts, policy.max_retries)
+        penalty = retries * (self.spindle.period_ms + policy.backoff_ms)
+        unrecovered = fault.attempts > retries
+        self.stats.media_errors += 1
+        self.stats.media_retries += retries
+        self.stats.retry_ms += penalty
+        request.retries += retries
+        if unrecovered:
+            request.media_error = True
+            self.stats.unrecovered_errors += 1
+        if self.tracer.enabled:
+            telemetry = self.tracer.telemetry
+            telemetry.counter("faults.media_errors").inc()
+            telemetry.counter("faults.retries").inc(retries)
+            if unrecovered:
+                telemetry.counter("faults.unrecovered").inc()
+        return penalty
 
     def positioning_estimate(self, request: IORequest) -> float:
         """Estimated seek + rotational latency if dispatched right now.
@@ -345,17 +432,28 @@ class ConventionalDrive:
             * self.rotation_scale
         )
         transfer = self._transfer_time(request)
+        # Armed media faults are rare; the healthy path pays only the
+        # emptiness check, and adding 0.0 to the combined timeout is a
+        # float identity, so fault support changes no healthy figure.
+        penalty = (
+            self._media_retry_penalty(request) if self._armed_faults else 0.0
+        )
         if self.tracer.enabled:
             self._record_phase_spans(
-                request, self.env.now, overhead, seek, rotation, transfer, 0
+                request, self.env.now, overhead, seek, rotation, transfer, 0,
+                retry=penalty,
             )
-        yield self.env.timeout(overhead + seek + rotation + transfer)
+        yield self.env.timeout(overhead + seek + rotation + transfer + penalty)
         self.stats.transfer_ms += overhead  # overhead billed as transfer
         self.stats.seek_ms += seek
         self.stats.record_arm_seek(request.arm_id, seek)
         if seek > 0.0:
             self.stats.nonzero_seeks += 1
         self.stats.rotational_latency_ms += rotation
+        if penalty > 0.0:
+            # The platter spins under a waiting head during retries, so
+            # the time is rotational residency for mode/power purposes.
+            self.stats.rotational_latency_ms += penalty
         self.stats.transfer_ms += transfer
         self.stats.sectors_transferred += request.size
 
@@ -376,6 +474,7 @@ class ConventionalDrive:
         rotation: float,
         transfer: float,
         arm_id: int,
+        retry: float = 0.0,
     ) -> None:
         """Emit the per-phase service spans on the servicing arm's track.
 
@@ -397,6 +496,10 @@ class ConventionalDrive:
             tracer.span("rotation", "rotation", at, rotation, track, args)
             at += rotation
         tracer.span("transfer", "transfer", at, transfer, track, args)
+        if retry > 0.0:
+            tracer.span(
+                "media-retry", "retry", at + transfer, retry, track, args
+            )
 
     def _transfer_time(self, request: IORequest) -> float:
         spt, track_crossings, cylinder_crossings = (

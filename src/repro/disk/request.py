@@ -52,6 +52,13 @@ class IORequest:
     #: Which arm assembly serviced the request (always 0 on a
     #: conventional drive).
     arm_id: int = 0
+    #: True when a media error survived the drive's retry budget — the
+    #: access completed (timing-wise) but the data is unrecovered and
+    #: the layer above must retry, reconstruct, or report loss.
+    media_error: bool = False
+    #: Retry revolutions spent on this request (drive level) plus, for
+    #: logical array requests, slice resubmissions.
+    retries: int = 0
 
     def __post_init__(self) -> None:
         if self.lba < 0:

@@ -1,0 +1,18 @@
+"""Exception types for the fault-injection and robustness layer."""
+
+from __future__ import annotations
+
+__all__ = ["DataLossError", "FaultInjectionError", "MediaError"]
+
+
+class MediaError(Exception):
+    """A media access failed permanently (retries exhausted)."""
+
+
+class DataLossError(Exception):
+    """Data became unrecoverable (e.g. a member of a non-redundant
+    layout failed with requests outstanding)."""
+
+
+class FaultInjectionError(Exception):
+    """A fault event could not be applied to the target system."""

@@ -1,0 +1,97 @@
+"""Analytic MTTDL and availability models for the studied configs.
+
+Standard Markov-model results (Patterson/Gibson/Katz for the array
+cases), plus a two-stage model for the arm-redundant intra-disk
+parallel drive.  All times are hours; rates are per hour.
+
+The interesting comparison for the paper is the last row: a single
+HC-SD-SA(n) drive replaces the whole multi-disk array, so a *drive*
+failure loses data outright (MTTDL ≈ the single-drive case), but the
+dominant *component* failures — arm assemblies — no longer kill the
+device: the drive degrades SA(n) → SA(n-1) → … → SA(1) and only loses
+data when every assembly has failed (or the spindle/electronics die).
+The model therefore splits the drive failure rate into an arm part
+(deconfigurable, survivable) and a non-arm part (fatal), which is
+exactly the reliability argument of the paper's §8.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "availability",
+    "mttdl_parallel_drive",
+    "mttdl_raid0",
+    "mttdl_raid5",
+    "mttdl_single",
+]
+
+
+def mttdl_single(mttf_hours: float) -> float:
+    """One non-redundant drive: MTTDL is just its MTTF."""
+    if mttf_hours <= 0.0:
+        raise ValueError("mttf_hours must be positive")
+    return mttf_hours
+
+
+def mttdl_raid0(mttf_hours: float, disks: int) -> float:
+    """Striping with no redundancy: any of N failures loses data."""
+    if disks < 1:
+        raise ValueError("disks must be >= 1")
+    return mttdl_single(mttf_hours) / disks
+
+
+def mttdl_raid5(mttf_hours: float, disks: int, mttr_hours: float) -> float:
+    """RAID-5: data is lost when a second drive fails mid-repair.
+
+    The classic result MTTF² / (N·(N−1)·MTTR), valid while
+    MTTR ≪ MTTF.
+    """
+    if disks < 2:
+        raise ValueError("RAID-5 needs at least 2 disks")
+    if mttr_hours <= 0.0:
+        raise ValueError("mttr_hours must be positive")
+    if mttf_hours <= 0.0:
+        raise ValueError("mttf_hours must be positive")
+    return mttf_hours ** 2 / (disks * (disks - 1) * mttr_hours)
+
+
+def mttdl_parallel_drive(
+    mttf_hours: float,
+    arms: int,
+    arm_failure_fraction: float = 0.4,
+) -> float:
+    """An arm-redundant HC-SD-SA(n) drive with graceful deconfiguration.
+
+    The drive's overall failure rate ``1/mttf`` is split: a fraction
+    ``arm_failure_fraction`` is attributable to head/arm-assembly
+    faults (survivable — firmware deconfigures the assembly and the
+    drive degrades to SA(n-1)), the rest to spindle, electronics and
+    media (fatal).  Data is lost when either the fatal part fires or
+    all ``n`` assemblies have failed in sequence; the expected time to
+    exhaust the assemblies is the coupon-collector-style sum
+    Σ_{k=1..n} 1/(k·λ_arm) (with k healthy arms, the next arm fault
+    arrives at rate k·λ_arm).
+
+    With ``arms=1`` this reduces exactly to :func:`mttdl_single`.
+    """
+    if arms < 1:
+        raise ValueError("arms must be >= 1")
+    if not 0.0 < arm_failure_fraction < 1.0:
+        raise ValueError("arm_failure_fraction must be in (0, 1)")
+    if mttf_hours <= 0.0:
+        raise ValueError("mttf_hours must be positive")
+    total_rate = 1.0 / mttf_hours
+    arm_rate = total_rate * arm_failure_fraction
+    fatal_rate = total_rate * (1.0 - arm_failure_fraction)
+    # Expected time for all n assemblies to fail, k healthy -> k*λ.
+    all_arms_hours = sum(
+        1.0 / (k * arm_rate) for k in range(1, arms + 1)
+    )
+    return 1.0 / (fatal_rate + 1.0 / all_arms_hours)
+
+
+def availability(mttdl_hours: float, mttr_hours: float) -> float:
+    """Steady-state availability MTTDL / (MTTDL + MTTR)."""
+    if mttdl_hours <= 0.0 or mttr_hours <= 0.0:
+        raise ValueError("mttdl_hours and mttr_hours must be positive")
+    return mttdl_hours / (mttdl_hours + mttr_hours)

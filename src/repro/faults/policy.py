@@ -1,0 +1,92 @@
+"""Retry/timeout/backoff policy shared by drives and the array.
+
+A :class:`RetryPolicy` is deliberately tiny and frozen: it is hashed
+into experiment cache keys and pickled across ``sweep()`` worker
+processes, so it must be immutable and cheaply comparable.
+
+Two layers consume it:
+
+- The drive service loop retries *transient media errors* in place:
+  each retry costs one full platter revolution (the sector must come
+  around again) plus the policy's backoff, up to
+  ``max_attempts - 1`` retries.  An error whose severity exceeds the
+  retry budget marks the request ``media_error`` — unrecovered at the
+  drive level.
+- The array controller resubmits slices whose physical request came
+  back unrecovered, up to ``max_attempts`` submissions, sleeping
+  ``backoff_ms`` (linearly increasing) between attempts, and counts a
+  deadline miss whenever a slice overruns ``timeout_ms`` (media work
+  cannot be cancelled mid-revolution, so the miss is recorded and the
+  slice is awaited — the accounting mirrors firmware command timeouts
+  that fire while the drive completes anyway).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["ArmedMediaFault", "DEFAULT_MEDIA_RETRY", "RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry semantics for one robustness layer.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts including the first (so ``max_attempts=1``
+        means no retries at all).
+    timeout_ms:
+        Per-attempt deadline; ``None`` disables deadline accounting.
+        Only the array layer uses it.
+    backoff_ms:
+        Delay added between attempts.  The drive layer adds it on top
+        of each retry revolution; the array layer sleeps
+        ``backoff_ms * attempt`` before resubmitting.
+    """
+
+    max_attempts: int = 4
+    timeout_ms: Optional[float] = None
+    backoff_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.timeout_ms is not None and self.timeout_ms <= 0.0:
+            raise ValueError(
+                f"timeout_ms must be positive or None, got {self.timeout_ms}"
+            )
+        if self.backoff_ms < 0.0:
+            raise ValueError(
+                f"backoff_ms must be non-negative, got {self.backoff_ms}"
+            )
+
+    @property
+    def max_retries(self) -> int:
+        """Retries available after the first attempt."""
+        return self.max_attempts - 1
+
+
+#: Drive-level default: up to three in-place retry revolutions, no
+#: backoff — the classic "retry a handful of times before reporting an
+#: unrecoverable read" firmware behaviour.
+DEFAULT_MEDIA_RETRY = RetryPolicy(max_attempts=4, timeout_ms=None,
+                                  backoff_ms=0.0)
+
+
+@dataclass
+class ArmedMediaFault:
+    """A pending media error armed on a drive by the injector.
+
+    The next media access (or, with ``lba`` set, the next access
+    covering that sector) consumes the fault and pays ``attempts``
+    failed read attempts before the drive's retry budget decides
+    whether the request recovers.
+    """
+
+    attempts: int = 1
+    lba: Optional[int] = None

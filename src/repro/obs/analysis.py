@@ -68,6 +68,7 @@ WORK_CATEGORIES = (
     "transfer",
     "cache",
     "rebuild",
+    "retry",
 )
 
 #: Bucket edges (ms) for idle-gap histograms: sub-revolution gaps up

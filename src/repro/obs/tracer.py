@@ -49,9 +49,13 @@ __all__ = [
 
 #: The canonical span categories emitted by the instrumented stack.
 #: ``overhead`` (controller overhead) and ``array`` (logical-request
-#: envelopes) ride along; the six below are the analytically meaningful
-#: phases of the paper's decomposition.
-PHASES = ("queue", "seek", "rotation", "transfer", "cache", "rebuild")
+#: envelopes) ride along; the first six are the analytically
+#: meaningful phases of the paper's decomposition, and ``retry`` is
+#: the fault layer's contribution — revolutions spent re-reading after
+#: an injected media error.
+PHASES = (
+    "queue", "seek", "rotation", "transfer", "cache", "rebuild", "retry"
+)
 
 
 class Span:

@@ -15,6 +15,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.disk.drive import ConventionalDrive
 from repro.disk.request import IORequest
+from repro.faults.errors import DataLossError
+from repro.faults.policy import RetryPolicy
 from repro.obs.tracer import tracer_for
 from repro.raid.layout import Layout, Slice
 from repro.sim.engine import Environment, Event
@@ -36,6 +38,15 @@ class DiskArray:
         built exactly the same way (§7.3).
     layout:
         Address translation; its ``disk_count`` must match.
+    retry_policy:
+        Optional :class:`~repro.faults.policy.RetryPolicy`.  When set,
+        every logical request runs through a coordinating process that
+        resubmits slices whose physical request came back with an
+        unrecovered media error (up to ``max_attempts`` submissions,
+        with linear backoff) and counts deadline misses against
+        ``timeout_ms``.  When ``None`` (the default) the request path
+        is exactly the policy-free fast path — bit-identical to the
+        pre-robustness controller.
     """
 
     def __init__(
@@ -44,6 +55,7 @@ class DiskArray:
         drives: Sequence[ConventionalDrive],
         layout: Layout,
         label: Optional[str] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         if not drives:
             raise ValueError("array needs at least one drive")
@@ -66,6 +78,20 @@ class DiskArray:
         self._failed_disk: Optional[int] = None
         #: Fraction of a RAID-5 rebuild completed (set by rebuild()).
         self.rebuild_progress: float = 0.0
+        self.retry_policy = retry_policy
+        self._rebuild_active = False
+        #: Degraded-mode accounting: when the current degradation
+        #: started (None while healthy) and total degraded residency.
+        self.degraded_since: Optional[float] = None
+        self.degraded_ms: float = 0.0
+        self.rebuild_started_ms: Optional[float] = None
+        self.rebuild_finished_ms: Optional[float] = None
+        #: Robustness counters (all zero on a fault-free run).
+        self.drive_failures = 0
+        self.slice_retries = 0
+        self.deadline_misses = 0
+        self.unrecovered_requests = 0
+        self.aborted_requests = 0
 
     # -- drive-like interface -------------------------------------------------
     @property
@@ -84,7 +110,13 @@ class DiskArray:
         slices = self._map(request)
         completion = self.env.event()
         self._outstanding[request.request_id] = completion
-        if len(slices) == 1:
+        if self.retry_policy is not None:
+            # Robust path: a coordinating process that can resubmit
+            # slices and account deadline misses.  Never taken unless
+            # a policy was configured, so the default request path is
+            # byte-for-byte the policy-free controller.
+            self.env.process(self._run_retry(request, slices, completion))
+        elif len(slices) == 1:
             # Fast path for the overwhelmingly common case (JBOD,
             # concatenation, unstriped RAID-0 accesses): one physical
             # slice needs no coordinating process or AllOf barrier — a
@@ -114,6 +146,11 @@ class DiskArray:
         completion: Event,
     ) -> None:
         """Complete a one-slice logical request from its physical twin."""
+        if completion.triggered:
+            # The logical request was already failed (member loss on a
+            # non-redundant layout) while the physical slice was still
+            # in flight; the late slice completion is a no-op.
+            return
         request.completion_time = self.env.now
         if request.start_service is None:
             request.start_service = request.arrival_time
@@ -122,6 +159,8 @@ class DiskArray:
         request.transfer_time = physical.transfer_time
         request.cache_hit = physical.cache_hit
         request.arm_id = physical.arm_id
+        request.media_error = physical.media_error
+        request.retries += physical.retries
         self.requests_completed += 1
         self._outstanding.pop(request.request_id, None)
         if self.tracer.enabled:
@@ -204,6 +243,66 @@ class DiskArray:
                 "array already degraded: a second failure loses data"
             )
         self._failed_disk = index
+        self.drive_failures += 1
+        self.degraded_since = self.env.now
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "drive-failure",
+                self.env.now,
+                (self.label, "faults"),
+                args={"drive": index, "outstanding": len(self._outstanding)},
+            )
+            self.tracer.telemetry.counter("array.drive_failures").inc()
+        from repro.raid.layout import Raid5Layout
+
+        if not isinstance(self.layout, Raid5Layout):
+            self._abort_outstanding(index)
+
+    def _abort_outstanding(self, index: int) -> None:
+        """Deterministically fail every in-flight logical request.
+
+        Without redundancy the data on the failed member is gone *now*;
+        waiting for later submits to trip over ``_map`` would leave the
+        in-flight requests hanging forever (their drive events resolve,
+        but the data they carry is unrecoverable).  Each completion
+        event fails with :class:`DataLossError` at the failure instant;
+        the events are marked defused so fire-and-forget submitters
+        don't crash the engine, while processes waiting on them get the
+        exception thrown in as usual.
+        """
+        aborted = [
+            (request_id, event)
+            for request_id, event in self._outstanding.items()
+            if not event.triggered
+        ]
+        self._outstanding.clear()
+        for request_id, completion in aborted:
+            completion.fail(DataLossError(
+                f"{self.label}: drive {index} failed with no redundancy "
+                f"(request {request_id} lost)"
+            ))
+            completion.defused = True
+        self.aborted_requests += len(aborted)
+        if self.tracer.enabled and aborted:
+            self.tracer.telemetry.counter(
+                "array.aborted_requests"
+            ).inc(len(aborted))
+
+    def degraded_time_ms(self, now: Optional[float] = None) -> float:
+        """Total degraded-mode residency up to ``now`` (default: current
+        simulated time), including an open degradation."""
+        total = self.degraded_ms
+        if self.degraded_since is not None:
+            at = self.env.now if now is None else now
+            total += max(0.0, at - self.degraded_since)
+        return total
+
+    @property
+    def rebuild_window_ms(self) -> Optional[float]:
+        """Duration of the last completed rebuild, if any."""
+        if self.rebuild_started_ms is None or self.rebuild_finished_ms is None:
+            return None
+        return self.rebuild_finished_ms - self.rebuild_started_ms
 
     def rebuild(self, replacement: ConventionalDrive):
         """Rebuild the failed member onto ``replacement``.
@@ -220,7 +319,31 @@ class DiskArray:
             raise RuntimeError("no failed drive to rebuild")
         if not isinstance(self.layout, Raid5Layout):
             raise RuntimeError("rebuild requires a RAID-5 layout")
-        return self.env.process(self._rebuild_process(replacement))
+        if self._rebuild_active:
+            raise RuntimeError(
+                f"{self.label}: rebuild already in progress "
+                f"(progress {self.rebuild_progress:.0%})"
+            )
+        self._rebuild_active = True
+        self.rebuild_started_ms = self.env.now
+        self.rebuild_finished_ms = None
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "rebuild-start",
+                self.env.now,
+                (self.label, "rebuild"),
+                args={"failed_disk": self._failed_disk},
+            )
+            self.tracer.telemetry.counter("rebuild.started").inc()
+        return self.env.process(self._rebuild_wrapper(replacement))
+
+    def _rebuild_wrapper(self, replacement: ConventionalDrive):
+        # try/finally so an interrupted or crashed rebuild releases the
+        # guard instead of wedging the array in "rebuild in progress".
+        try:
+            yield from self._rebuild_process(replacement)
+        finally:
+            self._rebuild_active = False
 
     def _rebuild_process(self, replacement: ConventionalDrive):
         layout = self.layout
@@ -282,6 +405,21 @@ class DiskArray:
                 )
         self.drives[failed] = replacement
         self._failed_disk = None
+        self.rebuild_finished_ms = self.env.now
+        if self.degraded_since is not None:
+            self.degraded_ms += self.env.now - self.degraded_since
+            self.degraded_since = None
+        if tracer.enabled:
+            tracer.instant(
+                "rebuild-complete",
+                self.env.now,
+                (self.label, "rebuild"),
+                args={
+                    "rows": rows,
+                    "window_ms": self.rebuild_window_ms,
+                },
+            )
+            tracer.telemetry.gauge("array.degraded_ms").set(self.degraded_ms)
 
     def _run(self, request: IORequest, slices: List[Slice], completion: Event):
         phases = sorted({piece.phase for piece in slices})
@@ -305,6 +443,10 @@ class DiskArray:
                 last_done = max(
                     finished, key=lambda r: r.completion_time
                 )
+        if completion.triggered:
+            # Aborted mid-flight by a member failure on a
+            # non-redundant layout; nothing left to complete.
+            return
         request.completion_time = self.env.now
         if request.start_service is None:
             request.start_service = request.arrival_time
@@ -314,6 +456,8 @@ class DiskArray:
             request.transfer_time = last_done.transfer_time
             request.cache_hit = last_done.cache_hit
             request.arm_id = last_done.arm_id
+            request.media_error = last_done.media_error
+            request.retries += last_done.retries
         self.requests_completed += 1
         self._outstanding.pop(request.request_id, None)
         if self.tracer.enabled:
@@ -323,6 +467,125 @@ class DiskArray:
         completion.succeed(request)
         for callback in self.on_complete:
             callback(request)
+
+    # -- retry-policy request path ------------------------------------------
+    def _run_retry(
+        self, request: IORequest, slices: List[Slice], completion: Event
+    ):
+        """Coordinating process used when a :class:`RetryPolicy` is set.
+
+        Identical phase structure to :meth:`_run`, but each slice runs
+        through :meth:`_slice_attempts`, which resubmits on unrecovered
+        media errors and accounts per-attempt deadline misses.
+        """
+        phases = sorted({piece.phase for piece in slices})
+        last_done: Optional[IORequest] = None
+        any_media_error = False
+        for phase in phases:
+            attempts = [
+                self.env.process(self._slice_attempts(request, piece))
+                for piece in slices
+                if piece.phase == phase
+            ]
+            if attempts:
+                result = yield self.env.all_of(attempts)
+                finished = [result[event] for event in result.events]
+                any_media_error = any_media_error or any(
+                    r.media_error for r in finished
+                )
+                last_done = max(
+                    finished, key=lambda r: r.completion_time
+                )
+        if completion.triggered:
+            return
+        request.completion_time = self.env.now
+        if request.start_service is None:
+            request.start_service = request.arrival_time
+        if last_done is not None:
+            request.seek_time = last_done.seek_time
+            request.rotational_latency = last_done.rotational_latency
+            request.transfer_time = last_done.transfer_time
+            request.cache_hit = last_done.cache_hit
+            request.arm_id = last_done.arm_id
+        if any_media_error:
+            request.media_error = True
+            self.unrecovered_requests += 1
+            if self.tracer.enabled:
+                self.tracer.telemetry.counter(
+                    "array.unrecovered_requests"
+                ).inc()
+        self.requests_completed += 1
+        self._outstanding.pop(request.request_id, None)
+        if self.tracer.enabled:
+            self._record_logical_span(
+                request, slices=len(slices), phases=len(phases)
+            )
+        completion.succeed(request)
+        for callback in self.on_complete:
+            callback(request)
+
+    def _slice_attempts(self, request: IORequest, piece: Slice):
+        """Issue one slice, retrying unrecovered media errors.
+
+        Returns the physical request of the final attempt.  A media
+        access cannot be cancelled mid-revolution, so a deadline miss
+        is *recorded* (firmware-command-timeout style) while the slice
+        is still awaited — response times stay physical and the miss
+        count feeds the reliability report.
+        """
+        policy = self.retry_policy
+        attempt = 1
+        while True:
+            physical = request.clone(
+                lba=piece.lba,
+                size=piece.size,
+                is_read=piece.is_read,
+                arrival_time=self.env.now,
+                source_disk=piece.disk,
+            )
+            event = self.drives[piece.disk].submit(physical)
+            if policy.timeout_ms is not None:
+                deadline = self.env.timeout(policy.timeout_ms)
+                outcome = yield self.env.any_of([event, deadline])
+                if event not in outcome:
+                    self.deadline_misses += 1
+                    if self.tracer.enabled:
+                        self.tracer.instant(
+                            "deadline-miss",
+                            self.env.now,
+                            (self.label, "faults"),
+                            args={
+                                "req": request.request_id,
+                                "disk": piece.disk,
+                                "attempt": attempt,
+                                "timeout_ms": policy.timeout_ms,
+                            },
+                        )
+                        self.tracer.telemetry.counter(
+                            "array.deadline_misses"
+                        ).inc()
+                    yield event
+            else:
+                yield event
+            request.retries += physical.retries
+            if not physical.media_error or attempt >= policy.max_attempts:
+                return physical
+            attempt += 1
+            self.slice_retries += 1
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "slice-retry",
+                    self.env.now,
+                    (self.label, "faults"),
+                    args={
+                        "req": request.request_id,
+                        "disk": piece.disk,
+                        "attempt": attempt,
+                    },
+                )
+                self.tracer.telemetry.counter("array.slice_retries").inc()
+            if policy.backoff_ms > 0.0:
+                yield self.env.timeout(policy.backoff_ms * (attempt - 1))
 
     # -- aggregate statistics ---------------------------------------------------
     def total_sectors_transferred(self) -> int:

@@ -12,13 +12,18 @@ the first two moments of the service time:
 light load, predicts the loaded response time, simulates it, and
 reports both — the package's sanity check that its queueing behaviour
 is trustworthy, used by the test suite with a tolerance band.
+
+:func:`validate_fault_plan_file` is the input-side check: it
+schema-validates a fault-plan JSON file (``repro faults --validate``
+and the CI smoke job call it) without running any simulation.
 """
 
 from __future__ import annotations
 
+import json
 import random
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 from repro.disk.drive import ConventionalDrive
 from repro.disk.request import IORequest
@@ -26,7 +31,32 @@ from repro.disk.scheduler import FCFSScheduler
 from repro.disk.specs import DriveSpec
 from repro.sim.engine import Environment
 
-__all__ = ["Mg1Validation", "mg1_mean_response_ms", "validate_against_mg1"]
+__all__ = [
+    "Mg1Validation",
+    "mg1_mean_response_ms",
+    "validate_against_mg1",
+    "validate_fault_plan_file",
+]
+
+
+def validate_fault_plan_file(path: str) -> List[str]:
+    """Schema-check a fault-plan JSON file; returns problem strings.
+
+    An empty list means the file parses and every event passes
+    :func:`repro.faults.plan.validate_fault_plan`.  I/O and JSON
+    errors are reported as problems rather than raised, so callers
+    can present every failure mode uniformly.
+    """
+    from repro.faults.plan import validate_fault_plan
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as error:
+        return [f"{path}: {error}"]
+    except json.JSONDecodeError as error:
+        return [f"{path}: invalid JSON: {error}"]
+    return validate_fault_plan(payload)
 
 
 def mg1_mean_response_ms(

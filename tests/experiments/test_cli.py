@@ -109,3 +109,64 @@ class TestResults:
         assert text.count("## ") == 10
         assert "barracuda-es-750" in text
         assert "wrote" in capsys.readouterr().out
+
+
+class TestFaults:
+    def test_parser_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["faults"])
+        assert args.requests == 2000
+        assert args.fault_seed == 101
+        assert args.plan is None
+        assert args.validate is None
+
+    def test_study_runs_end_to_end(self, tmp_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        assert (
+            main(
+                [
+                    "faults",
+                    "--requests",
+                    "120",
+                    "--emit-plan",
+                    str(plan_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Reliability study" in out
+        assert "MTTDL" in out
+        assert "4xHC-SD-RAID5" in out
+        assert plan_path.exists()
+
+    def test_replay_emitted_plan(self, tmp_path, capsys):
+        from repro.experiments.reliability_study import default_fault_plan
+        from repro.faults.plan import write_fault_plan
+
+        plan_path = tmp_path / "plan.json"
+        write_fault_plan(default_fault_plan(7, 480.0), str(plan_path))
+        assert (
+            main(["faults", "--requests", "120", "--plan", str(plan_path)])
+            == 0
+        )
+        assert "faulted" in capsys.readouterr().out
+
+    def test_validate_good_plan(self, tmp_path, capsys):
+        from repro.faults.plan import FaultPlan, write_fault_plan
+
+        plan_path = tmp_path / "plan.json"
+        write_fault_plan(FaultPlan.empty(), str(plan_path))
+        assert main(["faults", "--validate", str(plan_path)]) == 0
+        assert "valid fault plan" in capsys.readouterr().out
+
+    def test_validate_bad_plan_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"version": 3, "events": 1}')
+        with pytest.raises(SystemExit):
+            main(["faults", "--validate", str(bad)])
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_missing_plan_file_errors(self):
+        with pytest.raises(SystemExit, match="faults --plan"):
+            main(["faults", "--plan", "/nonexistent/plan.json"])

@@ -1,0 +1,118 @@
+"""Tests for the reliability study: determinism, degradation, CLI."""
+
+import pytest
+
+from repro.experiments.reliability_study import (
+    default_fault_plan,
+    default_retry_policy,
+    format_mttdl_table,
+    format_reliability_cdfs,
+    format_reliability_summary,
+    reliability_figures,
+    run_reliability_study,
+)
+from repro.faults.plan import FaultPlan
+from repro.obs.run import figures_digest
+
+REQUESTS = 120
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_reliability_study(requests=REQUESTS)
+
+
+class TestDeterminism:
+    def test_serial_rerun_bit_identical(self, study):
+        again = run_reliability_study(requests=REQUESTS)
+        assert figures_digest(reliability_figures(again)) == figures_digest(
+            reliability_figures(study)
+        )
+
+    def test_parallel_sweep_bit_identical(self, study):
+        parallel = run_reliability_study(requests=REQUESTS, n_workers=2)
+        assert figures_digest(
+            reliability_figures(parallel)
+        ) == figures_digest(reliability_figures(study))
+
+    def test_different_fault_seed_changes_figures(self, study):
+        other = run_reliability_study(requests=REQUESTS, fault_seed=999)
+        assert figures_digest(reliability_figures(other)) != figures_digest(
+            reliability_figures(study)
+        )
+
+    def test_empty_plan_matches_healthy_cells(self):
+        result = run_reliability_study(
+            requests=REQUESTS, plan=FaultPlan.empty()
+        )
+        for config in ("raid5", "sa"):
+            healthy = dict(result.cell(config, "healthy"))
+            faulted = dict(result.cell(config, "faulted"))
+            healthy.pop("mode")
+            faulted.pop("mode")
+            assert faulted == healthy
+
+
+class TestDegradation:
+    def test_array_absorbs_drive_failure(self, study):
+        cell = study.cell("raid5", "faulted")
+        assert cell["drive_failures"] == 1
+        assert cell["degraded_ms"] > 0.0
+        assert cell["rebuild_window_ms"] is not None
+        assert cell["requests"] == REQUESTS
+
+    def test_sa_drive_absorbs_arm_failures(self, study):
+        cell = study.cell("sa", "faulted")
+        assert cell["arms_deconfigured"] == 2
+        assert cell["drive_failures"] == 0
+
+    def test_faulted_sa_slower_than_healthy(self, study):
+        assert (
+            study.cell("sa", "faulted")["mean_ms"]
+            > study.cell("sa", "healthy")["mean_ms"]
+        )
+
+    def test_media_errors_replayed_on_both_systems(self, study):
+        for config in ("raid5", "sa"):
+            assert study.cell(config, "faulted")["faults_applied"] > 0
+            assert study.cell(config, "faulted")["media_errors"] > 0
+            assert study.cell(config, "healthy")["media_errors"] == 0
+
+    def test_rebuild_inflation_at_least_idle(self, study):
+        assert study.idle_rebuild_ms > 0.0
+        assert study.rebuild_inflation() >= 1.0
+
+
+class TestPlanAndTables:
+    def test_default_plan_has_structural_events(self):
+        plan = default_fault_plan(101, 10_000.0)
+        counts = plan.counts_by_kind()
+        assert counts["drive_failure"] == 1
+        assert counts["spare_arrival"] == 1
+        assert counts["arm_failure"] == 2
+        assert counts["transient"] + counts["latent"] > 0
+
+    def test_mttdl_ordering(self, study):
+        rows = dict(
+            (label, hours) for label, hours, _ in study.mttdl_rows()
+        )
+        values = list(rows.values())
+        single, raid0, raid5, sa = values
+        assert raid0 < single < sa < raid5
+        assert all(0.0 < avail <= 1.0
+                   for _, _, avail in study.mttdl_rows())
+
+    def test_formatters_render(self, study):
+        summary = format_reliability_summary(study)
+        assert "4xHC-SD-RAID5" in summary
+        assert "HC-SD-SA(4)" in summary
+        assert "inflation" in summary
+        cdfs = format_reliability_cdfs(study)
+        assert "faulted" in cdfs and "healthy" in cdfs
+        table = format_mttdl_table(study)
+        assert "MTTDL" in table and "availability" in table
+
+    def test_policy_default_sane(self):
+        policy = default_retry_policy()
+        assert policy.max_attempts >= 2
+        assert policy.timeout_ms > 0.0

@@ -1,0 +1,87 @@
+"""Tests for the analytic MTTDL/availability models."""
+
+import pytest
+
+from repro.faults.mttdl import (
+    availability,
+    mttdl_parallel_drive,
+    mttdl_raid0,
+    mttdl_raid5,
+    mttdl_single,
+)
+
+MTTF = 1.2e6
+
+
+class TestArrayModels:
+    def test_single_is_mttf(self):
+        assert mttdl_single(MTTF) == MTTF
+
+    def test_raid0_divides_by_disks(self):
+        assert mttdl_raid0(MTTF, 4) == MTTF / 4
+
+    def test_raid5_classic_formula(self):
+        assert mttdl_raid5(MTTF, 4, 24.0) == pytest.approx(
+            MTTF ** 2 / (4 * 3 * 24.0)
+        )
+
+    def test_raid5_beats_raid0_for_short_repairs(self):
+        assert mttdl_raid5(MTTF, 4, 24.0) > mttdl_raid0(MTTF, 4)
+
+    def test_raid5_degrades_with_longer_repair(self):
+        assert mttdl_raid5(MTTF, 4, 48.0) < mttdl_raid5(MTTF, 4, 24.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mttdl_single(0.0)
+        with pytest.raises(ValueError):
+            mttdl_raid0(MTTF, 0)
+        with pytest.raises(ValueError):
+            mttdl_raid5(MTTF, 1, 24.0)
+        with pytest.raises(ValueError):
+            mttdl_raid5(MTTF, 4, 0.0)
+
+
+class TestParallelDriveModel:
+    def test_one_arm_reduces_to_single(self):
+        assert mttdl_parallel_drive(MTTF, 1) == pytest.approx(
+            mttdl_single(MTTF)
+        )
+
+    def test_more_arms_improve_mttdl(self):
+        values = [mttdl_parallel_drive(MTTF, n) for n in (1, 2, 4, 8)]
+        assert values == sorted(values)
+        assert values[-1] > values[0]
+
+    def test_bounded_by_fatal_rate(self):
+        # Even infinite arms cannot beat the non-arm failure modes.
+        fraction = 0.4
+        ceiling = MTTF / (1.0 - fraction)
+        assert mttdl_parallel_drive(MTTF, 64, fraction) < ceiling
+
+    def test_higher_arm_share_helps_redundant_drives(self):
+        assert mttdl_parallel_drive(MTTF, 4, 0.6) > mttdl_parallel_drive(
+            MTTF, 4, 0.2
+        )
+
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            mttdl_parallel_drive(MTTF, 4, 0.0)
+        with pytest.raises(ValueError):
+            mttdl_parallel_drive(MTTF, 4, 1.0)
+
+
+class TestAvailability:
+    def test_in_unit_interval(self):
+        value = availability(1.0e6, 24.0)
+        assert 0.0 < value < 1.0
+        assert value == pytest.approx(1.0e6 / (1.0e6 + 24.0))
+
+    def test_monotone_in_mttdl(self):
+        assert availability(2.0e6, 24.0) > availability(1.0e6, 24.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            availability(0.0, 24.0)
+        with pytest.raises(ValueError):
+            availability(1.0e6, 0.0)

@@ -1,0 +1,163 @@
+"""Tests for retry policies and media-error handling on the request path."""
+
+import pytest
+
+from repro.disk.drive import ConventionalDrive
+from repro.disk.request import IORequest
+from repro.disk.scheduler import FCFSScheduler
+from repro.faults.policy import DEFAULT_MEDIA_RETRY, RetryPolicy
+from repro.sim.engine import Environment
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        assert DEFAULT_MEDIA_RETRY.max_attempts == 4
+        assert DEFAULT_MEDIA_RETRY.max_retries == 3
+        assert DEFAULT_MEDIA_RETRY.timeout_ms is None
+
+    def test_max_attempts_validated(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+
+    def test_timeout_validated(self):
+        with pytest.raises(ValueError, match="timeout_ms"):
+            RetryPolicy(timeout_ms=0.0)
+
+    def test_backoff_validated(self):
+        with pytest.raises(ValueError, match="backoff_ms"):
+            RetryPolicy(backoff_ms=-1.0)
+
+    def test_frozen_and_hashable(self):
+        policy = RetryPolicy(max_attempts=2)
+        assert hash(policy) == hash(RetryPolicy(max_attempts=2))
+        with pytest.raises(AttributeError):
+            policy.max_attempts = 5
+
+
+def run_one(drive, env, lba=0, size=8):
+    done = []
+    drive.on_complete.append(done.append)
+    drive.submit(IORequest(lba=lba, size=size, is_read=True,
+                           arrival_time=0.0))
+    env.run()
+    assert len(done) == 1
+    return done[0]
+
+
+class TestDriveMediaRetry:
+    def test_clean_drive_has_no_error_state(self, tiny_spec):
+        env = Environment()
+        drive = ConventionalDrive(env, tiny_spec, scheduler=FCFSScheduler())
+        request = run_one(drive, env)
+        assert not request.media_error
+        assert request.retries == 0
+        assert drive.stats.media_errors == 0
+
+    def test_transient_recovers_with_retry_revolutions(self, tiny_spec):
+        env = Environment()
+        drive = ConventionalDrive(env, tiny_spec, scheduler=FCFSScheduler())
+        drive.inject_media_error(attempts=2)
+        request = run_one(drive, env)
+        assert not request.media_error
+        assert request.retries == 2
+        assert drive.stats.media_errors == 1
+        assert drive.stats.media_retries == 2
+        assert drive.stats.unrecovered_errors == 0
+        # Each retry costs one full revolution.
+        assert drive.stats.retry_ms == pytest.approx(
+            2 * drive.spindle.period_ms
+        )
+
+    def test_retry_time_slows_the_request(self, tiny_spec):
+        def response(attempts):
+            env = Environment()
+            drive = ConventionalDrive(
+                env, tiny_spec, scheduler=FCFSScheduler()
+            )
+            if attempts:
+                drive.inject_media_error(attempts=attempts)
+            return run_one(drive, env).response_time
+
+        assert response(3) == pytest.approx(
+            response(0) + 3 * ConventionalDrive(
+                Environment(), tiny_spec
+            ).spindle.period_ms
+        )
+
+    def test_severity_beyond_budget_is_unrecovered(self, tiny_spec):
+        env = Environment()
+        drive = ConventionalDrive(
+            env, tiny_spec, scheduler=FCFSScheduler(),
+            retry_policy=RetryPolicy(max_attempts=2),
+        )
+        drive.inject_media_error(attempts=10)
+        request = run_one(drive, env)
+        assert request.media_error
+        assert request.retries == 1  # budget: max_attempts - 1
+        assert drive.stats.unrecovered_errors == 1
+
+    def test_lba_targeted_fault_waits_for_matching_access(self, tiny_spec):
+        env = Environment()
+        drive = ConventionalDrive(env, tiny_spec, scheduler=FCFSScheduler())
+        drive.inject_media_error(attempts=1, lba=5_000)
+        first = run_one(drive, env, lba=0)
+        assert first.retries == 0
+        assert len(drive._armed_faults) == 1
+        env2 = Environment()
+        drive2 = ConventionalDrive(env2, tiny_spec,
+                                   scheduler=FCFSScheduler())
+        drive2.inject_media_error(attempts=1, lba=5_000)
+        hit = run_one(drive2, env2, lba=4_998, size=8)
+        assert hit.retries == 1
+        assert drive2._armed_faults == []
+
+    def test_fault_consumed_once(self, tiny_spec):
+        env = Environment()
+        drive = ConventionalDrive(env, tiny_spec, scheduler=FCFSScheduler())
+        drive.inject_media_error(attempts=1)
+        done = []
+        drive.on_complete.append(done.append)
+        for index in range(3):
+            drive.submit(IORequest(lba=index * 64, size=8, is_read=True,
+                                   arrival_time=0.0))
+        env.run()
+        assert sum(r.retries for r in done) == 1
+        assert drive.stats.media_errors == 1
+
+    def test_backoff_added_per_retry(self, tiny_spec):
+        env = Environment()
+        drive = ConventionalDrive(
+            env, tiny_spec, scheduler=FCFSScheduler(),
+            retry_policy=RetryPolicy(max_attempts=4, backoff_ms=1.5),
+        )
+        drive.inject_media_error(attempts=2)
+        run_one(drive, env)
+        assert drive.stats.retry_ms == pytest.approx(
+            2 * (drive.spindle.period_ms + 1.5)
+        )
+
+    def test_inject_validates_arguments(self, tiny_spec):
+        env = Environment()
+        drive = ConventionalDrive(env, tiny_spec)
+        with pytest.raises(ValueError, match="attempts"):
+            drive.inject_media_error(attempts=0)
+        with pytest.raises(ValueError, match="lba"):
+            drive.inject_media_error(lba=drive.geometry.total_sectors)
+
+    def test_retry_billed_as_rotational_time(self, tiny_spec):
+        # The power/phase accounting treats retry revolutions as
+        # rotation (platter turning under a waiting head), so the
+        # phase reconciliation stays exact.
+        env = Environment()
+        drive = ConventionalDrive(env, tiny_spec, scheduler=FCFSScheduler())
+        baseline_env = Environment()
+        baseline = ConventionalDrive(
+            baseline_env, tiny_spec, scheduler=FCFSScheduler()
+        )
+        drive.inject_media_error(attempts=1)
+        run_one(drive, env)
+        run_one(baseline, baseline_env)
+        assert (
+            drive.stats.rotational_latency_ms
+            - baseline.stats.rotational_latency_ms
+        ) == pytest.approx(drive.spindle.period_ms)

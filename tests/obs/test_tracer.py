@@ -173,6 +173,9 @@ class TestDiscovery:
 
 
 def test_phase_names_are_the_papers_decomposition():
+    # The paper's six-phase decomposition plus the fault layer's retry
+    # revolutions (media re-reads after an injected error).
     assert PHASES == (
-        "queue", "seek", "rotation", "transfer", "cache", "rebuild"
+        "queue", "seek", "rotation", "transfer", "cache", "rebuild",
+        "retry",
     )
