@@ -11,6 +11,8 @@ Usage (``python -m repro <command> ...``)::
     python -m repro fig5 --workers 4          # fan runs out over processes
     python -m repro bench                     # write BENCH_<date>.json
     python -m repro bench --check BENCH_X.json   # regression gate
+    python -m repro profile --top 10          # cProfile the bench pass
+    python -m repro profile --target kernel --json   # engine microbench
     python -m repro trace limit_study --out trace.json   # Perfetto trace
     python -m repro fig5 --trace fig5.json    # trace any command's runs
     python -m repro report limit_study --html report.html   # analytics
@@ -368,6 +370,27 @@ def _bench(args) -> None:
         print(f"wrote {write_bench(result, args.output)}")
 
 
+def _profile(args) -> None:
+    from repro.tools.profile import format_profile, run_profile
+
+    try:
+        result = run_profile(
+            target=args.target,
+            requests=args.requests,
+            workloads=args.workloads,
+            top=args.top,
+            sort=args.sort,
+        )
+    except ValueError as error:
+        raise SystemExit(f"profile: {error}")
+    if args.json:
+        import json
+
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        print(format_profile(result))
+
+
 def _report_analysis(args) -> None:
     """Trace analytics: utilization, queueing, bottleneck attribution."""
     from repro.obs.analysis import analyze
@@ -619,6 +642,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     # The reference benchmark workload is the 6000-request limit study.
     bench.set_defaults(requests=_BENCH_DEFAULT_REQUESTS)
+    profile = add(
+        "profile",
+        _profile,
+        "cProfile the simulator hot path (bench pass or engine kernel)",
+    )
+    profile.add_argument(
+        "--target",
+        choices=["bench", "kernel"],
+        default="bench",
+        help=(
+            "what to profile: one serial bench pass per workload, or "
+            "the pure-engine kernel microbenchmark (default bench)"
+        ),
+    )
+    profile.add_argument(
+        "--top",
+        type=int,
+        default=25,
+        help="entries to report (default 25)",
+    )
+    profile.add_argument(
+        "--sort",
+        choices=["cumulative", "tottime", "ncalls"],
+        default="cumulative",
+        help="ranking key (default cumulative)",
+    )
+    profile.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the profile as JSON instead of a table",
+    )
+    profile.add_argument(
+        "--workloads",
+        nargs="+",
+        metavar="NAME",
+        default=None,
+        help="subset of commercial workloads to profile (default: all)",
+    )
+    # A profiled pass is ~4x slower than a timed one; default smaller.
+    profile.set_defaults(requests=2000)
     add(
         "scorecard",
         _scorecard,

@@ -39,6 +39,11 @@ class ArmAssembly:
         #: Angular offsets of this arm's heads (H-dimension); the first
         #: head sits at offset 0 relative to the mount angle.
         self.head_offsets = list(head_offsets) if head_offsets else [0.0]
+        # Absolute head angles are fixed for the assembly's lifetime;
+        # precompute them so the per-request SPTF search is pure lookups.
+        self._head_angles = [
+            (self.mount_angle + offset) % 1.0 for offset in self.head_offsets
+        ]
         #: Simulated time until which this assembly is committed to an
         #: in-flight request (used by the overlapped extensions).
         self.busy_until = 0.0
@@ -60,9 +65,7 @@ class ArmAssembly:
 
     def head_angles(self) -> List[float]:
         """Absolute angular positions of each head around the spindle."""
-        return [
-            (self.mount_angle + offset) % 1.0 for offset in self.head_offsets
-        ]
+        return list(self._head_angles)
 
     def best_head_latency(
         self, latency_fn, time_ms: float, sector_angle: float
@@ -73,9 +76,12 @@ class ArmAssembly:
         the wait for one head (the spindle's ``latency_to``).  Returns
         ``(latency_ms, head_index)``.
         """
+        angles = self._head_angles
+        if len(angles) == 1:
+            return latency_fn(time_ms, sector_angle, angles[0]), 0
         best_latency = float("inf")
         best_head = 0
-        for index, angle in enumerate(self.head_angles()):
+        for index, angle in enumerate(angles):
             latency = latency_fn(time_ms, sector_angle, angle)
             if latency < best_latency:
                 best_latency = latency

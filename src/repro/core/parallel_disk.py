@@ -128,8 +128,29 @@ class ParallelDisk(ConventionalDrive):
         ``address`` lets callers pass an already-decoded target.
         """
         if address is None:
-            address = self.geometry.to_physical(request.lba)
-        sector_angle = self.geometry.sector_angle(address)
+            cylinder, sector_angle = self.geometry.decode_target(request.lba)
+        else:
+            cylinder = address.cylinder
+            sector_angle = self.geometry.sector_angle(address)
+        return self._best_arm(cylinder, sector_angle, at_time, include_busy)
+
+    def _best_arm(
+        self,
+        cylinder: int,
+        sector_angle: float,
+        at_time: float,
+        include_busy: bool = False,
+    ) -> Tuple[ArmAssembly, float, float, int]:
+        """SPTF arm search over an already-decoded target.
+
+        Arms are scanned in ``arm_id`` order with a strict improvement
+        test, so ties go to the lowest id — the same total order as the
+        documented ``(total, arm_id)`` key.
+        """
+        seek_time = self.seek_model.seek_time
+        latency_to = self.spindle.latency_to
+        seek_scale = self.seek_scale
+        rotation_scale = self.rotation_scale
         best: Optional[Tuple[float, ArmAssembly, float, float, int]] = None
         for arm in self.arms:
             if arm.failed:
@@ -138,19 +159,15 @@ class ParallelDisk(ConventionalDrive):
                 # ``is_idle`` alone would not exclude them for the
                 # overlapped extensions' ``include_busy`` searches).
                 continue
-            if not include_busy and not arm.is_idle(at_time):
+            if not include_busy and at_time < arm.busy_until:
                 continue
-            seek = (
-                self.seek_model.seek_time(arm.cylinder, address.cylinder)
-                * self.seek_scale
-            )
+            seek = seek_time(arm.cylinder, cylinder) * seek_scale
             rotation, head = arm.best_head_latency(
-                self.spindle.latency_to, at_time + seek, sector_angle
+                latency_to, at_time + seek, sector_angle
             )
-            rotation *= self.rotation_scale
+            rotation *= rotation_scale
             total = seek + rotation
-            key = (total, arm.arm_id)
-            if best is None or key < (best[0], best[1].arm_id):
+            if best is None or total < best[0]:
                 best = (total, arm, seek, rotation, head)
         if best is None:
             raise RuntimeError("no idle arm available")
@@ -160,7 +177,10 @@ class ParallelDisk(ConventionalDrive):
     def positioning_estimate(self, request: IORequest) -> float:
         if request.is_read and self.cache.contains(request.lba, request.size):
             return 0.0
-        _, seek, rotation, _ = self.best_arm_for(request, self.env.now)
+        cylinder, sector_angle = self.geometry.decode_target(request.lba)
+        _, seek, rotation, _ = self._best_arm(
+            cylinder, sector_angle, self.env._now
+        )
         return seek + rotation
 
     def _preposition(self, active_arm: ArmAssembly, target_cylinder: int) -> None:
@@ -180,18 +200,22 @@ class ParallelDisk(ConventionalDrive):
         """
         if not self.preposition_idle_arms:
             return
-        now = self.env.now
-        candidates = [
-            arm
-            for arm in self.arms
-            if arm is not active_arm and arm.is_idle(now)
-        ]
-        if not candidates:
+        now = self.env._now
+        # First-maximal scan in arm_id order: the same arm max() with an
+        # abs-distance key would pick, without the candidate list.
+        farthest = None
+        farthest_distance = -1
+        for arm in self.arms:
+            if arm is active_arm or arm.failed or now < arm.busy_until:
+                continue
+            distance = arm.cylinder - target_cylinder
+            if distance < 0:
+                distance = -distance
+            if distance > farthest_distance:
+                farthest_distance = distance
+                farthest = arm
+        if farthest is None:
             return
-        farthest = max(
-            candidates,
-            key=lambda arm: abs(arm.cylinder - target_cylinder),
-        )
         move = (
             self.seek_model.seek_time(farthest.cylinder, target_cylinder)
             * self.seek_scale
@@ -221,15 +245,15 @@ class ParallelDisk(ConventionalDrive):
 
     # -- service ------------------------------------------------------------
     def _service_media(self, request: IORequest, overhead: float):
-        address = self.geometry.to_physical(request.lba)
+        cylinder, sector_angle = self.geometry.decode_target(request.lba)
         settle = (
             0.0 if request.is_read else self.spec.write_settle_ms
         )
         # The head is ready overhead (+ settle) + seek after now;
         # evaluate the rotational gap for that instant so the charged
         # latency matches the platter's true phase.
-        arm, seek, rotation, _head = self.best_arm_for(
-            request, self.env.now + overhead + settle, address=address
+        arm, seek, rotation, _head = self._best_arm(
+            cylinder, sector_angle, self.env._now + overhead + settle
         )
         seek += settle
         if self.tracer.enabled:
@@ -254,7 +278,7 @@ class ParallelDisk(ConventionalDrive):
             self.tracer.telemetry.counter(
                 f"arms.selected.{arm.arm_id}"
             ).inc()
-        self._preposition(arm, address.cylinder)
+        self._preposition(arm, cylinder)
 
         # Seek, rotation (estimated at decision time for the instant the
         # head comes ready) and transfer are all fixed here, so one
@@ -293,10 +317,10 @@ class ParallelDisk(ConventionalDrive):
         request.arm_id = arm.arm_id
         arm.record_service(seek)
         arm.move_to(
-            self.geometry.to_physical(request.lba + request.size - 1).cylinder
+            self.geometry.cylinder_of_lba(request.lba + request.size - 1)
         )
         self._current_cylinder = arm.cylinder
-        self._update_cache(request, address)
+        self._update_cache(request)
 
     def _transfer_time(self, request: IORequest) -> float:
         """Transfer time, accelerated by surface-level parallelism.

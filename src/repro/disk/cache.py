@@ -121,9 +121,11 @@ class DiskCache:
 
     def lookup_read(self, lba: int, size: int) -> bool:
         """Check (and record) whether a read fully hits one segment."""
-        for key, segment in self._segments.items():
-            if segment.covers(lba, size):
-                self._segments.move_to_end(key)
+        end = lba + size
+        segments = self._segments
+        for key, segment in segments.items():
+            if segment.start <= lba and end <= segment.end:
+                segments.move_to_end(key)
                 self.stats.read_hits += 1
                 if self.listener is not None:
                     self.listener("hit", lba, size)
@@ -135,9 +137,11 @@ class DiskCache:
 
     def contains(self, lba: int, size: int) -> bool:
         """Like :meth:`lookup_read` but without touching statistics/LRU."""
-        return any(
-            segment.covers(lba, size) for segment in self._segments.values()
-        )
+        end = lba + size
+        for segment in self._segments.values():
+            if segment.start <= lba and end <= segment.end:
+                return True
+        return False
 
     def install_read(
         self, lba: int, size: int, read_ahead_limit: int = 0
@@ -148,8 +152,11 @@ class DiskCache:
         number of sectors remaining on the track, since free read-ahead
         ends at the track boundary).
         """
-        read_ahead = max(0, min(read_ahead_limit,
-                                self.segment_capacity - size))
+        read_ahead = self.segment_capacity - size
+        if read_ahead > read_ahead_limit:
+            read_ahead = read_ahead_limit
+        if read_ahead < 0:
+            read_ahead = 0
         end = lba + size + read_ahead
         start = lba
         if end - start > self.segment_capacity:
@@ -191,16 +198,28 @@ class DiskCache:
 
     def _install(self, start: int, end: int) -> None:
         # Merge with any overlapping/adjacent segment (absorb it).
-        for key, seg in list(self._segments.items()):
-            if seg.start <= end and start <= seg.end:
-                start = min(start, seg.start)
-                end = max(end, seg.end)
-                del self._segments[key]
+        segments = self._segments
+        doomed = None
+        for key, seg in segments.items():
+            seg_start = seg.start
+            seg_end = seg.end
+            if seg_start <= end and start <= seg_end:
+                if seg_start < start:
+                    start = seg_start
+                if seg_end > end:
+                    end = seg_end
+                if doomed is None:
+                    doomed = [key]
+                else:
+                    doomed.append(key)
+        if doomed is not None:
+            for key in doomed:
+                del segments[key]
         if end - start > self.segment_capacity:
             start = end - self.segment_capacity
-        while len(self._segments) >= self.segment_count:
-            self._segments.popitem(last=False)  # evict LRU
-        self._segments[self._next_id] = _Segment(start, end)
+        while len(segments) >= self.segment_count:
+            segments.popitem(last=False)  # evict LRU
+        segments[self._next_id] = _Segment(start, end)
         self._next_id += 1
 
     def clear(self) -> None:

@@ -308,15 +308,13 @@ class ConventionalDrive:
         """
         if request.is_read and self.cache.contains(request.lba, request.size):
             return 0.0
-        address = self.geometry.to_physical(request.lba)
+        cylinder, sector_angle = self.geometry.decode_target(request.lba)
         seek = (
-            self.seek_model.seek_time(self._current_cylinder, address.cylinder)
+            self.seek_model.seek_time(self._current_cylinder, cylinder)
             * self.seek_scale
         )
         rotation = (
-            self.spindle.latency_to(
-                self.env.now + seek, self.geometry.sector_angle(address)
-            )
+            self.spindle.latency_to(self.env._now + seek, sector_angle)
             * self.rotation_scale
         )
         return seek + rotation
@@ -325,7 +323,7 @@ class ConventionalDrive:
     def _cylinder_of(self, request: IORequest) -> int:
         cached = self._cylinder_cache.get(request.request_id)
         if cached is None:
-            cached = self.geometry.to_physical(request.lba).cylinder
+            cached = self.geometry.cylinder_of_lba(request.lba)
             self._cylinder_cache[request.request_id] = cached
         return cached
 
@@ -373,7 +371,7 @@ class ConventionalDrive:
             yield from self._service(request)
 
     def _service(self, request: IORequest):
-        request.start_service = self.env.now
+        request.start_service = self.env._now
         if self.tracer.enabled:
             self.tracer.span(
                 "queue",
@@ -411,9 +409,9 @@ class ConventionalDrive:
         self.stats.cache_hits += 1
 
     def _service_media(self, request: IORequest, overhead: float):
-        address = self.geometry.to_physical(request.lba)
+        cylinder, sector_angle = self.geometry.decode_target(request.lba)
         seek = (
-            self.seek_model.seek_time(self._current_cylinder, address.cylinder)
+            self.seek_model.seek_time(self._current_cylinder, cylinder)
             * self.seek_scale
         )
         if not request.is_read and self.spec.write_settle_ms > 0.0:
@@ -426,8 +424,7 @@ class ConventionalDrive:
         # yielding per phase while costing a third of the engine events.
         rotation = (
             self.spindle.latency_to(
-                self.env.now + overhead + seek,
-                self.geometry.sector_angle(address),
+                self.env._now + overhead + seek, sector_angle
             )
             * self.rotation_scale
         )
@@ -460,10 +457,10 @@ class ConventionalDrive:
         request.seek_time = seek
         request.rotational_latency = rotation
         request.transfer_time = transfer
-        self._current_cylinder = self.geometry.to_physical(
+        self._current_cylinder = self.geometry.cylinder_of_lba(
             request.lba + request.size - 1
-        ).cylinder
-        self._update_cache(request, address)
+        )
+        self._update_cache(request)
 
     def _record_phase_spans(
         self,
@@ -512,19 +509,23 @@ class ConventionalDrive:
         return time
 
     def _update_cache(
-        self, request: IORequest, address: PhysicalAddress
+        self, request: IORequest, address: Optional[PhysicalAddress] = None
     ) -> None:
+        # ``address`` (the decoded start of the transfer) is accepted
+        # for compatibility with callers that already computed it; the
+        # read-ahead limit only needs the *end* of the transfer.
+        del address
         if request.is_read:
-            zone = self.geometry.zone_of_cylinder(address.cylinder)
-            end = self.geometry.to_physical(request.lba + request.size - 1)
-            end_zone = self.geometry.zone_of_cylinder(end.cylinder)
-            remaining_on_track = end_zone.sectors_per_track - end.sector - 1
-            # Don't read ahead past the end of the disk.
-            remaining_on_track = min(
-                remaining_on_track,
-                self.geometry.total_sectors - request.end_lba,
+            _, _, end_sector, end_spt = self.geometry.decode(
+                request.lba + request.size - 1
             )
-            del zone  # start zone only needed for symmetry/debugging
+            remaining_on_track = end_spt - end_sector - 1
+            # Don't read ahead past the end of the disk.
+            to_disk_end = (
+                self.geometry.total_sectors - request.lba - request.size
+            )
+            if to_disk_end < remaining_on_track:
+                remaining_on_track = to_disk_end
             self.cache.install_read(
                 request.lba, request.size, read_ahead_limit=remaining_on_track
             )
@@ -535,7 +536,7 @@ class ConventionalDrive:
                 self.cache.invalidate(request.lba, request.size)
 
     def _complete(self, request: IORequest) -> None:
-        request.completion_time = self.env.now
+        request.completion_time = self.env._now
         self.stats.requests_completed += 1
         if request.is_read:
             self.stats.reads_completed += 1

@@ -109,6 +109,10 @@ class DiskGeometry:
         # a bisect instead of a linear scan with derived capacities.
         self._zone_first_lbas = [zone.first_lba for zone in self._zones]
         self._zone_first_cyls = [zone.first_cylinder for zone in self._zones]
+        self._zone_spts = [zone.sectors_per_track for zone in self._zones]
+        self._zone_sectors_per_cyl = [
+            zone.sectors_per_track * surfaces for zone in self._zones
+        ]
 
     @staticmethod
     def _build_zones(
@@ -179,15 +183,56 @@ class DiskGeometry:
 
     def to_physical(self, lba: int) -> PhysicalAddress:
         """Decode an LBA into (cylinder, surface, sector)."""
+        cylinder, surface, sector, _ = self.decode(lba)
+        return PhysicalAddress(cylinder, surface, sector)
+
+    def decode(self, lba: int) -> Tuple[int, int, int, int]:
+        """Decode an LBA into ``(cylinder, surface, sector, spt)``.
+
+        The allocation-free form of :meth:`to_physical`, with the
+        zone's sectors-per-track riding along — the service models need
+        all four per request, and a tuple unpack is all it costs.
+        """
         if not 0 <= lba < self.total_sectors:
             self._check_lba(lba)
-        zone = self._zones[bisect_right(self._zone_first_lbas, lba) - 1]
-        offset = lba - zone.first_lba
-        spt = zone.sectors_per_track
-        per_cyl = spt * self.surfaces
-        cylinder, rem = divmod(offset, per_cyl)
+        index = bisect_right(self._zone_first_lbas, lba) - 1
+        spt = self._zone_spts[index]
+        cylinder, rem = divmod(
+            lba - self._zone_first_lbas[index],
+            self._zone_sectors_per_cyl[index],
+        )
         surface, sector = divmod(rem, spt)
-        return PhysicalAddress(zone.first_cylinder + cylinder, surface, sector)
+        return self._zone_first_cyls[index] + cylinder, surface, sector, spt
+
+    def decode_target(self, lba: int) -> Tuple[int, float]:
+        """``(cylinder, sector_angle)`` for an LBA in one lookup.
+
+        Exactly ``to_physical`` + ``sector_angle`` without the address
+        object or the second zone bisect; the pair is what the seek and
+        rotation models consume per request.
+        """
+        if not 0 <= lba < self.total_sectors:
+            self._check_lba(lba)
+        index = bisect_right(self._zone_first_lbas, lba) - 1
+        spt = self._zone_spts[index]
+        cylinder, rem = divmod(
+            lba - self._zone_first_lbas[index],
+            self._zone_sectors_per_cyl[index],
+        )
+        surface, sector = divmod(rem, spt)
+        cylinder += self._zone_first_cyls[index]
+        skew = surface * self.track_skew + cylinder * self.cylinder_skew
+        return cylinder, ((sector + skew) % spt) / spt
+
+    def cylinder_of_lba(self, lba: int) -> int:
+        """Cylinder holding an LBA (no full decode, no allocation)."""
+        if not 0 <= lba < self.total_sectors:
+            self._check_lba(lba)
+        index = bisect_right(self._zone_first_lbas, lba) - 1
+        return self._zone_first_cyls[index] + (
+            (lba - self._zone_first_lbas[index])
+            // self._zone_sectors_per_cyl[index]
+        )
 
     def to_lba(self, address: PhysicalAddress) -> int:
         """Inverse of :meth:`to_physical`."""
@@ -240,14 +285,13 @@ class DiskGeometry:
                 f"transfer [{lba}, {lba + size}) exceeds capacity "
                 f"{self.total_sectors}"
             )
-        start = self.to_physical(lba)
-        end = self.to_physical(lba + size - 1)
-        zone = self.zone_of_cylinder(start.cylinder)
-        start_track = start.cylinder * self.surfaces + start.surface
-        end_track = end.cylinder * self.surfaces + end.surface
+        start_cyl, start_surface, _, start_spt = self.decode(lba)
+        end_cyl, end_surface, _, _ = self.decode(lba + size - 1)
+        start_track = start_cyl * self.surfaces + start_surface
+        end_track = end_cyl * self.surfaces + end_surface
         track_crossings = end_track - start_track
-        cylinder_crossings = end.cylinder - start.cylinder
-        return zone.sectors_per_track, track_crossings, cylinder_crossings
+        cylinder_crossings = end_cyl - start_cyl
+        return start_spt, track_crossings, cylinder_crossings
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

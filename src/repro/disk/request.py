@@ -19,6 +19,12 @@ SECTOR_BYTES = 512
 
 _request_ids = itertools.count()
 
+#: Workload-identity fields :meth:`IORequest.clone` may override on its
+#: allocation-free fast path.
+_CLONE_KEYS = frozenset(
+    ("lba", "size", "is_read", "arrival_time", "source_disk", "background")
+)
+
 
 @dataclass(slots=True)
 class IORequest:
@@ -98,16 +104,92 @@ class IORequest:
         Used by the RAID layer to fan a logical request out into
         per-disk physical requests.
         """
-        fields = {
-            "lba": self.lba,
-            "size": self.size,
-            "is_read": self.is_read,
-            "arrival_time": self.arrival_time,
-            "source_disk": self.source_disk,
-            "background": self.background,
-        }
-        fields.update(overrides)
-        return IORequest(**fields)
+        if overrides and not _CLONE_KEYS.issuperset(overrides):
+            # Overrides beyond the workload fields: take the generic
+            # constructor path so unknown keys fail loudly and
+            # measurement-field overrides behave as before.
+            fields = {
+                "lba": self.lba,
+                "size": self.size,
+                "is_read": self.is_read,
+                "arrival_time": self.arrival_time,
+                "source_disk": self.source_disk,
+                "background": self.background,
+            }
+            fields.update(overrides)
+            return IORequest(**fields)
+        # Hot path (one clone per physical slice): build the instance
+        # directly, skipping the dataclass __init__/__post_init__ pair,
+        # with the same validation on the two checked fields.
+        if not overrides:
+            return self.clone_slice(
+                self.lba,
+                self.size,
+                self.is_read,
+                self.arrival_time,
+                self.source_disk,
+            )
+        new = object.__new__(IORequest)
+        get = overrides.get
+        new.lba = lba = get("lba", self.lba)
+        new.size = size = get("size", self.size)
+        if lba < 0:
+            raise ValueError(f"lba must be non-negative, got {lba}")
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        new.is_read = get("is_read", self.is_read)
+        new.arrival_time = get("arrival_time", self.arrival_time)
+        new.source_disk = get("source_disk", self.source_disk)
+        new.background = get("background", self.background)
+        new.request_id = next(_request_ids)
+        new.start_service = None
+        new.completion_time = None
+        new.seek_time = 0.0
+        new.rotational_latency = 0.0
+        new.transfer_time = 0.0
+        new.cache_hit = False
+        new.arm_id = 0
+        new.media_error = False
+        new.retries = 0
+        return new
+
+    def clone_slice(
+        self,
+        lba: int,
+        size: int,
+        is_read: bool,
+        arrival_time: float,
+        source_disk: int,
+    ) -> "IORequest":
+        """Positional fast path of :meth:`clone` for per-disk slices.
+
+        Equivalent to ``clone(lba=..., size=..., is_read=...,
+        arrival_time=..., source_disk=...)`` without the keyword
+        plumbing; the array controller issues one of these per physical
+        slice.
+        """
+        if lba < 0:
+            raise ValueError(f"lba must be non-negative, got {lba}")
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        new = object.__new__(IORequest)
+        new.lba = lba
+        new.size = size
+        new.is_read = is_read
+        new.arrival_time = arrival_time
+        new.source_disk = source_disk
+        new.background = self.background
+        new.request_id = next(_request_ids)
+        new.start_service = None
+        new.completion_time = None
+        new.seek_time = 0.0
+        new.rotational_latency = 0.0
+        new.transfer_time = 0.0
+        new.cache_hit = False
+        new.arm_id = 0
+        new.media_error = False
+        new.retries = 0
+        return new
 
     def __str__(self) -> str:
         kind = "R" if self.is_read else "W"

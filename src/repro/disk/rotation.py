@@ -22,13 +22,28 @@ class Spindle:
     def __init__(self, rpm: float, phase: float = 0.0):
         if rpm <= 0:
             raise ValueError(f"rpm must be positive, got {rpm}")
-        self.rpm = rpm
+        self._rpm = rpm
+        # The revolution period is read on every rotational-latency and
+        # transfer-time evaluation; cache it once per RPM change rather
+        # than dividing on each call.
+        self._period_ms = 60000.0 / rpm
         self.phase = phase % 1.0
+
+    @property
+    def rpm(self) -> float:
+        return self._rpm
+
+    @rpm.setter
+    def rpm(self, value: float) -> None:
+        if value <= 0:
+            raise ValueError(f"rpm must be positive, got {value}")
+        self._rpm = value
+        self._period_ms = 60000.0 / value
 
     @property
     def period_ms(self) -> float:
         """Time for one full revolution, in milliseconds."""
-        return 60000.0 / self.rpm
+        return self._period_ms
 
     @property
     def full_rotation_ms(self) -> float:
@@ -42,7 +57,7 @@ class Spindle:
 
     def rotation_at(self, time_ms: float) -> float:
         """Platter rotation (fraction of a revolution) at ``time_ms``."""
-        return (self.phase + time_ms / self.period_ms) % 1.0
+        return (self.phase + time_ms / self._period_ms) % 1.0
 
     def latency_to(
         self,
@@ -69,14 +84,15 @@ class Spindle:
         float
             Delay in milliseconds, in ``[0, period)``.
         """
-        rotation = self.rotation_at(time_ms)
+        period = self._period_ms
+        rotation = (self.phase + time_ms / period) % 1.0
         # The sector currently under the head is at media angle
         # (rotation + mount). We must wait for the platter to bring the
         # target sector around to the head.
         gap = (sector_angle - rotation - head_mount_angle) % 1.0
         if gap >= 1.0:  # float quirk: (-1e-18) % 1.0 == 1.0
             gap = 0.0
-        return gap * self.period_ms
+        return gap * period
 
     def transfer_time(self, sectors: int, sectors_per_track: int) -> float:
         """Time to stream ``sectors`` contiguous sectors on one zone.
@@ -90,4 +106,4 @@ class Spindle:
             raise ValueError(
                 f"sectors_per_track must be positive, got {sectors_per_track}"
             )
-        return (sectors / sectors_per_track) * self.period_ms
+        return (sectors / sectors_per_track) * self._period_ms

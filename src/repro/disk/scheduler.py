@@ -157,14 +157,26 @@ class SPTFScheduler(QueueScheduler):
             raise ValueError(
                 "SPTF requires a positioning_time estimator in the context"
             )
-        return min(
-            self._candidates(pending),
-            key=lambda r: (
-                context.positioning_time(r),
-                r.arrival_time,
-                r.request_id,
-            ),
-        )
+        if len(pending) == 1:
+            # Singleton queue: the choice is forced, skip the estimate.
+            return pending[0]
+        # Manual min() over (estimate, arrival_time, request_id): the
+        # equal-estimate tie-break only builds tuples when it actually
+        # ties, instead of once per candidate.
+        positioning_time = context.positioning_time
+        best = None
+        best_time = 0.0
+        for request in self._candidates(pending):
+            estimate = positioning_time(request)
+            if best is None or estimate < best_time:
+                best = request
+                best_time = estimate
+            elif estimate == best_time and (
+                (request.arrival_time, request.request_id)
+                < (best.arrival_time, best.request_id)
+            ):
+                best = request
+        return best
 
 
 class CLookScheduler(QueueScheduler):

@@ -25,20 +25,42 @@ __all__ = [
 ]
 
 
+#: Distance tables shared by identically parameterised models, keyed by
+#: the model's fit parameters.  A sweep builds the same drives over and
+#: over (one system per run, several runs per experiment); sharing the
+#: table means the seek curve is evaluated once per (parameters,
+#: distance) per process, and later constructions start with the table
+#: already populated.
+_SHARED_TABLES: dict = {}
+
+
 class SeekModel:
     """Interface: seek time (ms) as a function of cylinder distance.
 
     Seek time depends only on the cylinder *distance*, and a trace
     revisits the same distances constantly (hot regions, sequential
-    runs), so every instance memoizes ``_time_for_distance`` keyed by
-    distance.  The cache is per-instance: two drives with different
-    parameters (or different limit-study scale factors applied by their
-    owners) never share entries.
+    runs), so lookups go through a ``distance -> time`` table filled
+    from ``_time_for_distance``.  The table is shared between models
+    with identical parameters (see :meth:`_table_key`); models with
+    different parameters never share entries.  Scale factors are
+    applied by the owning drive, outside the table.
     """
 
     def __init__(self) -> None:
-        #: distance -> seek time (ms); lazily filled, per instance.
+        #: distance -> seek time (ms); lazily filled.  Subclasses with
+        #: parameter-determined curves swap this for a shared table via
+        #: :meth:`_share_table` once their parameters are set.
         self._memo: dict = {}
+
+    def _share_table(self, *key) -> None:
+        """Adopt the process-wide table for this parameter ``key``.
+
+        Call at the end of a subclass ``__init__``, after every
+        parameter that determines ``_time_for_distance`` is set.
+        """
+        self._memo = _SHARED_TABLES.setdefault(
+            (type(self).__name__,) + key, {}
+        )
 
     def seek_time(self, from_cylinder: int, to_cylinder: int) -> float:
         distance = to_cylinder - from_cylinder
@@ -64,6 +86,7 @@ class ConstantSeekModel(SeekModel):
         if time_ms < 0:
             raise ValueError(f"time must be non-negative, got {time_ms}")
         self.time_ms = time_ms
+        self._share_table(time_ms)
 
     def _time_for_distance(self, distance: int) -> float:
         return self.time_ms
@@ -78,6 +101,7 @@ class LinearSeekModel(SeekModel):
             raise ValueError("base and slope must be non-negative")
         self.base_ms = base_ms
         self.slope_ms_per_cyl = slope_ms_per_cyl
+        self._share_table(base_ms, slope_ms_per_cyl)
 
     def _time_for_distance(self, distance: int) -> float:
         return self.base_ms + self.slope_ms_per_cyl * distance
@@ -123,6 +147,7 @@ class TwoPhaseSeekModel(SeekModel):
         self.acceleration = acceleration
         self.max_velocity = max_velocity
         self.settle_ms = settle_ms
+        self._share_table(acceleration, max_velocity, settle_ms)
 
     @property
     def coast_threshold_cylinders(self) -> float:
@@ -240,6 +265,9 @@ class ThreePointSeekModel(SeekModel):
         self.full_stroke_ms = full_stroke_ms
         self.cylinders = cylinders
         self._a, self._b, self._c = self._fit(
+            track_to_track_ms, average_ms, full_stroke_ms, cylinders
+        )
+        self._share_table(
             track_to_track_ms, average_ms, full_stroke_ms, cylinders
         )
 

@@ -98,12 +98,14 @@ def run_trace(
             )
 
     def producer():
+        timeout = env.timeout
+        submit = system.submit
         for request in fresh:
-            delay = request.arrival_time - env.now
+            delay = request.arrival_time - env._now
             if delay > 0:
-                yield env.timeout(delay)
-            request.arrival_time = env.now
-            system.submit(request)
+                yield timeout(delay)
+            request.arrival_time = env._now
+            submit(request)
 
     # Every span a run records fires inside env.run(); scoping the run
     # by its label separates identically named drives of different

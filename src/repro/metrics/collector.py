@@ -8,6 +8,7 @@ reports: response times (CDFs, percentiles), rotational latencies
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import List, Optional
 
 from repro.disk.request import IORequest
@@ -50,25 +51,52 @@ class RequestCollector:
         self.record(request)
 
     def record(self, request: IORequest) -> None:
+        # One record() per completed request is the collector's whole
+        # hot path; the Welford and histogram updates are inlined with
+        # the exact operation order of OnlineStats.add and
+        # BucketHistogram.add so merged/streamed results stay
+        # bit-identical to the method-call path.
         response = request.response_time
         self.completed += 1
-        self.response_stats.add(response)
-        self.response_histogram.add(response)
+        stats = self.response_stats
+        stats.count = count = stats.count + 1
+        stats.total += response
+        delta = response - stats._mean
+        stats._mean = mean = stats._mean + delta / count
+        stats._m2 += delta * (response - mean)
+        if response < stats.minimum:
+            stats.minimum = response
+        if response > stats.maximum:
+            stats.maximum = response
+        histogram = self.response_histogram
+        histogram.counts[bisect_left(histogram.edges, response)] += 1
+        histogram.total += 1
         if request.is_read:
             self.reads += 1
         if request.cache_hit:
             self.cache_hits += 1
         else:
-            self.rotational_stats.add(request.rotational_latency)
-            self.rotational_histogram.add(request.rotational_latency)
-            self.seek_stats.add(request.seek_time)
-            if request.seek_time > 0.0:
+            rotational = request.rotational_latency
+            seek = request.seek_time
+            stats = self.rotational_stats
+            stats.count = count = stats.count + 1
+            stats.total += rotational
+            delta = rotational - stats._mean
+            stats._mean = mean = stats._mean + delta / count
+            stats._m2 += delta * (rotational - mean)
+            if rotational < stats.minimum:
+                stats.minimum = rotational
+            if rotational > stats.maximum:
+                stats.maximum = rotational
+            histogram = self.rotational_histogram
+            histogram.counts[bisect_left(histogram.edges, rotational)] += 1
+            histogram.total += 1
+            self.seek_stats.add(seek)
+            if seek > 0.0:
                 self.nonzero_seeks += 1
             if self.keep_samples:
-                self.rotational_latencies.append(
-                    request.rotational_latency
-                )
-                self.seek_times.append(request.seek_time)
+                self.rotational_latencies.append(rotational)
+                self.seek_times.append(seek)
         if self.keep_samples:
             self.response_times.append(response)
 

@@ -126,16 +126,41 @@ class Tracer:
 
     enabled = True
 
+    #: Slots in the preallocated recording buffer.  Recording a span
+    #: writes one raw tuple into the next slot; Span objects are only
+    #: materialised when the buffer fills (one batch at a time) or when
+    #: :attr:`spans` is read, so the per-span hot-path cost is a bounds
+    #: check and a slot store.
+    BUFFER_SLOTS = 1024
+
     def __init__(self, max_spans: Optional[int] = None):
         if max_spans is not None and max_spans <= 0:
             raise ValueError(f"max_spans must be positive, got {max_spans}")
-        self.spans: List[Span] = []
         self.telemetry = TelemetryRegistry()
         self.max_spans = max_spans
         self.dropped_spans = 0
         self._scopes: List[str] = []
+        #: Materialised spans (everything drained from the buffer).
+        self._materialized: List[Span] = []
+        #: Preallocated ring of raw ``(name, cat, ts, dur, track,
+        #: args)`` records; slots are reused after every drain.
+        self._buffer: List[Optional[Tuple]] = [None] * self.BUFFER_SLOTS
+        self._buffered = 0
 
     # -- recording ---------------------------------------------------------
+    @property
+    def spans(self) -> List[Span]:
+        """Every recorded span, in recording order.
+
+        Reading drains any staged raw records first, so the list is
+        always complete and identical to what the pre-buffer tracer
+        stored eagerly.  The returned list is the live store (exporters
+        may append recovered spans to it).
+        """
+        if self._buffered:
+            self._drain()
+        return self._materialized
+
     def span(
         self,
         name: str,
@@ -146,7 +171,20 @@ class Tracer:
         args: Optional[Dict] = None,
     ) -> None:
         """Record one completed interval on ``track``."""
-        self._store(Span(name, cat, ts, dur, self._scoped(track), args))
+        max_spans = self.max_spans
+        if max_spans is not None and (
+            len(self._materialized) + self._buffered >= max_spans
+        ):
+            self.dropped_spans += 1
+            return
+        if self._scopes:
+            track = self._scoped(track)
+        buffered = self._buffered
+        self._buffer[buffered] = (name, cat, ts, dur, track, args)
+        buffered += 1
+        self._buffered = buffered
+        if buffered == self.BUFFER_SLOTS:
+            self._drain()
 
     def instant(
         self,
@@ -156,13 +194,28 @@ class Tracer:
         args: Optional[Dict] = None,
     ) -> None:
         """Record a point annotation (rendered as an arrow/flag)."""
-        self._store(Span(name, "instant", ts, None, self._scoped(track), args))
+        self.span(name, "instant", ts, None, track, args)
+
+    def _drain(self) -> None:
+        """Materialise the staged batch and recycle the buffer slots."""
+        buffer = self._buffer
+        append = self._materialized.append
+        for index in range(self._buffered):
+            name, cat, ts, dur, track, args = buffer[index]
+            append(Span(name, cat, ts, dur, track, args))
+            buffer[index] = None
+        self._buffered = 0
 
     def _store(self, span: Span) -> None:
-        if self.max_spans is not None and len(self.spans) >= self.max_spans:
+        """Store an already-built :class:`Span` (merge/import path)."""
+        if self.max_spans is not None and (
+            len(self._materialized) + self._buffered >= self.max_spans
+        ):
             self.dropped_spans += 1
             return
-        self.spans.append(span)
+        if self._buffered:
+            self._drain()
+        self._materialized.append(span)
 
     # -- scoping -----------------------------------------------------------
     @contextmanager
@@ -217,7 +270,9 @@ class Tracer:
         self.dropped_spans += payload.get("dropped_spans", 0)
 
     def clear(self) -> None:
-        self.spans.clear()
+        self._materialized.clear()
+        self._buffer = [None] * self.BUFFER_SLOTS
+        self._buffered = 0
         self.telemetry = TelemetryRegistry()
         self.dropped_spans = 0
 

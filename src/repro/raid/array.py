@@ -123,12 +123,12 @@ class DiskArray:
             # completion callback on the drive event finishes the
             # logical request at the same simulated instant.
             piece = slices[0]
-            physical = request.clone(
-                lba=piece.lba,
-                size=piece.size,
-                is_read=piece.is_read,
-                arrival_time=self.env.now,
-                source_disk=piece.disk,
+            physical = request.clone_slice(
+                piece.lba,
+                piece.size,
+                piece.is_read,
+                self.env._now,
+                piece.disk,
             )
             self.drives[piece.disk].submit(physical).callbacks.append(
                 lambda event: self._finish_single(
@@ -151,7 +151,7 @@ class DiskArray:
             # non-redundant layout) while the physical slice was still
             # in flight; the late slice completion is a no-op.
             return
-        request.completion_time = self.env.now
+        request.completion_time = self.env._now
         if request.start_service is None:
             request.start_service = request.arrival_time
         request.seek_time = physical.seek_time
@@ -429,12 +429,12 @@ class DiskArray:
             for piece in slices:
                 if piece.phase != phase:
                     continue
-                physical = request.clone(
-                    lba=piece.lba,
-                    size=piece.size,
-                    is_read=piece.is_read,
-                    arrival_time=self.env.now,
-                    source_disk=piece.disk,
+                physical = request.clone_slice(
+                    piece.lba,
+                    piece.size,
+                    piece.is_read,
+                    self.env.now,
+                    piece.disk,
                 )
                 events.append(self.drives[piece.disk].submit(physical))
             if events:

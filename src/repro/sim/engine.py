@@ -8,6 +8,28 @@ The engine is deliberately small and deterministic:
 * A :class:`Process` wraps a generator.  The generator yields events;
   when a yielded event triggers, the process is resumed with the event's
   value (or the event's exception is thrown into it).
+
+Three fast paths keep the hot loop lean without changing the total
+order or any observable value:
+
+* **Timeout pooling** — :meth:`Environment.timeout` recycles fired
+  timeouts through a free list, so the steady-state cost of a timeout
+  is a handful of slot stores plus one heap push.  A recycled timeout
+  is *engine-owned* once it has fired: holding a reference to it past
+  the resumption it caused is undefined (the drives and runners in
+  this package never do).  Timeouts that anything else still watches —
+  a :class:`Condition` membership, an explicit ``callbacks`` entry, a
+  ``run(until=...)`` stop hook — are never recycled.
+* **Single-waiter direct dispatch** — when exactly one process waits
+  on an event and nothing else registered a callback, the waiter is
+  parked in the event's ``_waiter`` slot instead of a callbacks list
+  and resumed directly at dispatch.  The waiter slot is only ever used
+  when the callbacks list is empty, so it is always the would-be-first
+  callback and dispatch order is unchanged.
+* **Lazy deletion** — an interrupt can orphan the event its victim was
+  waiting on; the dead heap entry stays put and is discarded when it
+  surfaces.  Orphans are counted so :attr:`Environment.scheduled_events`
+  (the live queue depth) never drifts.
 """
 
 from __future__ import annotations
@@ -57,7 +79,12 @@ class Event:
     the schedule), and *processed* (its callbacks have run).
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused", "_waiter",
+                 "_stale")
+
+    #: Overridden per-instance (as a slot) on pool-managed timeouts;
+    #: plain events fall back to this class attribute.
+    _pooled = False
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -67,6 +94,10 @@ class Event:
         #: Set by a waiter to mark a failure as handled, suppressing the
         #: crash-the-run behaviour for unhandled failures.
         self.defused = False
+        #: Sole waiting process when no callbacks list is in play.
+        self._waiter: Optional["Process"] = None
+        #: True for a heap entry nothing watches any more (lazy deletion).
+        self._stale = False
 
     @property
     def triggered(self) -> bool:
@@ -94,7 +125,9 @@ class Event:
             raise SimulationError("event already triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self, NORMAL, 0.0)
+        env = self.env
+        env._eid += 1
+        heappush(env._queue, (env._now, NORMAL, env._eid, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -126,18 +159,31 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers ``delay`` time units after creation."""
+    """An event that triggers ``delay`` time units after creation.
 
-    __slots__ = ("delay",)
+    Instances built through :meth:`Environment.timeout` are pool-managed:
+    once fired and consumed they may be recycled for a later timeout.
+    Directly constructed instances are never recycled.
+    """
+
+    __slots__ = ("delay", "_pooled")
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Inlined Event.__init__ + _schedule: this constructor runs once
+        # per simulated I/O phase, so every skipped call counts.
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env._schedule(self, NORMAL, delay)
+        self._ok = True
+        self.defused = False
+        self._waiter = None
+        self._stale = False
+        self._pooled = False
+        self.delay = delay
+        env._eid += 1
+        heappush(env._queue, (env._now + delay, NORMAL, env._eid, self))
 
 
 class Initialize(Event):
@@ -146,10 +192,15 @@ class Initialize(Event):
     __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process"):
-        super().__init__(env)
-        self.callbacks.append(process._resume)
+        self.env = env
+        self.callbacks = [process._resume]
+        self._value = None
         self._ok = True
-        env._schedule(self, URGENT, 0.0)
+        self.defused = False
+        self._waiter = None
+        self._stale = False
+        env._eid += 1
+        heappush(env._queue, (env._now, URGENT, env._eid, self))
 
 
 class Process(Event):
@@ -160,7 +211,13 @@ class Process(Event):
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
-        super().__init__(env)
+        self.env = env
+        self.callbacks = []
+        self._value = None
+        self._ok = None
+        self.defused = False
+        self._waiter = None
+        self._stale = False
         self._generator = generator
         self._target: Optional[Event] = Initialize(env, self)
 
@@ -190,12 +247,26 @@ class Process(Event):
         env = self.env
         env._active_process = self
         while True:
-            # Detach from the event that woke us.
-            if self._target is not None and self._target.callbacks is not None:
-                try:
-                    self._target.callbacks.remove(self._resume)
-                except ValueError:
-                    pass
+            # Detach from the event that woke us.  When this resumption
+            # was caused by the target itself, its callbacks are already
+            # None and both branches are skipped; an interrupt leaves
+            # the old target live, and detaching may orphan it.
+            target = self._target
+            if target is not None:
+                if target._waiter is self:
+                    target._waiter = None
+                    if not target.callbacks:
+                        target._stale = True
+                        env._stale_events += 1
+                elif target.callbacks is not None:
+                    try:
+                        target.callbacks.remove(self._resume)
+                    except ValueError:
+                        pass
+                    else:
+                        if not target.callbacks and target._waiter is None:
+                            target._stale = True
+                            env._stale_events += 1
             self._target = None
             try:
                 if event._ok:
@@ -206,12 +277,14 @@ class Process(Event):
             except StopIteration as exc:
                 self._ok = True
                 self._value = exc.value
-                env._schedule(self, NORMAL, 0.0)
+                env._eid += 1
+                heappush(env._queue, (env._now, NORMAL, env._eid, self))
                 break
             except BaseException as exc:
                 self._ok = False
                 self._value = exc
-                env._schedule(self, NORMAL, 0.0)
+                env._eid += 1
+                heappush(env._queue, (env._now, NORMAL, env._eid, self))
                 break
             if not isinstance(next_event, Event):
                 exc = SimulationError(
@@ -221,10 +294,20 @@ class Process(Event):
                 self._value = exc
                 env._schedule(self, NORMAL, 0.0)
                 break
-            if next_event.callbacks is not None:
+            callbacks = next_event.callbacks
+            if callbacks is not None:
                 # Event still pending or triggered-but-unprocessed: wait.
                 self._target = next_event
-                next_event.callbacks.append(self._resume)
+                if callbacks or next_event._waiter is not None:
+                    callbacks.append(self._resume)
+                else:
+                    # Sole watcher: park in the waiter slot instead of
+                    # the (empty) callbacks list.  Revive the entry if
+                    # an interrupt had orphaned it earlier.
+                    next_event._waiter = self
+                    if next_event._stale:
+                        next_event._stale = False
+                        env._stale_events -= 1
                 break
             # Event already processed: continue immediately with its value.
             event = next_event
@@ -281,6 +364,9 @@ class Condition(Event):
                 self._check(event)
             else:
                 event.callbacks.append(self._check)
+                if event._stale:
+                    event._stale = False
+                    env._stale_events -= 1
 
     def _check(self, event: Event) -> None:
         if self._ok is not None:
@@ -341,6 +427,10 @@ class Environment:
         self._queue: List[tuple] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        #: Free list of fired timeouts available for reuse.
+        self._timeout_pool: List[Timeout] = []
+        #: Heap entries nothing watches any more (lazy deletion).
+        self._stale_events = 0
         self.tracer = tracer
 
     @property
@@ -350,7 +440,18 @@ class Environment:
 
     @property
     def scheduled_events(self) -> int:
-        """Total events scheduled so far (the bench's events/sec basis)."""
+        """Events currently on the schedule that something still watches.
+
+        Stale entries — heap slots orphaned by an interrupt and awaiting
+        lazy deletion — are excluded, so queue-depth telemetry does not
+        drift on long runs.  For the cumulative count that the bench
+        reports events/sec against, see :attr:`total_events`.
+        """
+        return len(self._queue) - self._stale_events
+
+    @property
+    def total_events(self) -> int:
+        """Total events ever scheduled (the bench's events/sec basis)."""
         return self._eid
 
     @property
@@ -362,7 +463,28 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        return Timeout(self, delay, value)
+        """A pool-managed timeout: recycled once fired and consumed.
+
+        Holding a reference to the returned timeout past the resumption
+        it causes is undefined; timeouts held by conditions or explicit
+        callbacks are detected and never recycled.
+        """
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise ValueError(f"negative delay {delay}")
+            timeout = pool.pop()
+            timeout.delay = delay
+            timeout._value = value
+            timeout._ok = True
+            timeout.defused = False
+            self._eid += 1
+            heappush(self._queue, (self._now + delay, NORMAL, self._eid,
+                                   timeout))
+            return timeout
+        timeout = Timeout(self, delay, value)
+        timeout._pooled = True
+        return timeout
 
     def process(self, generator: Generator) -> Process:
         return Process(self, generator)
@@ -390,12 +512,22 @@ class Environment:
         if not queue:
             raise EmptySchedule()
         self._now, _, _, event = heappop(queue)
+        if event._stale:
+            event._stale = False
+            self._stale_events -= 1
+        waiter = event._waiter
         callbacks, event.callbacks = event.callbacks, None
+        if waiter is not None:
+            event._waiter = None
+            waiter._resume(event)
         for callback in callbacks:
             callback(event)
         if event._ok is False and not event.defused:
             # Unhandled failure: crash the run, as SimPy does.
             raise event._value
+        if waiter is not None and event._pooled and not callbacks:
+            event.callbacks = callbacks
+            self._timeout_pool.append(event)
 
     def run(self, until: Any = None) -> Any:
         """Run until ``until`` (a time, an event, or schedule exhaustion).
@@ -421,16 +553,51 @@ class Environment:
                 heapq.heappush(self._queue, (at, URGENT, self._eid, stop))
             stop.callbacks.append(_StopSignal.throw)
         # Inlined step() loop: one event dispatch per iteration with the
-        # heap-pop and queue bound to locals.  This loop is the hottest
-        # frame of every simulation, so it avoids the per-event method
-        # call and attribute lookups of the public step() API.
+        # heap-pop, the queue, and the timeout free list bound to locals.
+        # This loop is the hottest frame of every simulation, so it
+        # avoids the per-event method call and attribute lookups of the
+        # public step() API.
         queue = self._queue
         pop = heappop
+        pool_append = self._timeout_pool.append
         eid_at_entry = self._eid
         try:
             while queue:
                 self._now, _, _, event = pop(queue)
+                waiter = event._waiter
+                if waiter is not None:
+                    event._waiter = None
+                    callbacks = event.callbacks
+                    if not callbacks:
+                        # Single-waiter fast path: resume the owning
+                        # process directly, then recycle the timeout.
+                        event.callbacks = None
+                        if event._stale:
+                            event._stale = False
+                            self._stale_events -= 1
+                        waiter._resume(event)
+                        if event._ok is False and not event.defused:
+                            raise event._value
+                        if event._pooled:
+                            event.callbacks = callbacks
+                            pool_append(event)
+                        continue
+                    # Waiter plus later callbacks: the waiter attached
+                    # first, so it is dispatched first.
+                    event.callbacks = None
+                    if event._stale:
+                        event._stale = False
+                        self._stale_events -= 1
+                    waiter._resume(event)
+                    for callback in callbacks:
+                        callback(event)
+                    if event._ok is False and not event.defused:
+                        raise event._value
+                    continue
                 callbacks, event.callbacks = event.callbacks, None
+                if event._stale:
+                    event._stale = False
+                    self._stale_events -= 1
                 for callback in callbacks:
                     callback(event)
                 if event._ok is False and not event.defused:

@@ -9,10 +9,10 @@ snapshots from the same machine and interpreter are directly
 comparable, and the recorded figure digest doubles as a regression
 check: serial and parallel runs must produce byte-identical figures.
 
-The JSON schema (``repro-bench/2``)::
+The JSON schema (``repro-bench/3``)::
 
     {
-      "schema": "repro-bench/2",
+      "schema": "repro-bench/3",
       "date": "2026-08-06",
       "python": "3.11.x ...",
       "cpu_count": 8,
@@ -22,6 +22,15 @@ The JSON schema (``repro-bench/2``)::
       "events": 123456,            # engine events per full pass
       "figures_sha256": "...",     # digest of the per-run figures
       "figures_identical": true,   # serial == parallel, bit for bit
+      "workload_results": [        # serial pass, per workload
+        {"workload": "financial", "events": ..., "wall_s": ...,
+         "events_per_s": ...},
+        ...
+      ],
+      "kernel": {                  # pure-engine microbenchmark
+        "processes": 50, "timeouts": 2000, "events": ...,
+        "wall_s": ..., "events_per_s": ...
+      },
       "results": [
         {"workers": 1, "wall_s": ..., "events_per_s": ...,
          "speedup_vs_serial": 1.0},
@@ -29,6 +38,11 @@ The JSON schema (``repro-bench/2``)::
          "speedup_vs_serial": ...}
       ]
     }
+
+Schema history: v3 added the per-workload serial breakdown and the
+engine-kernel microbenchmark (migrated v1/v2 snapshots carry an empty
+``workload_results`` and a ``null`` kernel — the data cannot be
+reconstructed from older runs).
 
 Worker counts above ``cpu_count`` are never timed: on an oversubscribed
 host a "parallel" pass measures scheduler contention, not speedup (a
@@ -64,11 +78,13 @@ __all__ = [
     "load_bench",
     "migrate_bench",
     "run_bench",
+    "run_kernel_bench",
     "validate_bench",
     "write_bench",
 ]
 
-BENCH_SCHEMA = "repro-bench/2"
+BENCH_SCHEMA = "repro-bench/3"
+BENCH_SCHEMA_V2 = "repro-bench/2"
 BENCH_SCHEMA_V1 = "repro-bench/1"
 
 #: Keys every valid snapshot (any schema version) must carry.
@@ -95,17 +111,19 @@ def _bench_job(workload_name: str, requests: int) -> Dict:
     total power for MD and HC-SD) — everything the harness needs to
     compute events/second and to verify serial/parallel identity.
     """
+    start = time.perf_counter()
     workload = COMMERCIAL_WORKLOADS[workload_name]
     trace = workload.generate(requests)
     env = Environment()
     md = run_trace(env, build_md_system(env, workload), trace)
-    events = env.scheduled_events
+    events = env.total_events
     env = Environment()
     hcsd = run_trace(env, build_hcsd_system(env, workload), trace)
-    events += env.scheduled_events
+    events += env.total_events
     return {
         "workload": workload_name,
         "events": events,
+        "wall_s": time.perf_counter() - start,
         "figures": (
             md.mean_response_ms,
             md.percentile(90),
@@ -139,13 +157,69 @@ def _timed_pass(
     return time.perf_counter() - start, outcomes
 
 
+#: Kernel-microbenchmark shape: enough concurrent timeout cycles to
+#: exercise the pooled-timeout direct-dispatch fast path without any
+#: disk model in the loop.
+KERNEL_PROCESSES = 50
+KERNEL_TIMEOUTS = 2000
+
+
+def _kernel_pass(processes: int, timeouts: int) -> int:
+    """One pure-engine pass; returns the events scheduled.
+
+    Each process cycles through ``timeouts`` awaited timeouts at a
+    process-specific delay, so every firing takes the single-waiter
+    direct-dispatch path and recycles its Timeout through the pool —
+    the simulation-kernel hot loop with nothing else attached.
+    """
+    env = Environment()
+
+    def cycle(delay: float):
+        timeout = env.timeout
+        for _ in range(timeouts):
+            yield timeout(delay)
+
+    for index in range(processes):
+        env.process(cycle(0.5 + 0.25 * index))
+    env.run()
+    return env.total_events
+
+
+def run_kernel_bench(
+    processes: int = KERNEL_PROCESSES,
+    timeouts: int = KERNEL_TIMEOUTS,
+    repeats: int = 3,
+) -> Dict:
+    """Time the engine-only microbenchmark (best of ``repeats``)."""
+    if processes < 1 or timeouts < 1:
+        raise ValueError(
+            f"processes and timeouts must be >= 1, got "
+            f"{processes}/{timeouts}"
+        )
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    wall = float("inf")
+    events = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        events = _kernel_pass(processes, timeouts)
+        wall = min(wall, time.perf_counter() - start)
+    return {
+        "processes": processes,
+        "timeouts": timeouts,
+        "events": events,
+        "wall_s": round(wall, 6),
+        "events_per_s": round(events / wall, 1),
+    }
+
+
 def run_bench(
     requests: int = 6000,
     workers: int = 1,
     repeats: int = 3,
     workloads: Optional[Sequence[str]] = None,
 ) -> Dict:
-    """Time the reference workload; returns the ``repro-bench/2`` dict.
+    """Time the reference workload; returns the ``repro-bench/3`` dict.
 
     ``workers`` adds a second timed configuration beyond the serial
     baseline (pass 1, the default, to time only the baseline); the
@@ -185,12 +259,27 @@ def run_bench(
     serial_wall: Optional[float] = None
     events = 0
     figures_identical = True
+    workload_walls: Dict[str, float] = {}
+    workload_events: Dict[str, int] = {}
     for count in worker_counts:
         wall = float("inf")
         outcomes: List[Dict] = []
         for _ in range(repeats):
             elapsed, outcomes = _timed_pass(selected, requests, count)
             wall = min(wall, elapsed)
+            if count == 1:
+                # Per-workload breakdown: each job times itself, so
+                # the serial pass yields a noise-floor (min over
+                # repeats) estimate per workload.
+                for outcome in outcomes:
+                    name = outcome["workload"]
+                    job_wall = outcome["wall_s"]
+                    if (
+                        name not in workload_walls
+                        or job_wall < workload_walls[name]
+                    ):
+                        workload_walls[name] = job_wall
+                    workload_events[name] = outcome["events"]
         events = sum(outcome["events"] for outcome in outcomes)
         digest = _figures_digest(outcomes)
         if serial_digest is None:
@@ -208,6 +297,19 @@ def run_bench(
         )
     results.extend(skipped)
 
+    workload_results = [
+        {
+            "workload": name,
+            "events": workload_events[name],
+            "wall_s": round(workload_walls[name], 6),
+            "events_per_s": round(
+                workload_events[name] / workload_walls[name], 1
+            ),
+        }
+        for name in selected
+        if name in workload_walls
+    ]
+
     return {
         "schema": BENCH_SCHEMA,
         "date": datetime.date.today().isoformat(),
@@ -220,6 +322,8 @@ def run_bench(
         "events": events,
         "figures_sha256": serial_digest,
         "figures_identical": figures_identical,
+        "workload_results": workload_results,
+        "kernel": run_kernel_bench(repeats=repeats),
         "results": results,
     }
 
@@ -257,6 +361,31 @@ def format_bench(result: Dict) -> str:
         f"{result['figures_identical']}"
     )
     lines = [table, footer]
+    per_workload = result.get("workload_results") or []
+    if per_workload:
+        workload_table = format_table(
+            ["workload", "events", "wall_s", "events_per_s"],
+            [
+                (
+                    entry["workload"],
+                    entry["events"],
+                    entry["wall_s"],
+                    entry["events_per_s"],
+                )
+                for entry in per_workload
+            ],
+            title="Serial pass by workload (best of repeats)",
+            float_format="{:.3f}",
+        )
+        lines.append(workload_table)
+    kernel = result.get("kernel")
+    if kernel:
+        lines.append(
+            f"kernel microbench: {kernel['events']} events in "
+            f"{kernel['wall_s']:.3f}s = {kernel['events_per_s']:.0f} "
+            f"events/s ({kernel['processes']} processes x "
+            f"{kernel['timeouts']} timeouts)"
+        )
     lines.extend(
         f"skipped workers={entry['workers']}: {entry['reason']}"
         for entry in skipped
@@ -267,21 +396,27 @@ def format_bench(result: Dict) -> str:
 def validate_bench(snapshot: Dict, source: str = "snapshot") -> None:
     """Structural validation of a bench snapshot; raises ``ValueError``.
 
-    Accepts both schema versions — use :func:`migrate_bench` (or
-    :func:`load_bench`, which validates *and* migrates) to normalise a
-    v1 snapshot to the current schema.
+    Accepts every supported schema version — use :func:`migrate_bench`
+    (or :func:`load_bench`, which validates *and* migrates) to
+    normalise an older snapshot to the current schema.
     """
     if not isinstance(snapshot, dict):
         raise ValueError(f"{source}: not a JSON object")
     schema = snapshot.get("schema")
     if schema is None:
         raise ValueError(f"{source}: missing 'schema' field")
-    if schema not in (BENCH_SCHEMA, BENCH_SCHEMA_V1):
+    if schema not in (BENCH_SCHEMA, BENCH_SCHEMA_V2, BENCH_SCHEMA_V1):
         raise ValueError(
             f"{source}: unsupported schema {schema!r} (expected "
-            f"{BENCH_SCHEMA} or {BENCH_SCHEMA_V1})"
+            f"{BENCH_SCHEMA}, {BENCH_SCHEMA_V2} or {BENCH_SCHEMA_V1})"
         )
     missing = [key for key in REQUIRED_KEYS if key not in snapshot]
+    if schema == BENCH_SCHEMA:
+        missing.extend(
+            key
+            for key in ("workload_results", "kernel")
+            if key not in snapshot
+        )
     if missing:
         raise ValueError(f"{source}: missing keys {missing}")
     if not isinstance(snapshot["results"], list) or not snapshot["results"]:
@@ -298,40 +433,55 @@ def validate_bench(snapshot: Dict, source: str = "snapshot") -> None:
 
 
 def migrate_bench(snapshot: Dict) -> Dict:
-    """Normalise a snapshot to the current ``repro-bench/2`` schema.
+    """Normalise a snapshot to the current ``repro-bench/3`` schema.
 
-    The v1 → v2 change is the worker cap: v1 happily *timed* worker
-    counts above ``cpu_count`` (measuring scheduler contention, not
-    parallelism), where v2 records them as skipped entries.  Migration
-    therefore demotes any oversubscribed timed entry to a skipped one
-    — its wall-clock is untrustworthy — and stamps the snapshot with
-    the schema it now satisfies.  Current-schema snapshots are
+    Migrations chain version by version:
+
+    * **v1 → v2** — the worker cap: v1 happily *timed* worker counts
+      above ``cpu_count`` (measuring scheduler contention, not
+      parallelism), where v2 records them as skipped entries.
+      Migration demotes any oversubscribed timed entry to a skipped
+      one — its wall-clock is untrustworthy.
+    * **v2 → v3** — the per-workload serial breakdown and the kernel
+      microbenchmark.  Neither can be reconstructed from an older
+      run, so migrated snapshots carry an empty ``workload_results``
+      list and a ``None`` kernel; consumers treat both as "not
+      recorded".
+
+    The result is stamped with the schema it now satisfies plus the
+    schema it ``migrated_from``.  Current-schema snapshots are
     returned as (copies of) themselves.
     """
     validate_bench(snapshot)
-    if snapshot["schema"] == BENCH_SCHEMA:
-        return dict(snapshot)
     migrated = dict(snapshot)
-    cpu = snapshot.get("cpu_count") or 1
-    results = []
-    for entry in snapshot["results"]:
-        if not entry.get("skipped") and entry["workers"] > cpu:
-            results.append(
-                {
-                    "workers": entry["workers"],
-                    "skipped": True,
-                    "reason": (
-                        f"exceeds cpu_count={cpu} (untrusted v1 "
-                        "timing dropped on migration)"
-                    ),
-                    "timed_as": cpu if cpu > 1 else 1,
-                }
-            )
-        else:
-            results.append(dict(entry))
-    migrated["results"] = results
-    migrated["schema"] = BENCH_SCHEMA
-    migrated["migrated_from"] = BENCH_SCHEMA_V1
+    original = migrated["schema"]
+    if original == BENCH_SCHEMA:
+        return migrated
+    if migrated["schema"] == BENCH_SCHEMA_V1:
+        cpu = migrated.get("cpu_count") or 1
+        results = []
+        for entry in migrated["results"]:
+            if not entry.get("skipped") and entry["workers"] > cpu:
+                results.append(
+                    {
+                        "workers": entry["workers"],
+                        "skipped": True,
+                        "reason": (
+                            f"exceeds cpu_count={cpu} (untrusted v1 "
+                            "timing dropped on migration)"
+                        ),
+                        "timed_as": cpu if cpu > 1 else 1,
+                    }
+                )
+            else:
+                results.append(dict(entry))
+        migrated["results"] = results
+        migrated["schema"] = BENCH_SCHEMA_V2
+    if migrated["schema"] == BENCH_SCHEMA_V2:
+        migrated["workload_results"] = []
+        migrated["kernel"] = None
+        migrated["schema"] = BENCH_SCHEMA
+    migrated["migrated_from"] = original
     return migrated
 
 
@@ -339,8 +489,8 @@ def load_bench(path: str) -> Dict:
     """Read, validate and migrate a bench snapshot from ``path``.
 
     Unknown or missing schemas raise ``ValueError`` (no more silently
-    comparing incompatible snapshots); v1 snapshots come back migrated
-    to ``repro-bench/2``.
+    comparing incompatible snapshots); v1/v2 snapshots come back
+    migrated to ``repro-bench/3``.
     """
     with open(path, encoding="utf-8") as handle:
         try:

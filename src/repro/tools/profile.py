@@ -1,0 +1,174 @@
+"""``python -m repro profile``: cProfile the simulator hot path.
+
+Profiles either the reference benchmark workload (``--target bench``,
+the default — one serial limit-study pass per selected workload) or
+the pure-engine kernel microbenchmark (``--target kernel``), then
+prints the top-N entries.  The default ordering is cumulative time,
+which surfaces the call-tree roots worth optimising; ``--sort
+tottime`` surfaces the leaf functions the interpreter actually spends
+its time in.
+
+``--json`` emits the same entries as machine-readable JSON, so a CI
+step (or a notebook) can diff successive profiles without scraping
+pstats' text layout.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["format_profile", "run_profile"]
+
+#: Sort keys accepted by ``--sort`` (a curated subset of pstats').
+SORT_KEYS = ("cumulative", "tottime", "ncalls")
+
+TARGETS = ("bench", "kernel")
+
+
+def _profile_bench(
+    requests: int, workloads: Optional[Sequence[str]]
+) -> cProfile.Profile:
+    from repro.tools.bench import _bench_job
+    from repro.workloads.commercial import COMMERCIAL_WORKLOADS
+
+    selected = list(workloads or COMMERCIAL_WORKLOADS)
+    unknown = [
+        name for name in selected if name not in COMMERCIAL_WORKLOADS
+    ]
+    if unknown:
+        raise ValueError(
+            f"unknown workloads {unknown}; choose from "
+            f"{sorted(COMMERCIAL_WORKLOADS)}"
+        )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for name in selected:
+        _bench_job(name, requests)
+    profiler.disable()
+    return profiler
+
+
+def _profile_kernel() -> cProfile.Profile:
+    from repro.tools.bench import (
+        KERNEL_PROCESSES,
+        KERNEL_TIMEOUTS,
+        _kernel_pass,
+    )
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    _kernel_pass(KERNEL_PROCESSES, KERNEL_TIMEOUTS)
+    profiler.disable()
+    return profiler
+
+
+def run_profile(
+    target: str = "bench",
+    requests: int = 2000,
+    workloads: Optional[Sequence[str]] = None,
+    top: int = 25,
+    sort: str = "cumulative",
+) -> Dict:
+    """Profile ``target`` and return the top-``top`` entries.
+
+    Returns ``{"target", "requests", "total_time_s", "total_calls",
+    "sort", "entries"}`` where each entry carries the function's
+    location, call counts and timings — plain data, JSON-ready.
+    """
+    if target not in TARGETS:
+        raise ValueError(
+            f"unknown profile target {target!r}; choose from {TARGETS}"
+        )
+    if sort not in SORT_KEYS:
+        raise ValueError(
+            f"unknown sort key {sort!r}; choose from {SORT_KEYS}"
+        )
+    if top < 1:
+        raise ValueError(f"top must be >= 1, got {top}")
+    if requests < 1:
+        raise ValueError(f"requests must be >= 1, got {requests}")
+    if target == "bench":
+        profiler = _profile_bench(requests, workloads)
+    else:
+        profiler = _profile_kernel()
+
+    stats = pstats.Stats(profiler, stream=io.StringIO())
+    total_calls = stats.total_calls
+    total_time = stats.total_tt
+
+    entries: List[Dict] = []
+    for (filename, line, name), (
+        primitive_calls,
+        ncalls,
+        tottime,
+        cumtime,
+        _callers,
+    ) in stats.stats.items():
+        entries.append(
+            {
+                "function": name,
+                "file": filename,
+                "line": line,
+                "ncalls": ncalls,
+                "primitive_calls": primitive_calls,
+                "tottime_s": round(tottime, 6),
+                "cumtime_s": round(cumtime, 6),
+            }
+        )
+    sort_field = {
+        "cumulative": "cumtime_s",
+        "tottime": "tottime_s",
+        "ncalls": "ncalls",
+    }[sort]
+    entries.sort(key=lambda entry: entry[sort_field], reverse=True)
+
+    return {
+        "target": target,
+        "requests": requests if target == "bench" else None,
+        "sort": sort,
+        "total_calls": total_calls,
+        "total_time_s": round(total_time, 6),
+        "entries": entries[:top],
+    }
+
+
+def format_profile(result: Dict) -> str:
+    """Plain-text table of a :func:`run_profile` result."""
+    from repro.metrics.report import format_table
+
+    rows = []
+    for entry in result["entries"]:
+        location = entry["file"]
+        if entry["line"]:
+            location = f"{location}:{entry['line']}"
+        rows.append(
+            (
+                entry["function"],
+                entry["ncalls"],
+                entry["tottime_s"],
+                entry["cumtime_s"],
+                location,
+            )
+        )
+    scope = (
+        f"{result['requests']} requests/workload"
+        if result["target"] == "bench"
+        else "engine kernel"
+    )
+    table = format_table(
+        ["function", "ncalls", "tottime_s", "cumtime_s", "where"],
+        rows,
+        title=(
+            f"Profile: {result['target']} ({scope}), top "
+            f"{len(result['entries'])} by {result['sort']}"
+        ),
+        float_format="{:.4f}",
+    )
+    footer = (
+        f"total: {result['total_calls']} calls in "
+        f"{result['total_time_s']:.3f}s"
+    )
+    return f"{table}\n{footer}"

@@ -15,7 +15,11 @@ against the committed snapshot.  Three classes of check:
 * **Throughput (tolerance-gated).**  Serial events/second may drift
   with hardware and interpreter; the gate fails only when the current
   run falls below ``tolerance`` × baseline (default 0.5).  Pass
-  ``tolerance=0`` to report the delta without gating on it.
+  ``tolerance=0`` to report the delta without gating on it.  A
+  baseline recorded with a different ``cpu_count`` is refused while
+  the gate is armed — its wall-clocks (and which worker counts were
+  timed at all) belong to a different host class — instead of being
+  silently compared; with ``tolerance=0`` the mismatch is only noted.
 * **Context (informational).**  Request counts, workload sets and
   host differences are reported as notes so a CI log explains *why*
   a digest comparison was or wasn't performed.
@@ -114,6 +118,32 @@ def compare_bench(
             f"{current['requests']} over {current['workloads']}"
         )
 
+    base_cpu = baseline.get("cpu_count")
+    this_cpu = current.get("cpu_count")
+    cpu_comparable = base_cpu == this_cpu
+    if not cpu_comparable:
+        # A baseline recorded on a different host class is not a
+        # throughput yardstick: its wall-clocks (and which worker
+        # counts were even timed vs skipped) reflect that machine.
+        # Refuse the gated comparison outright rather than silently
+        # comparing entries that were capped or skipped under a
+        # different cpu_count; with the gate disabled (tolerance 0)
+        # the mismatch is merely reported.
+        if tolerance > 0:
+            result.problems.append(
+                f"cpu_count mismatch: baseline recorded with "
+                f"cpu_count={base_cpu}, current host has "
+                f"cpu_count={this_cpu} — throughput not comparable; "
+                "re-record the baseline on this host or pass "
+                "--tolerance 0 to skip the throughput gate"
+            )
+        else:
+            result.notes.append(
+                f"cpu_count differs (baseline {base_cpu}, current "
+                f"{this_cpu}); throughput gate is off (tolerance 0), "
+                "reporting the delta for information only"
+            )
+
     base_rate = _serial_events_per_s(baseline)
     this_rate = _serial_events_per_s(current)
     if base_rate and this_rate:
@@ -123,7 +153,7 @@ def compare_bench(
             f"serial throughput: {this_rate:.0f} events/s vs baseline "
             f"{base_rate:.0f} ({ratio:.2f}x)"
         )
-        if tolerance > 0 and ratio < tolerance:
+        if cpu_comparable and tolerance > 0 and ratio < tolerance:
             result.problems.append(
                 f"serial throughput regressed to {ratio:.2f}x of "
                 f"baseline (floor {tolerance:.2f}x): "
@@ -132,6 +162,18 @@ def compare_bench(
     else:
         result.notes.append(
             "serial throughput not compared (missing workers=1 entry)"
+        )
+
+    base_kernel = baseline.get("kernel")
+    this_kernel = current.get("kernel")
+    if base_kernel and this_kernel:
+        kernel_ratio = (
+            this_kernel["events_per_s"] / base_kernel["events_per_s"]
+        )
+        result.notes.append(
+            f"kernel microbench: {this_kernel['events_per_s']:.0f} "
+            f"events/s vs baseline {base_kernel['events_per_s']:.0f} "
+            f"({kernel_ratio:.2f}x, informational)"
         )
 
     if baseline.get("platform") != current.get("platform"):

@@ -118,41 +118,66 @@ class CommercialWorkload:
         centers = self._hotspot_centers(rng, capacity)
         sigma = self.hot_sigma * capacity
         switch_probability = 1.0 / max(1.0, self.region_run_mean)
+        # Per-request loop invariants, hoisted (including _draw_size's
+        # bounds, which depend only on the workload's calibration).
+        arrival_rate = 1.0 / self.mean_interarrival_ms
+        hot_fraction = self.hot_fraction
+        sequential_fraction = self.sequential_fraction
+        read_fraction = self.read_fraction
+        disks = self.disks
+        hotspots_per_disk = self.hotspots_per_disk
+        size_low = self.request_size_sectors
+        size_high = self._max_size()
+        size_fixed = size_high <= size_low
+        size_steps = 0 if size_fixed else (size_high - size_low) // 8
+        random_value = rng.random
+        randrange = rng.randrange
         requests: List[IORequest] = []
         clock = 0.0
         last_end: Dict[int, int] = {}
-        disk = rng.randrange(self.disks)
-        hotspot = rng.randrange(self.hotspots_per_disk)
+        disk = randrange(disks)
+        hotspot = randrange(hotspots_per_disk)
         for _ in range(count):
-            clock += rng.expovariate(1.0 / self.mean_interarrival_ms)
-            if rng.random() < switch_probability:
-                disk = rng.randrange(self.disks)
-                hotspot = rng.randrange(self.hotspots_per_disk)
-            size = self._draw_size(rng)
+            clock += rng.expovariate(arrival_rate)
+            if random_value() < switch_probability:
+                disk = randrange(disks)
+                hotspot = randrange(hotspots_per_disk)
+            # Sizes come in 8-sector (4 KB page) multiples; the randint
+            # draw happens whenever the spread is non-degenerate, even
+            # for a zero step count, exactly like _draw_size, so the
+            # RNG stream (and every downstream draw) is unchanged.
+            size = (
+                size_low
+                if size_fixed
+                else size_low + 8 * rng.randint(0, size_steps)
+            )
             limit = capacity - size - 1
-            if rng.random() < self.hot_fraction:
+            if random_value() < hot_fraction:
                 target_disk = disk
                 previous = last_end.get(target_disk)
                 if previous is not None and previous <= limit and (
-                    rng.random() < self.sequential_fraction
+                    random_value() < sequential_fraction
                 ):
                     lba = previous
                 else:
                     center = centers[target_disk][hotspot]
                     lba = int(rng.gauss(center, sigma))
-                    lba = max(0, min(limit, lba))
+                    if lba > limit:
+                        lba = limit
+                    if lba < 0:
+                        lba = 0
             else:
-                target_disk = rng.randrange(self.disks)
+                target_disk = randrange(disks)
                 lba = rng.randint(0, limit)
             request = IORequest(
                 lba=lba,
                 size=size,
-                is_read=rng.random() < self.read_fraction,
+                is_read=random_value() < read_fraction,
                 arrival_time=clock,
                 source_disk=target_disk,
             )
             requests.append(request)
-            last_end[target_disk] = request.end_lba
+            last_end[target_disk] = lba + size
         return Trace(requests, name=f"{self.name}-{count}")
 
     def _hotspot_centers(

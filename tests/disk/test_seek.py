@@ -191,7 +191,22 @@ class TestTwoPhaseSeekModel:
 
 
 class TestSeekMemo:
-    """The per-instance distance -> time cache on every seek model."""
+    """The distance -> time table behind every seek model.
+
+    Tables are shared between identically parameterised models (a sweep
+    rebuilds the same drives run after run), so each test starts from a
+    clean slate to stay order-independent.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _fresh_tables(self):
+        from repro.disk import seek
+
+        saved = dict(seek._SHARED_TABLES)
+        seek._SHARED_TABLES.clear()
+        yield
+        seek._SHARED_TABLES.clear()
+        seek._SHARED_TABLES.update(saved)
 
     def make(self):
         return ThreePointSeekModel(0.8, 8.5, 17.0, 90_000)
@@ -201,6 +216,15 @@ class TestSeekMemo:
         assert model._memo == {}
         first = model.seek_time(100, 5100)
         assert model._memo == {5000: first}
+
+    def test_identical_models_share_one_table(self):
+        first = self.make()
+        warmed = first.seek_time(0, 5000)
+        second = self.make()
+        # A same-parameter model constructed later starts with the
+        # already-computed curve points.
+        assert second._memo == {5000: warmed}
+        assert second.seek_time(0, 5000) == warmed
 
     def test_memoized_value_matches_uncached_curve(self):
         model = self.make()
@@ -223,9 +247,9 @@ class TestSeekMemo:
         assert model.seek_time(7, 7) == 0.0
         assert model._memo == {}
 
-    def test_instances_never_share_caches(self):
-        """Guards against a class-level cache: each instance owns its
-        memo, so differently parameterised models can't cross-feed."""
+    def test_different_parameters_never_share_caches(self):
+        """Tables are keyed by the full parameter set, so differently
+        parameterised models can't cross-feed."""
         fast = ThreePointSeekModel(0.4, 4.0, 8.0, 90_000)
         slow = self.make()
         fast_time = fast.seek_time(0, 3000)

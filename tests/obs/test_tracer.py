@@ -116,6 +116,83 @@ class TestTracer:
         assert len(tracer.telemetry) == 0
 
 
+class TestRingBuffer:
+    """Recording stages raw tuples in a preallocated buffer; the Span
+    objects only materialise on batch drain or inspection.  None of
+    that staging may be observable through the public API."""
+
+    def test_recording_stages_before_materialising(self):
+        tracer = Tracer()
+        tracer.span("s", "seek", 0, 1, ("d", "arm 0"))
+        assert tracer._buffered == 1
+        assert tracer._materialized == []
+
+    def test_spans_property_drains_the_buffer(self):
+        tracer = Tracer()
+        tracer.span("s", "seek", 0, 1, ("d", "arm 0"))
+        spans = tracer.spans
+        assert len(spans) == 1
+        assert tracer._buffered == 0
+        # The drained slot is released for reuse.
+        assert tracer._buffer[0] is None
+
+    def test_full_buffer_drains_in_batch(self):
+        tracer = Tracer()
+        for index in range(Tracer.BUFFER_SLOTS):
+            tracer.span("s", "seek", float(index), 1.0, ("d", "arm 0"))
+        # The filling write triggered the drain; no property read needed.
+        assert tracer._buffered == 0
+        assert len(tracer._materialized) == Tracer.BUFFER_SLOTS
+
+    def test_multi_batch_recording_preserves_order(self):
+        tracer = Tracer()
+        total = 2 * Tracer.BUFFER_SLOTS + 100
+        for index in range(total):
+            tracer.span("s", "seek", float(index), 1.0, ("d", "arm 0"))
+        assert [span.ts for span in tracer.spans] == [
+            float(index) for index in range(total)
+        ]
+
+    def test_max_spans_counts_buffered_spans(self):
+        # The cap must bind while spans are still staged as raw tuples,
+        # long before a drain.
+        cap = 3
+        tracer = Tracer(max_spans=cap)
+        for index in range(10):
+            tracer.span("s", "seek", float(index), 1.0, ("d", "arm 0"))
+        assert tracer.dropped_spans == 7
+        assert len(tracer.spans) == cap
+
+    def test_store_after_buffering_keeps_order(self):
+        # merge_payload() appends prebuilt Spans; any staged records
+        # must land first so recording order is preserved.
+        tracer = Tracer()
+        tracer.span("a", "seek", 0, 1, ("d", "arm 0"))
+        tracer._store(Span("b", "seek", 1, 1, ("d", "arm 0")))
+        tracer.span("c", "seek", 2, 1, ("d", "arm 0"))
+        assert [span.name for span in tracer.spans] == ["a", "b", "c"]
+
+    def test_payload_includes_staged_spans(self):
+        tracer = Tracer()
+        tracer.span("s", "seek", 0, 1, ("d", "arm 0"))
+        assert len(tracer.payload()["spans"]) == 1
+
+    def test_clear_resets_staged_records(self):
+        tracer = Tracer()
+        tracer.span("s", "seek", 0, 1, ("d", "arm 0"))
+        tracer.clear()
+        assert tracer._buffered == 0
+        assert tracer.spans == []
+
+    def test_exporters_can_append_to_spans(self):
+        # The export pipeline appends recovered open spans to the live
+        # list; the property must hand out the real store, not a copy.
+        tracer = Tracer()
+        tracer.span("a", "seek", 0, 1, ("d", "arm 0"))
+        tracer.spans.append(Span("b", "seek", 1, 1, ("d", "arm 0")))
+        assert [span.name for span in tracer.spans] == ["a", "b"]
+
+
 class TestNullTracer:
     def test_disabled_and_inert(self):
         null = NullTracer()

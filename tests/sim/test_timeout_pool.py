@@ -1,0 +1,225 @@
+"""The timeout free list and single-waiter direct dispatch.
+
+The engine recycles fired timeouts through a pool and resumes a sole
+waiting process directly, skipping callback-list traffic.  These are
+pure optimisations: the tests here pin down the cases where they must
+be invisible — determinism across identically seeded runs, interrupts
+that orphan a pooled timeout mid-flight, and pickling an environment
+whose pool and stale-entry accounting are non-empty (the sweep
+executor ships jobs across processes).
+"""
+
+import pickle
+
+import pytest
+
+from repro.sim.engine import Environment, Interrupt, Timeout
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestPoolRecycling:
+    def test_fired_single_waiter_timeout_is_recycled(self, env):
+        first = {}
+
+        def proc():
+            timeout = env.timeout(1.0)
+            first["timeout"] = timeout
+            yield timeout
+
+        env.process(proc())
+        env.run()
+        assert env.timeout(2.0) is first["timeout"]
+
+    def test_recycled_timeout_carries_new_value(self, env):
+        values = []
+
+        def proc():
+            values.append((yield env.timeout(1.0, "a")))
+            values.append((yield env.timeout(1.0, "b")))
+
+        env.process(proc())
+        env.run()
+        assert values == ["a", "b"]
+
+    def test_directly_constructed_timeout_never_pooled(self, env):
+        def proc():
+            yield Timeout(env, 1.0)
+
+        env.process(proc())
+        env.run()
+        assert env._timeout_pool == []
+
+    def test_condition_watched_timeout_not_recycled(self, env):
+        # all_of() attaches callbacks, so the timeout has watchers
+        # beyond the single waiter slot and must not be reused.
+        def proc():
+            yield env.all_of([env.timeout(1.0), env.timeout(2.0)])
+
+        env.process(proc())
+        env.run()
+        assert env._timeout_pool == []
+
+    def test_negative_delay_rejected_on_pooled_path(self, env):
+        def proc():
+            yield env.timeout(1.0)
+
+        env.process(proc())
+        env.run()
+        assert env._timeout_pool  # the pooled branch is the one hit
+        with pytest.raises(ValueError, match="negative delay"):
+            env.timeout(-1.0)
+
+
+class TestInterruptWhilePooled:
+    def test_orphaned_timeout_counted_stale(self, env):
+        def victim():
+            try:
+                yield env.timeout(10.0)
+            except Interrupt:
+                pass
+
+        def attacker(target):
+            yield env.timeout(1.0)
+            target.interrupt("stop")
+
+        process = env.process(victim())
+        env.process(attacker(process))
+        env.run(until=2.0)
+        # The 10 ms timeout is still on the heap but nothing watches
+        # it; queue-depth telemetry must not count it.
+        assert env._stale_events == 1
+        assert env.scheduled_events == len(env._queue) - 1
+
+    def test_orphaned_timeout_not_recycled(self, env):
+        orphan = {}
+
+        def victim():
+            timeout = env.timeout(10.0)
+            orphan["timeout"] = timeout
+            try:
+                yield timeout
+            except Interrupt:
+                pass
+
+        def attacker(target):
+            yield env.timeout(1.0)
+            target.interrupt("stop")
+
+        process = env.process(victim())
+        env.process(attacker(process))
+        env.run()
+        # The orphan fired with no waiter attached: recycling it would
+        # alias a later env.timeout() onto a dead reference.
+        assert orphan["timeout"] not in env._timeout_pool
+        assert env._stale_events == 0
+
+    def test_rewaiting_orphaned_timeout_revives_it(self, env):
+        resumed_at = {}
+
+        def victim():
+            timeout = env.timeout(10.0)
+            try:
+                yield timeout
+            except Interrupt:
+                pass
+            yield timeout  # still pending: wait on it again
+            resumed_at["time"] = env.now
+
+        def attacker(target):
+            yield env.timeout(1.0)
+            target.interrupt("stop")
+
+        process = env.process(victim())
+        env.process(attacker(process))
+        env.run()
+        assert resumed_at["time"] == 10.0
+        assert env._stale_events == 0
+        # Revived and consumed normally, so it is recyclable again.
+        assert env._timeout_pool
+
+    def test_interrupt_storm_keeps_accounting_balanced(self, env):
+        def victim():
+            while True:
+                try:
+                    yield env.timeout(100.0)
+                except Interrupt:
+                    continue
+
+        def attacker(target, shots):
+            for _ in range(shots):
+                yield env.timeout(1.0)
+                target.interrupt("again")
+
+        process = env.process(victim())
+        env.process(attacker(process, 5))
+        env.run(until=50.0)
+        # Five orphaned 100 ms timeouts plus one live one.
+        assert env._stale_events == 5
+        assert env.scheduled_events == len(env._queue) - 5
+
+
+class TestPoolDeterminism:
+    def test_same_seed_same_digest(self):
+        from repro.tools.bench import _bench_job, _figures_digest
+
+        first = _bench_job("websearch", 300)
+        second = _bench_job("websearch", 300)
+        assert first["events"] == second["events"]
+        assert _figures_digest([first]) == _figures_digest([second])
+
+
+class TestPoolPickle:
+    def build_used_env(self):
+        env = Environment()
+
+        def victim():
+            try:
+                yield env.timeout(10.0)
+            except Interrupt:
+                pass
+
+        def attacker(target):
+            yield env.timeout(1.0)
+            target.interrupt("stop")
+
+        process = env.process(victim())
+        env.process(attacker(process))
+        env.run(until=2.0)
+        return env
+
+    def test_env_with_pool_and_stale_entries_round_trips(self):
+        env = self.build_used_env()
+        assert env._timeout_pool or env._stale_events
+        clone = pickle.loads(pickle.dumps(env))
+        assert clone.now == env.now
+        assert clone._stale_events == env._stale_events
+        assert clone.scheduled_events == env.scheduled_events
+
+    def test_unpickled_env_keeps_running(self):
+        env = self.build_used_env()
+        clone = pickle.loads(pickle.dumps(env))
+        fired = []
+
+        def late():
+            yield clone.timeout(1.0)
+            fired.append(clone.now)
+
+        clone.process(late())
+        clone.run()
+        assert fired == [3.0]
+
+    def test_sweep_executor_matches_serial(self):
+        from repro.tools.bench import _figures_digest, _jobs
+        from repro.experiments.executor import sweep
+
+        jobs = _jobs(("websearch", "financial"), 200)
+        serial = sweep(jobs, n_workers=1)
+        fanned = sweep(_jobs(("websearch", "financial"), 200), n_workers=2)
+        assert _figures_digest(serial) == _figures_digest(fanned)
+        assert [o["events"] for o in serial] == [
+            o["events"] for o in fanned
+        ]

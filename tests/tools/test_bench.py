@@ -1,7 +1,7 @@
 """Smoke tests for the benchmark harness (``python -m repro bench``).
 
 Marked ``bench_smoke``: a tiny (500-request) pass that checks the
-``repro-bench/2`` JSON schema and the harness's determinism promise
+``repro-bench/3`` JSON schema and the harness's determinism promise
 without timing anything meaningful.  Runs inside the tier-1 suite.
 """
 
@@ -29,10 +29,16 @@ REQUIRED_KEYS = {
     "events",
     "figures_sha256",
     "figures_identical",
+    "workload_results",
+    "kernel",
     "results",
 }
 
 RESULT_KEYS = {"workers", "wall_s", "events_per_s", "speedup_vs_serial"}
+
+WORKLOAD_RESULT_KEYS = {"workload", "events", "wall_s", "events_per_s"}
+
+KERNEL_KEYS = {"processes", "timeouts", "events", "wall_s", "events_per_s"}
 
 
 @pytest.fixture(scope="module")
@@ -82,10 +88,36 @@ class TestBenchSmoke:
         assert path == f"BENCH_{stamp}.json"
         assert (tmp_path / path).exists()
 
+    def test_workload_results_shape(self, smoke_result):
+        per_workload = smoke_result["workload_results"]
+        assert [e["workload"] for e in per_workload] == ["websearch"]
+        entry = per_workload[0]
+        assert WORKLOAD_RESULT_KEYS <= set(entry)
+        assert entry["events"] > 0
+        assert entry["wall_s"] > 0
+        assert entry["events_per_s"] > 0
+        # The serial pass is the sum of its per-workload jobs.
+        assert (
+            sum(e["events"] for e in per_workload)
+            == smoke_result["events"]
+        )
+
+    def test_kernel_microbench_shape(self, smoke_result):
+        kernel = smoke_result["kernel"]
+        assert KERNEL_KEYS <= set(kernel)
+        # Per process: one initialisation event, ``timeouts`` timeout
+        # firings, one terminal event — deterministic regardless of
+        # host speed.
+        expected = kernel["processes"] * (kernel["timeouts"] + 2)
+        assert kernel["events"] == expected
+        assert kernel["wall_s"] > 0
+
     def test_format_mentions_throughput(self, smoke_result):
         text = format_bench(smoke_result)
         assert "events_per_s" in text
         assert "cpu_count" in text
+        assert "kernel microbench" in text
+        assert "websearch" in text
 
     def test_oversubscribed_workers_not_timed(self):
         cpu = os.cpu_count() or 1

@@ -1,0 +1,95 @@
+"""Smoke tests for ``python -m repro profile`` (repro.tools.profile).
+
+Marked ``bench_smoke`` like the bench tests: profiling runs real
+simulation passes, so these stay tiny.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.tools.profile import format_profile, run_profile
+
+ENTRY_KEYS = {
+    "function",
+    "file",
+    "line",
+    "ncalls",
+    "primitive_calls",
+    "tottime_s",
+    "cumtime_s",
+}
+
+
+@pytest.mark.bench_smoke
+class TestRunProfile:
+    def test_kernel_target_shape(self):
+        result = run_profile(target="kernel", top=5)
+        assert result["target"] == "kernel"
+        assert result["requests"] is None
+        assert result["total_calls"] > 0
+        assert result["total_time_s"] > 0
+        assert 0 < len(result["entries"]) <= 5
+        for entry in result["entries"]:
+            assert ENTRY_KEYS <= set(entry)
+
+    def test_kernel_profile_sees_the_engine_loop(self):
+        result = run_profile(target="kernel", top=10)
+        functions = {entry["function"] for entry in result["entries"]}
+        assert "run" in functions or "_kernel_pass" in functions
+
+    def test_bench_target_respects_workload_selection(self):
+        result = run_profile(
+            target="bench", requests=100, workloads=["websearch"], top=5
+        )
+        assert result["requests"] == 100
+        assert result["entries"]
+
+    def test_sort_orders_entries(self):
+        result = run_profile(target="kernel", top=50, sort="tottime")
+        times = [entry["tottime_s"] for entry in result["entries"]]
+        assert times == sorted(times, reverse=True)
+
+    def test_result_is_json_serialisable(self):
+        result = run_profile(target="kernel", top=3)
+        assert json.loads(json.dumps(result)) == result
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ValueError, match="unknown profile target"):
+            run_profile(target="nope")
+        with pytest.raises(ValueError, match="unknown sort key"):
+            run_profile(target="kernel", sort="calls")
+        with pytest.raises(ValueError, match="top"):
+            run_profile(target="kernel", top=0)
+        with pytest.raises(ValueError, match="requests"):
+            run_profile(requests=0)
+        with pytest.raises(ValueError, match="unknown workloads"):
+            run_profile(requests=100, workloads=["nope"])
+
+    def test_format_mentions_total(self):
+        result = run_profile(target="kernel", top=3)
+        text = format_profile(result)
+        assert "Profile: kernel" in text
+        assert "total:" in text
+        assert "cumtime_s" in text
+
+
+@pytest.mark.bench_smoke
+class TestProfileCli:
+    def test_cli_table_output(self, capsys):
+        assert main(["profile", "--target", "kernel", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Profile: kernel" in out
+
+    def test_cli_json_output(self, capsys):
+        code = main(["profile", "--target", "kernel", "--top", "3",
+                     "--json"])
+        assert code == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["target"] == "kernel"
+        assert len(result["entries"]) == 3
+
+    def test_cli_unknown_workload_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="profile:"):
+            main(["profile", "--requests", "100", "--workloads", "nope"])

@@ -9,6 +9,7 @@ from repro.cli import main
 from repro.tools.bench import (
     BENCH_SCHEMA,
     BENCH_SCHEMA_V1,
+    BENCH_SCHEMA_V2,
     load_bench,
     migrate_bench,
     validate_bench,
@@ -30,6 +31,21 @@ def snapshot(**overrides):
         "events": 1000,
         "figures_sha256": "a" * 64,
         "figures_identical": True,
+        "workload_results": [
+            {
+                "workload": "websearch",
+                "events": 250,
+                "wall_s": 0.5,
+                "events_per_s": 500.0,
+            }
+        ],
+        "kernel": {
+            "processes": 50,
+            "timeouts": 2000,
+            "events": 100050,
+            "wall_s": 0.3,
+            "events_per_s": 333500.0,
+        },
         "results": [
             {
                 "workers": 1,
@@ -40,6 +56,10 @@ def snapshot(**overrides):
         ],
     }
     base.update(overrides)
+    if base["schema"] != BENCH_SCHEMA:
+        # Older schemas predate the per-workload and kernel sections.
+        base.pop("workload_results", None)
+        base.pop("kernel", None)
     return base
 
 
@@ -95,13 +115,47 @@ class TestValidateBench:
         with pytest.raises(ValueError, match="base.json"):
             validate_bench([], source="base.json")
 
+    def test_v3_requires_workload_results_and_kernel(self):
+        bad = snapshot()
+        del bad["workload_results"], bad["kernel"]
+        with pytest.raises(ValueError, match="workload_results"):
+            validate_bench(bad)
+
+    def test_v2_accepted_without_v3_keys(self):
+        validate_bench(snapshot(schema=BENCH_SCHEMA_V2))
+
 
 class TestMigrateBench:
-    def test_v2_returned_as_copy(self):
+    def test_v3_returned_as_copy(self):
         original = snapshot()
         migrated = migrate_bench(original)
         assert migrated == original
         assert migrated is not original
+
+    def test_v2_gains_empty_workload_and_kernel_sections(self):
+        migrated = migrate_bench(snapshot(schema=BENCH_SCHEMA_V2))
+        assert migrated["schema"] == BENCH_SCHEMA
+        assert migrated["migrated_from"] == BENCH_SCHEMA_V2
+        assert migrated["workload_results"] == []
+        assert migrated["kernel"] is None
+
+    def test_v1_chains_through_v2_to_v3(self):
+        v1 = snapshot(
+            schema=BENCH_SCHEMA_V1,
+            cpu_count=2,
+            results=[
+                {"workers": 1, "wall_s": 2.0, "events_per_s": 500.0,
+                 "speedup_vs_serial": 1.0},
+                {"workers": 8, "wall_s": 3.0, "events_per_s": 300.0,
+                 "speedup_vs_serial": 0.7},
+            ],
+        )
+        migrated = migrate_bench(v1)
+        assert migrated["schema"] == BENCH_SCHEMA
+        assert migrated["migrated_from"] == BENCH_SCHEMA_V1
+        assert migrated["results"][1]["skipped"] is True
+        assert migrated["workload_results"] == []
+        assert migrated["kernel"] is None
 
     def test_v1_oversubscribed_entries_demoted(self):
         v1 = snapshot(
@@ -249,6 +303,44 @@ class TestCompareBench:
         result = compare_bench(snapshot(), snapshot(platform="other"))
         assert result.ok
         assert any("platform differs" in n for n in result.notes)
+
+    def test_cpu_count_mismatch_refused_while_gate_armed(self):
+        result = compare_bench(snapshot(), snapshot(cpu_count=1))
+        assert not result.ok
+        assert any("cpu_count mismatch" in p for p in result.problems)
+        assert any("--tolerance 0" in p for p in result.problems)
+
+    def test_cpu_count_mismatch_noted_with_gate_off(self):
+        result = compare_bench(
+            snapshot(), snapshot(cpu_count=1), tolerance=0
+        )
+        assert result.ok
+        assert any("cpu_count differs" in n for n in result.notes)
+
+    def test_cpu_count_mismatch_skips_throughput_gate(self):
+        # Even a catastrophic apparent slowdown is not gated when the
+        # hosts differ — that is exactly the comparison being refused.
+        slow = snapshot(
+            cpu_count=1,
+            results=[
+                {"workers": 1, "wall_s": 100.0, "events_per_s": 10.0,
+                 "speedup_vs_serial": 1.0}
+            ],
+        )
+        result = compare_bench(snapshot(), slow, tolerance=0.5)
+        assert not any("regressed" in p for p in result.problems)
+        assert any("cpu_count mismatch" in p for p in result.problems)
+
+    def test_kernel_throughput_noted(self):
+        result = compare_bench(snapshot(), snapshot())
+        assert any("kernel microbench" in n for n in result.notes)
+
+    def test_kernel_note_absent_for_migrated_baseline(self):
+        result = compare_bench(
+            snapshot(schema=BENCH_SCHEMA_V2), snapshot()
+        )
+        assert result.ok
+        assert not any("kernel microbench" in n for n in result.notes)
 
     def test_empty_checkresult_is_ok(self):
         assert CheckResult().ok
