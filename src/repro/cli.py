@@ -61,7 +61,8 @@ def _fig2(args) -> None:
     from repro.metrics.plot import ascii_chart
 
     results = run_limit_study(
-        requests=args.requests, n_workers=args.workers
+        requests=args.requests, n_workers=args.workers,
+        shards=args.shards,
     )
     print(format_figure2(results))
     labels = [f"{edge:g}" for edge in RESPONSE_TIME_EDGES_MS] + ["200+"]
@@ -87,7 +88,10 @@ def _fig3(args) -> None:
 
     print(
         format_figure3(
-            run_limit_study(requests=args.requests, n_workers=args.workers)
+            run_limit_study(
+                requests=args.requests, n_workers=args.workers,
+                shards=args.shards,
+            )
         )
     )
 
@@ -143,7 +147,10 @@ def _fig6(args) -> None:
 
     print(
         format_figure6(
-            run_rpm_study(requests=args.requests, n_workers=args.workers)
+            run_rpm_study(
+                requests=args.requests, n_workers=args.workers,
+                shards=args.shards,
+            )
         )
     )
 
@@ -153,7 +160,10 @@ def _fig7(args) -> None:
 
     print(
         format_figure7(
-            run_rpm_study(requests=args.requests, n_workers=args.workers)
+            run_rpm_study(
+                requests=args.requests, n_workers=args.workers,
+                shards=args.shards,
+            )
         )
     )
 
@@ -166,7 +176,8 @@ def _fig8(args) -> None:
     )
 
     result = run_raid_study(
-        requests=args.requests, n_workers=args.workers
+        requests=args.requests, n_workers=args.workers,
+        shards=args.shards,
     )
     print(format_figure8_performance(result))
     print()
@@ -317,6 +328,7 @@ def _faults(args) -> None:
         fault_seed=args.fault_seed,
         plan=plan,
         n_workers=args.workers,
+        shards=args.shards,
     )
     print(format_reliability_summary(result))
     print()
@@ -380,6 +392,7 @@ def _profile(args) -> None:
             workloads=args.workloads,
             top=args.top,
             sort=args.sort,
+            shards=args.shards,
         )
     except ValueError as error:
         raise SystemExit(f"profile: {error}")
@@ -510,7 +523,8 @@ def _simulate(args) -> None:
     rows = []
     if args.md:
         env = Environment()
-        result = run_trace(env, build_md_system(env, workload), trace)
+        result = run_trace(env, build_md_system(env, workload), trace,
+                           shards=args.shards)
         rows.append(
             ("MD", result.mean_response_ms, result.percentile(90),
              result.power.total_watts)
@@ -519,7 +533,7 @@ def _simulate(args) -> None:
     system = build_hcsd_system(
         env, workload, actuators=args.actuators, rpm=args.rpm
     )
-    result = run_trace(env, system, trace)
+    result = run_trace(env, system, trace, shards=args.shards)
     rows.append(
         (
             system.label,
@@ -565,6 +579,18 @@ def build_parser() -> argparse.ArgumentParser:
                 "worker processes for independent runs (default 1 = "
                 "in-process; 0 = all cores); results are identical for "
                 "any worker count"
+            ),
+        )
+        command.add_argument(
+            "--shards",
+            type=int,
+            default=1,
+            help=(
+                "engine shards per simulation (default 1 = serial "
+                "kernel); > 1 partitions each run's drives across "
+                "forked event-loop shards, composing with --workers; "
+                "figures are bit-identical for any shard count (see "
+                "docs/parallelism.md)"
             ),
         )
         command.add_argument(

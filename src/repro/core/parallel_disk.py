@@ -299,7 +299,17 @@ class ParallelDisk(ConventionalDrive):
                 arm.arm_id,
                 retry=penalty,
             )
-        yield self.env.timeout(overhead + seek + rotation + transfer + penalty)
+        total = overhead + seek + rotation + transfer + penalty
+        # Stamped before the timeout (every phase is fixed here and the
+        # request is unobserved while in service) so the sharded kernel
+        # can report the completion, fields included, at dispatch.
+        request.seek_time = seek
+        request.rotational_latency = rotation
+        request.transfer_time = transfer
+        request.arm_id = arm.arm_id
+        if self.dispatch_listener is not None:
+            self.dispatch_listener(request, total)
+        yield self.env.timeout(total)
         self.stats.transfer_ms += overhead
         self.stats.seek_ms += seek
         self.stats.record_arm_seek(arm.arm_id, seek)
@@ -311,16 +321,30 @@ class ParallelDisk(ConventionalDrive):
         self.stats.transfer_ms += transfer
         self.stats.sectors_transferred += request.size
 
-        request.seek_time = seek
-        request.rotational_latency = rotation
-        request.transfer_time = transfer
-        request.arm_id = arm.arm_id
         arm.record_service(seek)
         arm.move_to(
             self.geometry.cylinder_of_lba(request.lba + request.size - 1)
         )
         self._current_cylinder = arm.cylinder
         self._update_cache(request)
+
+    def min_service_ms(self) -> float:
+        """Conservative lookahead, tightened for surface parallelism.
+
+        With ``m`` surfaces streaming simultaneously the one-sector
+        media floor shrinks to ``period / (max_spt * m)`` (head-switch
+        and track-to-track terms only ever add).  Per-shard arm
+        scheduling does not weaken the bound: whichever arm the SPTF
+        pick selects, its seek and rotation are non-negative.
+        """
+        bus_ms = (512 / self.spec.bus_bytes_per_s) * 1000.0
+        max_spt = max(
+            zone.sectors_per_track for zone in self.geometry.zones
+        )
+        media_ms = self.spindle.period_ms / (
+            max_spt * max(1, self.config.surfaces)
+        )
+        return self.spec.controller_overhead_ms + min(bus_ms, media_ms)
 
     def _transfer_time(self, request: IORequest) -> float:
         """Transfer time, accelerated by surface-level parallelism.

@@ -193,6 +193,17 @@ class ConventionalDrive:
             self._wire_cache_telemetry()
         #: Callbacks invoked with each completed request.
         self.on_complete: List[Callable[[IORequest], None]] = []
+        #: Optional hook called as ``listener(request, total_ms)`` at
+        #: dispatch, after every service phase duration (and therefore
+        #: the completion instant ``now + total_ms``) is fixed and the
+        #: request's measurement fields are stamped, but before the
+        #: service timeout is issued.  The sharded kernel uses this to
+        #: report scheduled completions to the controller ahead of
+        #: their firing; ``None`` (the default) costs one attribute
+        #: load and a branch per service.
+        self.dispatch_listener: Optional[
+            Callable[[IORequest, float], None]
+        ] = None
 
         self._pending: List[IORequest] = []
         self._completions: Dict[int, Event] = {}
@@ -237,6 +248,31 @@ class ConventionalDrive:
         if self._wakeup is not None and not self._wakeup.triggered:
             self._wakeup.succeed()
         return completion
+
+    def min_service_ms(self) -> float:
+        """Provable lower bound on any single service duration (> 0).
+
+        This is the conservative lookahead of the sharded kernel: no
+        request dispatched at time ``t`` can complete before ``t +
+        min_service_ms()``.  Every service path pays the controller
+        overhead plus at least the cheaper of
+
+        * one sector over the bus (the cache-hit floor), or
+        * one sector streamed off the fastest (outermost) zone — seek,
+          settle, rotational latency and retry penalties only add to
+          the media path, and a transfer covers at least one sector at
+          no more than the maximum sectors-per-track rate.
+
+        Both terms are strictly positive, so the bound is usable as a
+        PDES lookahead.  Scaled seeks/rotation (the limit-study knobs)
+        can only reduce terms this bound already excludes.
+        """
+        bus_ms = (512 / self.spec.bus_bytes_per_s) * 1000.0
+        max_spt = max(
+            zone.sectors_per_track for zone in self.geometry.zones
+        )
+        media_ms = self.spindle.period_ms / max_spt
+        return self.spec.controller_overhead_ms + min(bus_ms, media_ms)
 
     def inject_media_error(
         self, attempts: int = 1, lba: Optional[int] = None
@@ -402,9 +438,15 @@ class ConventionalDrive:
                 (self.label, "cache"),
                 args=self._span_args(request),
             )
-        yield self.env.timeout(total)
+        # The completion instant is fixed here, so the measurement
+        # fields can be stamped before the timeout: nothing observes
+        # the request while it is in service, and the sharded kernel
+        # needs a fully described completion at dispatch time.
         request.cache_hit = True
         request.transfer_time = bus_ms
+        if self.dispatch_listener is not None:
+            self.dispatch_listener(request, total)
+        yield self.env.timeout(total)
         self.stats.transfer_ms += total
         self.stats.cache_hits += 1
 
@@ -440,7 +482,17 @@ class ConventionalDrive:
                 request, self.env.now, overhead, seek, rotation, transfer, 0,
                 retry=penalty,
             )
-        yield self.env.timeout(overhead + seek + rotation + transfer + penalty)
+        total = overhead + seek + rotation + transfer + penalty
+        # Stamped before the timeout: every phase is fixed at dispatch
+        # (see the combined-timeout comment above) and nothing reads
+        # the request mid-service, so the sharded kernel can report the
+        # completion — fields included — the moment it is scheduled.
+        request.seek_time = seek
+        request.rotational_latency = rotation
+        request.transfer_time = transfer
+        if self.dispatch_listener is not None:
+            self.dispatch_listener(request, total)
+        yield self.env.timeout(total)
         self.stats.transfer_ms += overhead  # overhead billed as transfer
         self.stats.seek_ms += seek
         self.stats.record_arm_seek(request.arm_id, seek)
@@ -454,9 +506,6 @@ class ConventionalDrive:
         self.stats.transfer_ms += transfer
         self.stats.sectors_transferred += request.size
 
-        request.seek_time = seek
-        request.rotational_latency = rotation
-        request.transfer_time = transfer
         self._current_cylinder = self.geometry.cylinder_of_lba(
             request.lba + request.size - 1
         )

@@ -86,6 +86,7 @@ def _cell_job(
     requests: int,
     footprint_fraction: float,
     seed: int,
+    shards: int = 1,
 ) -> RunResult:
     """One (inter-arrival, actuators, disks) cell (executes in a worker)."""
     env = Environment()
@@ -97,7 +98,7 @@ def _cell_job(
         seed=seed,
     )
     trace = workload.generate(requests)
-    return run_trace(env, system, trace)
+    return run_trace(env, system, trace, shards=shards)
 
 
 def run_raid_study(
@@ -108,11 +109,13 @@ def run_raid_study(
     footprint_fraction: float = DEFAULT_FOOTPRINT_FRACTION,
     seed: int = 99,
     n_workers: int = 1,
+    shards: int = 1,
 ) -> RaidStudyResult:
     jobs = [
         Job(
             _cell_job,
-            (ia_ms, actuators, disks, requests, footprint_fraction, seed),
+            (ia_ms, actuators, disks, requests, footprint_fraction, seed,
+             shards),
             key=(ia_ms, actuators, disks),
         )
         for ia_ms in interarrivals_ms

@@ -18,6 +18,7 @@ from repro.obs.tracer import tracer_for
 from repro.power.accounting import PowerBreakdown, array_power
 from repro.raid.array import DiskArray
 from repro.sim.engine import Environment
+from repro.sim.sharded import ShardedEngine, sharding_available
 from repro.workloads.trace import Trace
 
 __all__ = ["RunResult", "run_trace"]
@@ -54,6 +55,7 @@ def run_trace(
     keep_samples: bool = True,
     label: Optional[str] = None,
     warmup_fraction: float = 0.0,
+    shards: int = 1,
 ) -> RunResult:
     """Replay ``trace`` against ``system`` and collect measurements.
 
@@ -64,11 +66,21 @@ def run_trace(
     ``warmup_fraction`` discards the first fraction of completions
     from the collector (cold caches, parked arms), for steady-state
     measurements; power accounting always covers the whole run.
+
+    ``shards`` > 1 runs the simulation on the sharded kernel
+    (:mod:`repro.sim.sharded`): one forked engine shard per drive
+    group, merged conservatively so every figure is bit-identical to
+    the serial kernel.  Falls back to the serial kernel when fork is
+    unavailable on the platform.
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise ValueError(
             f"warmup_fraction must be in [0, 1), got {warmup_fraction}"
         )
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if shards > 1 and not sharding_available():
+        shards = 1
     collector = RequestCollector(keep_samples=keep_samples)
     warmup_remaining = int(len(trace) * warmup_fraction)
     warmed_up = 0
@@ -113,6 +125,11 @@ def run_trace(
     # is always called after its spec, across four workloads).
     run_label = label or system.label
     tracer = tracer_for(env)
+    # Construct the sharded engine before the producer process exists:
+    # it only validates here; the fork happens inside engine.run(), by
+    # which point the producer must already be on the schedule (shard
+    # workers purge it from their inherited copy).
+    engine = ShardedEngine(env, system, shards) if shards > 1 else None
     env.process(producer())
     with tracer.scope(run_label):
         if tracer.enabled:
@@ -122,7 +139,10 @@ def run_trace(
                 (system.label, "run"),
                 args={"requests": len(fresh)},
             )
-        env.run()
+        if engine is not None:
+            engine.run()
+        else:
+            env.run()
         if tracer.enabled:
             tracer.instant(
                 "run-end",

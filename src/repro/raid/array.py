@@ -92,6 +92,7 @@ class DiskArray:
         self.deadline_misses = 0
         self.unrecovered_requests = 0
         self.aborted_requests = 0
+        self._external_feedback = False
 
     # -- drive-like interface -------------------------------------------------
     @property
@@ -101,6 +102,42 @@ class DiskArray:
     @property
     def outstanding(self) -> int:
         return len(self._outstanding)
+
+    @property
+    def needs_lockstep(self) -> bool:
+        """True when the controller reacts to completions with new work.
+
+        The sharded kernel (:mod:`repro.sim.sharded`) keys its window
+        protocol off this: a retry policy resubmits slices after a
+        completion reports a media error, and a multi-phase layout
+        (RAID-5 read-modify-write, rebuild traffic) issues phase-1
+        writes only once phase-0 reads complete.  Either way drive work
+        is created *in reaction to* drive completions, so shards must
+        advance in bounded lockstep windows.  Feedback-free
+        configurations — every single-phase layout without a retry
+        policy, including degraded/aborted runs on non-redundant
+        layouts — can run each shard to exhaustion in one window.
+
+        External actors that react to simulated time with array-level
+        state changes (a fault injector that fails whole drives or
+        starts rebuilds) must call :meth:`declare_external_feedback`
+        so their reactions also interleave exactly.
+        """
+        return (
+            self.retry_policy is not None
+            or self.layout.feedback_phases
+            or self._external_feedback
+        )
+
+    def declare_external_feedback(self) -> None:
+        """Force lockstep windows under the sharded kernel.
+
+        Called by components outside the array — the fault injector,
+        for one — whose mid-run reactions (``fail_drive``, ``rebuild``)
+        read or abort in-flight completions and therefore must observe
+        them in strict global time order.
+        """
+        self._external_feedback = True
 
     def capacity_sectors(self) -> int:
         return self.layout.capacity_sectors()

@@ -506,6 +506,30 @@ class Environment:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._queue[0][0] if self._queue else float("inf")
 
+    def schedule_at(
+        self, event: Event, time: float, priority: int = NORMAL
+    ) -> None:
+        """Place an already-triggered ``event`` on the schedule at an
+        absolute ``time``.
+
+        This is the cross-shard injection primitive used by the sharded
+        coordinator (:mod:`repro.sim.sharded`): a completion that fired
+        inside a shard is re-materialised in the controller environment
+        at its exact firing time, taking a fresh sequence number so it
+        orders after events already scheduled for the same instant —
+        exactly where the serial kernel would have placed it relative
+        to work created later.  ``time`` may be earlier than ``now``;
+        the caller is the time authority and guarantees it drains the
+        schedule in time order.
+        """
+        if event._ok is None:
+            raise SimulationError(
+                "schedule_at() requires a triggered event; set its "
+                "outcome before scheduling"
+            )
+        self._eid += 1
+        heappush(self._queue, (time, priority, self._eid, event))
+
     def step(self) -> None:
         """Process the next scheduled event."""
         queue = self._queue
@@ -613,6 +637,69 @@ class Environment:
         finally:
             self._record_run_telemetry(eid_at_entry)
         return None
+
+    def run_bounded(self, bound: float) -> int:
+        """Fire every event scheduled at or before ``bound``; return how
+        many fired.
+
+        This is the window barrier of the sharded kernel: a shard
+        advances its local clock through one conservative window and
+        stops, leaving events beyond ``bound`` untouched.  Unlike
+        ``run(until=...)`` no stop event is scheduled, so calling this
+        in a loop perturbs neither event ids nor the timeout pool — a
+        run split into arbitrary ``run_bounded`` segments fires exactly
+        the events, in exactly the order, of one ``run()``.  The clock
+        is left at the last fired event, not advanced to ``bound``.
+
+        The timeout free list stays per-environment (per-shard): a
+        timeout recycled here can only be reused by this environment,
+        so pooling across window barriers cannot leak state between
+        shards.  Run-level telemetry is not recorded — the caller owns
+        the run lifecycle.
+        """
+        # Inlined step() loop, as in run(): see the comments there.
+        queue = self._queue
+        pop = heappop
+        pool_append = self._timeout_pool.append
+        fired = 0
+        while queue and queue[0][0] <= bound:
+            self._now, _, _, event = pop(queue)
+            fired += 1
+            waiter = event._waiter
+            if waiter is not None:
+                event._waiter = None
+                callbacks = event.callbacks
+                if not callbacks:
+                    event.callbacks = None
+                    if event._stale:
+                        event._stale = False
+                        self._stale_events -= 1
+                    waiter._resume(event)
+                    if event._ok is False and not event.defused:
+                        raise event._value
+                    if event._pooled:
+                        event.callbacks = callbacks
+                        pool_append(event)
+                    continue
+                event.callbacks = None
+                if event._stale:
+                    event._stale = False
+                    self._stale_events -= 1
+                waiter._resume(event)
+                for callback in callbacks:
+                    callback(event)
+                if event._ok is False and not event.defused:
+                    raise event._value
+                continue
+            callbacks, event.callbacks = event.callbacks, None
+            if event._stale:
+                event._stale = False
+                self._stale_events -= 1
+            for callback in callbacks:
+                callback(event)
+            if event._ok is False and not event.defused:
+                raise event._value
+        return fired
 
     def _record_run_telemetry(self, eid_at_entry: int) -> None:
         """Engine-level counters for an enabled tracer (no-op otherwise)."""

@@ -9,10 +9,10 @@ snapshots from the same machine and interpreter are directly
 comparable, and the recorded figure digest doubles as a regression
 check: serial and parallel runs must produce byte-identical figures.
 
-The JSON schema (``repro-bench/3``)::
+The JSON schema (``repro-bench/4``)::
 
     {
-      "schema": "repro-bench/3",
+      "schema": "repro-bench/4",
       "date": "2026-08-06",
       "python": "3.11.x ...",
       "cpu_count": 8,
@@ -36,13 +36,33 @@ The JSON schema (``repro-bench/3``)::
          "speedup_vs_serial": 1.0},
         {"workers": 4, "wall_s": ..., "events_per_s": ...,
          "speedup_vs_serial": ...}
-      ]
+      ],
+      "shard_scaling": {           # sharded-kernel scaling curve
+        "disks": 16, "interarrival_ms": 4.0, "requests": ...,
+        "events": ...,             # serial engine events for the cell
+        "figures_sha256": "...",   # digest of the serial cell figures
+        "figures_identical": true, # every shard count reproduced it
+        "results": [
+          {"shards": 1, "wall_s": ..., "events_per_s": ...,
+           "speedup_vs_serial": 1.0},
+          {"shards": 2, "skipped": true, "reason": "...",
+           "figures_identical": true},
+          ...
+        ]
+      }
     }
 
 Schema history: v3 added the per-workload serial breakdown and the
 engine-kernel microbenchmark (migrated v1/v2 snapshots carry an empty
 ``workload_results`` and a ``null`` kernel — the data cannot be
-reconstructed from older runs).
+reconstructed from older runs).  v4 added the sharded-kernel scaling
+curve — one 16-drive RAID-0 cell run at 1/2/4 engine shards — with
+the same host-honesty rule as the worker sweep: shard counts above
+``cpu_count`` (or on hosts without ``fork``) are never *timed*, but
+every shard count that can run at all is still *executed* once so its
+figure digest is checked against the serial cell (bit-identity is
+host-independent; wall-clocks are not).  Migrated v1/v2/v3 snapshots
+carry a ``null`` ``shard_scaling``.
 
 Worker counts above ``cpu_count`` are never timed: on an oversubscribed
 host a "parallel" pass measures scheduler contention, not speedup (a
@@ -66,12 +86,18 @@ import platform
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.configs import build_hcsd_system, build_md_system
+from repro.experiments.configs import (
+    build_hcsd_system,
+    build_md_system,
+    build_raid0_system,
+)
 from repro.experiments.executor import Job, resolve_workers, sweep
 from repro.experiments.runner import run_trace
 from repro.metrics.report import format_table
 from repro.sim.engine import Environment
+from repro.sim.sharded import sharding_available
 from repro.workloads.commercial import COMMERCIAL_WORKLOADS
+from repro.workloads.synthetic import SyntheticWorkload
 
 __all__ = [
     "format_bench",
@@ -79,11 +105,13 @@ __all__ = [
     "migrate_bench",
     "run_bench",
     "run_kernel_bench",
+    "run_shard_bench",
     "validate_bench",
     "write_bench",
 ]
 
-BENCH_SCHEMA = "repro-bench/3"
+BENCH_SCHEMA = "repro-bench/4"
+BENCH_SCHEMA_V3 = "repro-bench/3"
 BENCH_SCHEMA_V2 = "repro-bench/2"
 BENCH_SCHEMA_V1 = "repro-bench/1"
 
@@ -213,6 +241,143 @@ def run_kernel_bench(
     }
 
 
+#: Shard-scaling cell shape: the busiest Figure 8 array size — a
+#: 16-drive RAID-0 under a 4 ms open arrival stream — which is the
+#: configuration the sharded kernel exists for (16 drive groups to
+#: partition, a deep controller queue to overlap).
+SHARD_COUNTS = (1, 2, 4)
+SHARD_DISKS = 16
+SHARD_INTERARRIVAL_MS = 4.0
+SHARD_REQUESTS = 2000
+
+
+def _shard_pass(requests: int, shards: int) -> Tuple[int, List]:
+    """Run the shard-scaling cell once; returns (events, figures).
+
+    The figures tuple deliberately covers every figure family a study
+    derives from a run — mean, p90, total power and the full
+    response-time CDF — so digest equality means the sharded kernel
+    reproduced the *publication output*, not just a summary statistic.
+    """
+    env = Environment()
+    system = build_raid0_system(env, SHARD_DISKS)
+    workload = SyntheticWorkload(
+        capacity_sectors=system.capacity_sectors(),
+        mean_interarrival_ms=SHARD_INTERARRIVAL_MS,
+        footprint_fraction=0.02,
+        seed=99,
+    )
+    trace = workload.generate(requests)
+    run = run_trace(env, system, trace, shards=shards)
+    figures = [
+        run.mean_response_ms,
+        run.percentile(90),
+        run.power.total_watts,
+        list(run.response_cdf()),
+    ]
+    return env.total_events, figures
+
+
+def _shard_digest(figures: List) -> str:
+    payload = json.dumps(figures, sort_keys=True)
+    return hashlib.sha256(payload.encode("ascii")).hexdigest()
+
+
+def run_shard_bench(
+    requests: int = SHARD_REQUESTS,
+    shard_counts: Sequence[int] = SHARD_COUNTS,
+    repeats: int = 3,
+) -> Dict:
+    """Time the sharded-kernel scaling curve; returns the v4 section.
+
+    ``shards=1`` (the serial fast path) is always timed, best of
+    ``repeats``.  Higher shard counts follow the host-honesty rule of
+    the worker sweep: a count above ``cpu_count`` is *executed* once —
+    its figure digest against the serial run is the correctness check,
+    and that holds on any host — but its wall-clock is recorded as a
+    skipped entry, because forked shards time-slicing one core measure
+    scheduler contention, not the kernel.  Hosts without the ``fork``
+    start method skip the sharded runs entirely.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if requests < 1:
+        raise ValueError(f"requests must be >= 1, got {requests}")
+    counts = list(shard_counts)
+    if not counts or counts[0] != 1:
+        counts = [1] + [count for count in counts if count != 1]
+    cpu = os.cpu_count() or 1
+
+    serial_wall = float("inf")
+    events = 0
+    serial_figures: Optional[List] = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        events, serial_figures = _shard_pass(requests, 1)
+        serial_wall = min(serial_wall, time.perf_counter() - start)
+    digest = _shard_digest(serial_figures)
+
+    identical = True
+    results: List[Dict] = [
+        {
+            "shards": 1,
+            "wall_s": round(serial_wall, 6),
+            "events_per_s": round(events / serial_wall, 1),
+            "speedup_vs_serial": 1.0,
+        }
+    ]
+    for count in counts[1:]:
+        if not sharding_available():
+            results.append(
+                {
+                    "shards": count,
+                    "skipped": True,
+                    "reason": "fork start method unavailable",
+                }
+            )
+            continue
+        if count > cpu:
+            _, figures = _shard_pass(requests, count)
+            matches = _shard_digest(figures) == digest
+            identical = identical and matches
+            results.append(
+                {
+                    "shards": count,
+                    "skipped": True,
+                    "reason": f"exceeds cpu_count={cpu}",
+                    "figures_identical": matches,
+                }
+            )
+            continue
+        wall = float("inf")
+        matches = True
+        for _ in range(repeats):
+            start = time.perf_counter()
+            _, figures = _shard_pass(requests, count)
+            wall = min(wall, time.perf_counter() - start)
+            matches = matches and _shard_digest(figures) == digest
+        identical = identical and matches
+        results.append(
+            {
+                "shards": count,
+                "wall_s": round(wall, 6),
+                "events_per_s": round(events / wall, 1),
+                "speedup_vs_serial": round(serial_wall / wall, 3),
+                "figures_identical": matches,
+            }
+        )
+
+    return {
+        "disks": SHARD_DISKS,
+        "interarrival_ms": SHARD_INTERARRIVAL_MS,
+        "requests": requests,
+        "events": events,
+        "figures_sha256": digest,
+        "figures_identical": identical,
+        "results": results,
+    }
+
+
 def run_bench(
     requests: int = 6000,
     workers: int = 1,
@@ -325,6 +490,12 @@ def run_bench(
         "workload_results": workload_results,
         "kernel": run_kernel_bench(repeats=repeats),
         "results": results,
+        # The scaling cell tracks the caller's request budget (capped
+        # at its reference size) so a smoke-sized bench stays smoke
+        # sized while the committed baseline records the full curve.
+        "shard_scaling": run_shard_bench(
+            requests=min(requests, SHARD_REQUESTS), repeats=repeats
+        ),
     }
 
 
@@ -386,6 +557,44 @@ def format_bench(result: Dict) -> str:
             f"events/s ({kernel['processes']} processes x "
             f"{kernel['timeouts']} timeouts)"
         )
+    shard_scaling = result.get("shard_scaling")
+    if shard_scaling:
+        shard_rows = [
+            (
+                entry["shards"],
+                entry["wall_s"],
+                entry["events_per_s"],
+                entry["speedup_vs_serial"],
+            )
+            for entry in shard_scaling["results"]
+            if not entry.get("skipped")
+        ]
+        lines.append(
+            format_table(
+                ["shards", "wall_s", "events_per_s", "speedup"],
+                shard_rows,
+                title=(
+                    f"Sharded kernel: {shard_scaling['disks']}-drive "
+                    f"RAID-0, {shard_scaling['requests']} requests, "
+                    f"{shard_scaling['interarrival_ms']:g} ms arrivals"
+                ),
+                float_format="{:.3f}",
+            )
+        )
+        lines.append(
+            "sharded figures identical to serial: "
+            f"{shard_scaling['figures_identical']}"
+        )
+        lines.extend(
+            f"skipped shards={entry['shards']}: {entry['reason']}"
+            + (
+                " (figures verified identical)"
+                if entry.get("figures_identical")
+                else ""
+            )
+            for entry in shard_scaling["results"]
+            if entry.get("skipped")
+        )
     lines.extend(
         f"skipped workers={entry['workers']}: {entry['reason']}"
         for entry in skipped
@@ -405,18 +614,26 @@ def validate_bench(snapshot: Dict, source: str = "snapshot") -> None:
     schema = snapshot.get("schema")
     if schema is None:
         raise ValueError(f"{source}: missing 'schema' field")
-    if schema not in (BENCH_SCHEMA, BENCH_SCHEMA_V2, BENCH_SCHEMA_V1):
+    supported = (
+        BENCH_SCHEMA,
+        BENCH_SCHEMA_V3,
+        BENCH_SCHEMA_V2,
+        BENCH_SCHEMA_V1,
+    )
+    if schema not in supported:
         raise ValueError(
-            f"{source}: unsupported schema {schema!r} (expected "
-            f"{BENCH_SCHEMA}, {BENCH_SCHEMA_V2} or {BENCH_SCHEMA_V1})"
+            f"{source}: unsupported schema {schema!r} (expected one "
+            f"of {', '.join(supported)})"
         )
     missing = [key for key in REQUIRED_KEYS if key not in snapshot]
-    if schema == BENCH_SCHEMA:
+    if schema in (BENCH_SCHEMA, BENCH_SCHEMA_V3):
         missing.extend(
             key
             for key in ("workload_results", "kernel")
             if key not in snapshot
         )
+    if schema == BENCH_SCHEMA and "shard_scaling" not in snapshot:
+        missing.append("shard_scaling")
     if missing:
         raise ValueError(f"{source}: missing keys {missing}")
     if not isinstance(snapshot["results"], list) or not snapshot["results"]:
@@ -433,7 +650,7 @@ def validate_bench(snapshot: Dict, source: str = "snapshot") -> None:
 
 
 def migrate_bench(snapshot: Dict) -> Dict:
-    """Normalise a snapshot to the current ``repro-bench/3`` schema.
+    """Normalise a snapshot to the current ``repro-bench/4`` schema.
 
     Migrations chain version by version:
 
@@ -447,6 +664,9 @@ def migrate_bench(snapshot: Dict) -> Dict:
       run, so migrated snapshots carry an empty ``workload_results``
       list and a ``None`` kernel; consumers treat both as "not
       recorded".
+    * **v3 → v4** — the sharded-kernel scaling curve.  Older runs
+      never executed the sharded kernel, so migrated snapshots carry
+      a ``None`` ``shard_scaling``.
 
     The result is stamped with the schema it now satisfies plus the
     schema it ``migrated_from``.  Current-schema snapshots are
@@ -480,6 +700,9 @@ def migrate_bench(snapshot: Dict) -> Dict:
     if migrated["schema"] == BENCH_SCHEMA_V2:
         migrated["workload_results"] = []
         migrated["kernel"] = None
+        migrated["schema"] = BENCH_SCHEMA_V3
+    if migrated["schema"] == BENCH_SCHEMA_V3:
+        migrated["shard_scaling"] = None
         migrated["schema"] = BENCH_SCHEMA
     migrated["migrated_from"] = original
     return migrated
@@ -489,8 +712,8 @@ def load_bench(path: str) -> Dict:
     """Read, validate and migrate a bench snapshot from ``path``.
 
     Unknown or missing schemas raise ``ValueError`` (no more silently
-    comparing incompatible snapshots); v1/v2 snapshots come back
-    migrated to ``repro-bench/3``.
+    comparing incompatible snapshots); v1/v2/v3 snapshots come back
+    migrated to ``repro-bench/4``.
     """
     with open(path, encoding="utf-8") as handle:
         try:

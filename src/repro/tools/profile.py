@@ -10,7 +10,10 @@ its time in.
 
 ``--json`` emits the same entries as machine-readable JSON, so a CI
 step (or a notebook) can diff successive profiles without scraping
-pstats' text layout.
+pstats' text layout.  For the kernel target, ``--shards N`` times the
+microbenchmark one shard partition at a time and reports a row per
+shard (``kernel_shards`` in the JSON); ``--shards 1`` is the classic
+single-kernel microbenchmark, bit-for-bit.
 """
 
 from __future__ import annotations
@@ -18,7 +21,8 @@ from __future__ import annotations
 import cProfile
 import io
 import pstats
-from typing import Dict, List, Optional, Sequence
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["format_profile", "run_profile"]
 
@@ -51,18 +55,45 @@ def _profile_bench(
     return profiler
 
 
-def _profile_kernel() -> cProfile.Profile:
+def _profile_kernel(
+    shards: int = 1,
+) -> Tuple[cProfile.Profile, List[Dict]]:
+    """Profile the engine kernel, one pass per shard partition.
+
+    The kernel workload is partitioned the way the sharded engine
+    partitions drives: striped, so ``shards`` kernels each run their
+    share of the ``KERNEL_PROCESSES`` timeout cycles on a private
+    environment.  Each shard's pass is timed individually and returned
+    as a row.  With ``shards=1`` the single row *is* the classic
+    kernel microbenchmark — same call, same event count — so existing
+    profile consumers see unchanged numbers.
+    """
     from repro.tools.bench import (
         KERNEL_PROCESSES,
         KERNEL_TIMEOUTS,
         _kernel_pass,
     )
 
+    rows: List[Dict] = []
     profiler = cProfile.Profile()
     profiler.enable()
-    _kernel_pass(KERNEL_PROCESSES, KERNEL_TIMEOUTS)
+    for shard in range(shards):
+        processes = len(range(shard, KERNEL_PROCESSES, shards))
+        start = time.perf_counter()
+        events = _kernel_pass(processes, KERNEL_TIMEOUTS)
+        wall = time.perf_counter() - start
+        rows.append(
+            {
+                "shard": shard,
+                "processes": processes,
+                "timeouts": KERNEL_TIMEOUTS,
+                "events": events,
+                "wall_s": round(wall, 6),
+                "events_per_s": round(events / wall, 1),
+            }
+        )
     profiler.disable()
-    return profiler
+    return profiler, rows
 
 
 def run_profile(
@@ -71,12 +102,17 @@ def run_profile(
     workloads: Optional[Sequence[str]] = None,
     top: int = 25,
     sort: str = "cumulative",
+    shards: int = 1,
 ) -> Dict:
     """Profile ``target`` and return the top-``top`` entries.
 
     Returns ``{"target", "requests", "total_time_s", "total_calls",
-    "sort", "entries"}`` where each entry carries the function's
-    location, call counts and timings — plain data, JSON-ready.
+    "sort", "entries", "shards", "kernel_shards"}`` where each entry
+    carries the function's location, call counts and timings — plain
+    data, JSON-ready.  For the kernel target, ``kernel_shards`` holds
+    one timed microbenchmark row per shard partition (``shards=1``
+    reproduces the classic single-kernel row exactly); the bench
+    target reports ``kernel_shards: None``.
     """
     if target not in TARGETS:
         raise ValueError(
@@ -90,10 +126,13 @@ def run_profile(
         raise ValueError(f"top must be >= 1, got {top}")
     if requests < 1:
         raise ValueError(f"requests must be >= 1, got {requests}")
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    kernel_shards: Optional[List[Dict]] = None
     if target == "bench":
         profiler = _profile_bench(requests, workloads)
     else:
-        profiler = _profile_kernel()
+        profiler, kernel_shards = _profile_kernel(shards)
 
     stats = pstats.Stats(profiler, stream=io.StringIO())
     total_calls = stats.total_calls
@@ -129,6 +168,8 @@ def run_profile(
         "target": target,
         "requests": requests if target == "bench" else None,
         "sort": sort,
+        "shards": shards if target == "kernel" else None,
+        "kernel_shards": kernel_shards,
         "total_calls": total_calls,
         "total_time_s": round(total_time, 6),
         "entries": entries[:top],
@@ -171,4 +212,12 @@ def format_profile(result: Dict) -> str:
         f"total: {result['total_calls']} calls in "
         f"{result['total_time_s']:.3f}s"
     )
-    return f"{table}\n{footer}"
+    lines = [table, footer]
+    for row in result.get("kernel_shards") or []:
+        lines.append(
+            f"shard {row['shard']}: {row['events']} events in "
+            f"{row['wall_s']:.3f}s = {row['events_per_s']:.0f} "
+            f"events/s ({row['processes']} processes x "
+            f"{row['timeouts']} timeouts)"
+        )
+    return "\n".join(lines)

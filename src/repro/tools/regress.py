@@ -6,7 +6,9 @@ against the committed snapshot.  Three classes of check:
 
 * **Correctness (hard).**  Both snapshots must validate against the
   bench schema, the current run's serial and parallel figures must be
-  bit-identical (``figures_identical``), and — when the two snapshots
+  bit-identical (``figures_identical``), the sharded kernel must have
+  reproduced the serial cell bit-for-bit
+  (``shard_scaling.figures_identical``), and — when the two snapshots
   ran the same workloads at the same request count — the figure
   digests must match exactly.  The simulation is deterministic across
   machines and Python versions, so a digest mismatch means the
@@ -16,10 +18,11 @@ against the committed snapshot.  Three classes of check:
   with hardware and interpreter; the gate fails only when the current
   run falls below ``tolerance`` × baseline (default 0.5).  Pass
   ``tolerance=0`` to report the delta without gating on it.  A
-  baseline recorded with a different ``cpu_count`` is refused while
-  the gate is armed — its wall-clocks (and which worker counts were
-  timed at all) belong to a different host class — instead of being
-  silently compared; with ``tolerance=0`` the mismatch is only noted.
+  baseline recorded with a different ``cpu_count`` belongs to a
+  different host class — its wall-clocks (and which worker counts
+  were timed at all) are not a yardstick here — so the throughput
+  gate auto-disables with a note while the correctness gates above
+  continue to apply in full.
 * **Context (informational).**  Request counts, workload sets and
   host differences are reported as notes so a CI log explains *why*
   a digest comparison was or wasn't performed.
@@ -92,6 +95,38 @@ def compare_bench(
             "(figures_identical is false) — determinism broken"
         )
 
+    current_shards = current.get("shard_scaling")
+    if current_shards and not current_shards.get(
+        "figures_identical", False
+    ):
+        result.problems.append(
+            "current run: sharded-kernel figures differ from serial "
+            "(shard_scaling.figures_identical is false) — the "
+            "conservative parallel kernel broke bit-identity"
+        )
+    baseline_shards = baseline.get("shard_scaling")
+    if (
+        current_shards
+        and baseline_shards
+        and baseline_shards["requests"] == current_shards["requests"]
+        and baseline_shards["disks"] == current_shards["disks"]
+    ):
+        if (
+            baseline_shards["figures_sha256"]
+            != current_shards["figures_sha256"]
+        ):
+            result.problems.append(
+                "shard-scaling cell digest mismatch: baseline "
+                f"{baseline_shards['figures_sha256'][:12]}… vs current "
+                f"{current_shards['figures_sha256'][:12]}… — RAID cell "
+                "output changed"
+            )
+    elif current_shards and not baseline_shards:
+        result.notes.append(
+            "shard-scaling digest not compared: baseline predates "
+            "repro-bench/4"
+        )
+
     comparable = (
         baseline["requests"] == current["requests"]
         and baseline["workloads"] == current["workloads"]
@@ -125,24 +160,17 @@ def compare_bench(
         # A baseline recorded on a different host class is not a
         # throughput yardstick: its wall-clocks (and which worker
         # counts were even timed vs skipped) reflect that machine.
-        # Refuse the gated comparison outright rather than silently
-        # comparing entries that were capped or skipped under a
-        # different cpu_count; with the gate disabled (tolerance 0)
-        # the mismatch is merely reported.
-        if tolerance > 0:
-            result.problems.append(
-                f"cpu_count mismatch: baseline recorded with "
-                f"cpu_count={base_cpu}, current host has "
-                f"cpu_count={this_cpu} — throughput not comparable; "
-                "re-record the baseline on this host or pass "
-                "--tolerance 0 to skip the throughput gate"
-            )
-        else:
-            result.notes.append(
-                f"cpu_count differs (baseline {base_cpu}, current "
-                f"{this_cpu}); throughput gate is off (tolerance 0), "
-                "reporting the delta for information only"
-            )
+        # The correctness gates (digest, event count) are host
+        # independent and still apply in full; only the throughput
+        # gate is disabled, and the mismatch is surfaced as a note so
+        # a CI log on new hardware explains why no wall-clock verdict
+        # was rendered instead of failing the whole check.
+        result.notes.append(
+            f"cpu_count differs (baseline {base_cpu}, current "
+            f"{this_cpu}); throughput gate disabled for this "
+            "comparison — re-record the baseline on this host to "
+            "re-arm it"
+        )
 
     base_rate = _serial_events_per_s(baseline)
     this_rate = _serial_events_per_s(current)

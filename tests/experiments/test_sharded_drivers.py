@@ -1,0 +1,86 @@
+"""Serial-vs-sharded digest equality for every experiment driver.
+
+The acceptance bar for the sharded kernel: ``--shards N`` produces
+bit-identical figures for the limit, RAID, RPM and reliability
+studies.  Each test runs one small cell of a driver serially and
+sharded and compares the *full* figure families — ordered samples
+where available, otherwise the complete result dict.
+"""
+
+import pytest
+
+from repro.experiments.limit_study import _limit_job
+from repro.experiments.raid_study import _cell_job
+from repro.experiments.reliability_study import run_reliability_study
+from repro.experiments.rpm_study import _design_job, _md_job
+from repro.sim.sharded import sharding_available
+from repro.workloads.commercial import COMMERCIAL_WORKLOADS
+
+pytestmark = pytest.mark.skipif(
+    not sharding_available(),
+    reason="fork start method unavailable on this platform",
+)
+
+REQUESTS = 200
+
+
+def figures(run):
+    """Every figure family a study derives from one run."""
+    return (
+        run.mean_response_ms,
+        run.percentile(90),
+        run.response_cdf(),
+        run.rotational_pdf(),
+        run.power.total_watts,
+        run.power.idle_watts,
+        run.elapsed_ms,
+        run.collector.response_times,
+    )
+
+
+class TestLimitStudySharded:
+    def test_md_and_hcsd_figures_identical(self):
+        workload = COMMERCIAL_WORKLOADS["websearch"]
+        serial = _limit_job(workload, REQUESTS, shards=1)
+        sharded = _limit_job(workload, REQUESTS, shards=2)
+        assert figures(sharded.md) == figures(serial.md)
+        assert figures(sharded.hcsd) == figures(serial.hcsd)
+        assert sharded.power_ratio == serial.power_ratio
+
+
+class TestRaidStudySharded:
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_cell_figures_identical(self, shards):
+        args = (4.0, 2, 8, REQUESTS, 0.02, 99)
+        serial = _cell_job(*args, shards=1)
+        sharded = _cell_job(*args, shards=shards)
+        assert figures(sharded) == figures(serial)
+
+
+class TestRpmStudySharded:
+    def test_md_reference_identical(self):
+        workload = COMMERCIAL_WORKLOADS["tpcc"]
+        serial = _md_job(workload, REQUESTS, shards=1)
+        sharded = _md_job(workload, REQUESTS, shards=2)
+        assert figures(sharded) == figures(serial)
+
+    def test_reduced_rpm_design_point_identical(self):
+        workload = COMMERCIAL_WORKLOADS["tpcc"]
+        serial = _design_job(workload, 2, 5200, REQUESTS, shards=1)
+        sharded = _design_job(workload, 2, 5200, REQUESTS, shards=2)
+        assert figures(sharded) == figures(serial)
+
+
+class TestReliabilityStudySharded:
+    def test_all_cells_identical(self):
+        # The reliability study is the lockstep stress case: retry
+        # policies, injected drive failures, hot-spare rebuild and arm
+        # deconfiguration all feed controller decisions back into the
+        # drives mid-run.
+        serial = run_reliability_study(requests=REQUESTS, shards=1)
+        sharded = run_reliability_study(requests=REQUESTS, shards=2)
+        for config in ("raid5", "sa"):
+            for scenario in ("healthy", "faulted"):
+                assert sharded.cell(config, scenario) == serial.cell(
+                    config, scenario
+                ), (config, scenario)

@@ -1,0 +1,268 @@
+"""Tests for the conservative sharded kernel (repro.sim.sharded).
+
+Two concerns live here:
+
+* **Merge-order determinism.**  The bit-identity guarantee rests on
+  one rule: simultaneous events — equal ``(time, priority)`` — always
+  resolve in submission (``seq``) order, no matter how the run is
+  driven.  The property tests pin that rule for a full serial run, a
+  run resumed in ``run_bounded`` segments (how shard workers advance),
+  and Timeout objects revived from the pool.
+* **Sharded execution.**  Partitioning and lookahead invariants, and
+  end-to-end runs whose ordered per-request samples must equal the
+  serial kernel's exactly.
+"""
+
+import pytest
+
+from repro.experiments.configs import build_raid0_system
+from repro.experiments.runner import run_trace
+from repro.sim.engine import Environment
+from repro.sim.sharded import (
+    ShardedEngine,
+    conservative_lookahead,
+    shard_drive_groups,
+    sharding_available,
+)
+from repro.workloads.synthetic import SyntheticWorkload
+
+needs_fork = pytest.mark.skipif(
+    not sharding_available(),
+    reason="fork start method unavailable on this platform",
+)
+
+
+class TestShardDriveGroups:
+    def test_striped_partition(self):
+        assert shard_drive_groups(8, 3) == [
+            [0, 3, 6],
+            [1, 4, 7],
+            [2, 5],
+        ]
+
+    def test_single_shard_keeps_all_drives(self):
+        assert shard_drive_groups(5, 1) == [[0, 1, 2, 3, 4]]
+
+    def test_shards_clamped_to_drive_count(self):
+        groups = shard_drive_groups(2, 8)
+        assert groups == [[0], [1]]
+
+    def test_every_drive_appears_exactly_once(self):
+        groups = shard_drive_groups(16, 5)
+        flat = sorted(index for group in groups for index in group)
+        assert flat == list(range(16))
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ValueError, match="drive_count"):
+            shard_drive_groups(0, 2)
+        with pytest.raises(ValueError, match="shards"):
+            shard_drive_groups(4, 0)
+
+
+class TestConservativeLookahead:
+    def test_lookahead_is_min_service_floor(self):
+        env = Environment()
+        system = build_raid0_system(env, 4)
+        expected = min(d.min_service_ms() for d in system.drives)
+        assert conservative_lookahead(system.drives) == expected
+        assert expected > 0.0
+
+    def test_lookahead_positive_for_multiactuator_drives(self):
+        env = Environment()
+        system = build_raid0_system(env, 2, actuators=4)
+        assert conservative_lookahead(system.drives) > 0.0
+
+
+def _tie_break_order(env, fire_log, processes=6, cycles=5):
+    """Spawn ``processes`` cycling through identical delays.
+
+    Every cycle, all processes' timeouts fire at the same simulated
+    instant with the same priority — the pure tie-break case.  Each
+    firing appends ``(tag, now)`` to ``fire_log``.
+    """
+
+    def cycle(tag):
+        for _ in range(cycles):
+            yield env.timeout(1.0)
+            fire_log.append((tag, env.now))
+
+    for tag in range(processes):
+        env.process(cycle(tag))
+
+
+class TestSimultaneousEventOrdering:
+    def test_equal_time_events_fire_in_submission_order(self):
+        env = Environment()
+        log = []
+        _tie_break_order(env, log)
+        env.run()
+        # At every instant, tags appear in creation order.
+        for step in range(5):
+            instant = log[step * 6:(step + 1) * 6]
+            assert [tag for tag, _ in instant] == list(range(6))
+            assert len({now for _, now in instant}) == 1
+
+    def test_run_bounded_segments_preserve_order(self):
+        serial_env = Environment()
+        serial_log = []
+        _tie_break_order(serial_env, serial_log)
+        serial_env.run()
+
+        segmented_env = Environment()
+        segmented_log = []
+        _tie_break_order(segmented_env, segmented_log)
+        # Resume in windows the way a shard worker advances, with
+        # bounds landing both between and exactly on event times.
+        for bound in (0.5, 1.0, 2.25, 3.0, 4.75, 6.0):
+            segmented_env.run_bounded(bound)
+        segmented_env.run()
+        assert segmented_log == serial_log
+
+    def test_timeout_pool_revival_keeps_tie_break(self):
+        # Recycled Timeout objects must not carry stale ordering: a
+        # revived timeout scheduled at the same instant as a fresh one
+        # still resolves by submission order.  Interleave a process
+        # that churns the pool (many short cycles, each recycling its
+        # Timeout) with late-started processes that draw revived
+        # objects from it.
+        env = Environment()
+        log = []
+
+        def build(environment, fire_log):
+            def churn(tag):
+                for _ in range(10):
+                    yield environment.timeout(0.5)
+                    fire_log.append((tag, environment.now))
+
+            def late(tag, start):
+                yield environment.timeout(start)
+                for _ in range(4):
+                    yield environment.timeout(0.5)
+                    fire_log.append((tag, environment.now))
+
+            environment.process(churn("a"))
+            environment.process(churn("b"))
+            environment.process(late("x", 1.5))
+            environment.process(late("y", 1.5))
+
+        build(env, log)
+        env.run()
+        by_instant = {}
+        for tag, now in log:
+            by_instant.setdefault(now, []).append(tag)
+        # Where all four coincide, the order is scheduling order: the
+        # late starters woke at 1.5 on timeouts created at time 0 —
+        # older than the churners' cycle-3 timeouts — so they schedule
+        # their next (pool-revived) timeouts first and fire first.
+        for now, tags in by_instant.items():
+            if set(tags) == {"a", "b", "x", "y"}:
+                assert tags == ["x", "y", "a", "b"], (now, tags)
+        assert any(
+            set(tags) == {"a", "b", "x", "y"}
+            for tags in by_instant.values()
+        )
+        # And a segmented replay reproduces the exact same log.
+        seg_env = Environment()
+        seg_log = []
+        build(seg_env, seg_log)
+        for bound in (0.25, 0.5, 1.5, 1.75, 2.0, 3.9):
+            seg_env.run_bounded(bound)
+        seg_env.run()
+        assert seg_log == log
+
+
+def _small_raid_trace(env, disks=4, requests=300, interarrival_ms=2.0):
+    system = build_raid0_system(env, disks)
+    workload = SyntheticWorkload(
+        capacity_sectors=system.capacity_sectors(),
+        mean_interarrival_ms=interarrival_ms,
+        footprint_fraction=0.02,
+        seed=7,
+    )
+    return system, workload.generate(requests)
+
+
+class TestShardedEngineValidation:
+    def test_rejects_zero_shards(self):
+        env = Environment()
+        system, _ = _small_raid_trace(env)
+        with pytest.raises(ValueError, match="shards"):
+            ShardedEngine(env, system, 0)
+
+    def test_clamps_shards_to_drive_count(self):
+        env = Environment()
+        system, _ = _small_raid_trace(env, disks=2)
+        if not sharding_available():
+            pytest.skip("fork unavailable")
+        engine = ShardedEngine(env, system, 8)
+        assert engine.shards == 2
+
+
+@needs_fork
+class TestShardedBitIdentity:
+    def _run(self, shards):
+        env = Environment()
+        system, trace = _small_raid_trace(env)
+        return run_trace(env, system, trace, shards=shards)
+
+    def test_ordered_samples_identical_to_serial(self):
+        serial = self._run(1)
+        for shards in (2, 4):
+            sharded = self._run(shards)
+            # Ordered sample lists: equality is sensitive to the
+            # completion *order* of simultaneous events, not just the
+            # aggregate figures.
+            assert (
+                sharded.collector.response_times
+                == serial.collector.response_times
+            )
+            assert (
+                sharded.collector.seek_times
+                == serial.collector.seek_times
+            )
+
+    def test_figures_identical_to_serial(self):
+        serial = self._run(1)
+        sharded = self._run(2)
+        assert sharded.mean_response_ms == serial.mean_response_ms
+        assert sharded.percentile(90) == serial.percentile(90)
+        assert sharded.response_cdf() == serial.response_cdf()
+        assert sharded.rotational_pdf() == serial.rotational_pdf()
+        assert (
+            sharded.power.total_watts == serial.power.total_watts
+        )
+        assert sharded.elapsed_ms == serial.elapsed_ms
+
+    def test_simultaneous_arrivals_resolve_identically(self):
+        # A trace of arrival-time *bursts* — eight requests landing at
+        # the same instant, spread across all drives — exercises the
+        # cross-shard merge rule directly: simultaneous completions on
+        # different shards must still interleave in submission order.
+        from repro.disk.request import IORequest
+        from repro.workloads.trace import Trace
+
+        def burst_trace():
+            requests = []
+            for burst in range(25):
+                for lane in range(8):
+                    requests.append(
+                        IORequest(
+                            lba=4096 * (burst * 8 + lane),
+                            size=8,
+                            is_read=(lane % 2 == 0),
+                            arrival_time=burst * 1.0,
+                        )
+                    )
+            return Trace(requests, name="bursts")
+
+        def run(shards):
+            env = Environment()
+            system = build_raid0_system(env, 8)
+            return run_trace(env, system, burst_trace(), shards=shards)
+
+        serial = run(1)
+        sharded = run(4)
+        assert (
+            sharded.collector.response_times
+            == serial.collector.response_times
+        )

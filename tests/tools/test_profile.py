@@ -55,6 +55,43 @@ class TestRunProfile:
         result = run_profile(target="kernel", top=3)
         assert json.loads(json.dumps(result)) == result
 
+    def test_single_shard_is_the_classic_kernel_row(self):
+        from repro.tools.bench import KERNEL_PROCESSES, KERNEL_TIMEOUTS
+
+        result = run_profile(target="kernel", top=3)
+        assert result["shards"] == 1
+        rows = result["kernel_shards"]
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["shard"] == 0
+        assert row["processes"] == KERNEL_PROCESSES
+        assert row["timeouts"] == KERNEL_TIMEOUTS
+        # Deterministic event count of the classic microbenchmark:
+        # per process, one initialisation, ``timeouts`` firings, one
+        # terminal event.
+        assert row["events"] == KERNEL_PROCESSES * (KERNEL_TIMEOUTS + 2)
+        assert row["wall_s"] > 0
+
+    def test_shard_rows_partition_the_kernel(self):
+        from repro.tools.bench import KERNEL_PROCESSES, KERNEL_TIMEOUTS
+
+        result = run_profile(target="kernel", top=3, shards=4)
+        rows = result["kernel_shards"]
+        assert [row["shard"] for row in rows] == [0, 1, 2, 3]
+        assert (
+            sum(row["processes"] for row in rows) == KERNEL_PROCESSES
+        )
+        for row in rows:
+            expected = row["processes"] * (KERNEL_TIMEOUTS + 2)
+            assert row["events"] == expected
+
+    def test_bench_target_has_no_shard_rows(self):
+        result = run_profile(
+            target="bench", requests=100, workloads=["websearch"], top=3
+        )
+        assert result["shards"] is None
+        assert result["kernel_shards"] is None
+
     def test_bad_inputs_rejected(self):
         with pytest.raises(ValueError, match="unknown profile target"):
             run_profile(target="nope")
@@ -66,6 +103,8 @@ class TestRunProfile:
             run_profile(requests=0)
         with pytest.raises(ValueError, match="unknown workloads"):
             run_profile(requests=100, workloads=["nope"])
+        with pytest.raises(ValueError, match="shards"):
+            run_profile(target="kernel", shards=0)
 
     def test_format_mentions_total(self):
         result = run_profile(target="kernel", top=3)
@@ -89,6 +128,15 @@ class TestProfileCli:
         result = json.loads(capsys.readouterr().out)
         assert result["target"] == "kernel"
         assert len(result["entries"]) == 3
+        assert len(result["kernel_shards"]) == 1
+
+    def test_cli_shards_flag_reaches_the_profiler(self, capsys):
+        code = main(["profile", "--target", "kernel", "--top", "3",
+                     "--json", "--shards", "2"])
+        assert code == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["shards"] == 2
+        assert [r["shard"] for r in result["kernel_shards"]] == [0, 1]
 
     def test_cli_unknown_workload_exits_cleanly(self):
         with pytest.raises(SystemExit, match="profile:"):

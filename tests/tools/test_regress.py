@@ -10,12 +10,40 @@ from repro.tools.bench import (
     BENCH_SCHEMA,
     BENCH_SCHEMA_V1,
     BENCH_SCHEMA_V2,
+    BENCH_SCHEMA_V3,
     load_bench,
     migrate_bench,
     validate_bench,
     write_bench,
 )
 from repro.tools.regress import CheckResult, compare_bench, format_check
+
+
+def shard_scaling(**overrides):
+    base = {
+        "disks": 16,
+        "interarrival_ms": 4.0,
+        "requests": 2000,
+        "events": 40000,
+        "figures_sha256": "c" * 64,
+        "figures_identical": True,
+        "results": [
+            {
+                "shards": 1,
+                "wall_s": 1.0,
+                "events_per_s": 40000.0,
+                "speedup_vs_serial": 1.0,
+            },
+            {
+                "shards": 2,
+                "skipped": True,
+                "reason": "exceeds cpu_count=1",
+                "figures_identical": True,
+            },
+        ],
+    }
+    base.update(overrides)
+    return base
 
 
 def snapshot(**overrides):
@@ -54,10 +82,14 @@ def snapshot(**overrides):
                 "speedup_vs_serial": 1.0,
             }
         ],
+        "shard_scaling": shard_scaling(),
     }
     base.update(overrides)
     if base["schema"] != BENCH_SCHEMA:
-        # Older schemas predate the per-workload and kernel sections.
+        # Older schemas predate the shard-scaling section.
+        base.pop("shard_scaling", None)
+    if base["schema"] in (BENCH_SCHEMA_V1, BENCH_SCHEMA_V2):
+        # v1/v2 also predate the per-workload and kernel sections.
         base.pop("workload_results", None)
         base.pop("kernel", None)
     return base
@@ -124,13 +156,31 @@ class TestValidateBench:
     def test_v2_accepted_without_v3_keys(self):
         validate_bench(snapshot(schema=BENCH_SCHEMA_V2))
 
+    def test_v3_accepted_without_shard_scaling(self):
+        validate_bench(snapshot(schema=BENCH_SCHEMA_V3))
+
+    def test_v4_requires_shard_scaling(self):
+        bad = snapshot()
+        del bad["shard_scaling"]
+        with pytest.raises(ValueError, match="shard_scaling"):
+            validate_bench(bad)
+
 
 class TestMigrateBench:
-    def test_v3_returned_as_copy(self):
+    def test_current_schema_returned_as_copy(self):
         original = snapshot()
         migrated = migrate_bench(original)
         assert migrated == original
         assert migrated is not original
+
+    def test_v3_gains_null_shard_scaling(self):
+        migrated = migrate_bench(snapshot(schema=BENCH_SCHEMA_V3))
+        assert migrated["schema"] == BENCH_SCHEMA
+        assert migrated["migrated_from"] == BENCH_SCHEMA_V3
+        assert migrated["shard_scaling"] is None
+        # v3 sections survive the hop untouched.
+        assert migrated["kernel"]["processes"] == 50
+        assert migrated["workload_results"]
 
     def test_v2_gains_empty_workload_and_kernel_sections(self):
         migrated = migrate_bench(snapshot(schema=BENCH_SCHEMA_V2))
@@ -138,8 +188,9 @@ class TestMigrateBench:
         assert migrated["migrated_from"] == BENCH_SCHEMA_V2
         assert migrated["workload_results"] == []
         assert migrated["kernel"] is None
+        assert migrated["shard_scaling"] is None
 
-    def test_v1_chains_through_v2_to_v3(self):
+    def test_v1_chains_through_v2_and_v3_to_v4(self):
         v1 = snapshot(
             schema=BENCH_SCHEMA_V1,
             cpu_count=2,
@@ -156,6 +207,7 @@ class TestMigrateBench:
         assert migrated["results"][1]["skipped"] is True
         assert migrated["workload_results"] == []
         assert migrated["kernel"] is None
+        assert migrated["shard_scaling"] is None
 
     def test_v1_oversubscribed_entries_demoted(self):
         v1 = snapshot(
@@ -242,6 +294,41 @@ class TestCompareBench:
         )
         assert any("determinism" in p for p in result.problems)
 
+    def test_shard_figures_not_identical_fails(self):
+        broken = snapshot(
+            shard_scaling=shard_scaling(figures_identical=False)
+        )
+        result = compare_bench(snapshot(), broken)
+        assert not result.ok
+        assert any("bit-identity" in p for p in result.problems)
+
+    def test_shard_cell_digest_mismatch_fails(self):
+        drifted = snapshot(
+            shard_scaling=shard_scaling(figures_sha256="d" * 64)
+        )
+        result = compare_bench(snapshot(), drifted)
+        assert not result.ok
+        assert any(
+            "shard-scaling cell digest mismatch" in p
+            for p in result.problems
+        )
+
+    def test_shard_digest_skipped_for_different_cell(self):
+        smaller = snapshot(
+            shard_scaling=shard_scaling(
+                requests=400, figures_sha256="d" * 64
+            )
+        )
+        result = compare_bench(snapshot(), smaller)
+        assert result.ok
+
+    def test_pre_v4_baseline_skips_shard_digest_with_note(self):
+        result = compare_bench(
+            snapshot(schema=BENCH_SCHEMA_V3), snapshot()
+        )
+        assert result.ok
+        assert any("predates repro-bench/4" in n for n in result.notes)
+
     def test_different_requests_skips_digest(self):
         current = snapshot(
             requests=500, figures_sha256="b" * 64, events=7
@@ -304,11 +391,11 @@ class TestCompareBench:
         assert result.ok
         assert any("platform differs" in n for n in result.notes)
 
-    def test_cpu_count_mismatch_refused_while_gate_armed(self):
+    def test_cpu_count_mismatch_is_a_note_not_a_problem(self):
         result = compare_bench(snapshot(), snapshot(cpu_count=1))
-        assert not result.ok
-        assert any("cpu_count mismatch" in p for p in result.problems)
-        assert any("--tolerance 0" in p for p in result.problems)
+        assert result.ok
+        assert any("cpu_count differs" in n for n in result.notes)
+        assert any("throughput gate disabled" in n for n in result.notes)
 
     def test_cpu_count_mismatch_noted_with_gate_off(self):
         result = compare_bench(
@@ -319,7 +406,8 @@ class TestCompareBench:
 
     def test_cpu_count_mismatch_skips_throughput_gate(self):
         # Even a catastrophic apparent slowdown is not gated when the
-        # hosts differ — that is exactly the comparison being refused.
+        # hosts differ — the gate auto-disables with a note while the
+        # correctness gates stay armed.
         slow = snapshot(
             cpu_count=1,
             results=[
@@ -328,8 +416,16 @@ class TestCompareBench:
             ],
         )
         result = compare_bench(snapshot(), slow, tolerance=0.5)
+        assert result.ok
         assert not any("regressed" in p for p in result.problems)
-        assert any("cpu_count mismatch" in p for p in result.problems)
+        assert any("cpu_count differs" in n for n in result.notes)
+
+    def test_cpu_count_mismatch_still_gates_digest(self):
+        # Host differences never excuse a digest mismatch.
+        bad = snapshot(cpu_count=1, figures_sha256="f" * 64)
+        result = compare_bench(snapshot(), bad)
+        assert not result.ok
+        assert any("digest mismatch" in p for p in result.problems)
 
     def test_kernel_throughput_noted(self):
         result = compare_bench(snapshot(), snapshot())
