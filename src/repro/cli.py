@@ -17,6 +17,12 @@ Usage (``python -m repro <command> ...``)::
     python -m repro fig5 --trace fig5.json    # trace any command's runs
     python -m repro report limit_study --html report.html   # analytics
     python -m repro report --from-trace trace.json          # post hoc
+    python -m repro trace convert in.spc out.trace.gz --sort
+    python -m repro trace stat out.trace.gz   # streaming profile
+    python -m repro serve --queue q --workers 4 --drain
+    python -m repro submit --queue q --workload websearch
+    python -m repro status --queue q          # or: status --queue q ID
+    python -m repro result --queue q ID -o payload.json
 
 Every command prints the same plain-text tables the benchmark harness
 asserts against.  ``--trace PATH`` records a request-lifecycle trace of
@@ -222,7 +228,8 @@ def _list(args) -> None:
     print("artifacts:", ", ".join(ARTIFACTS))
     print(
         "other commands: all, results, report, scorecard, faults, "
-        "workloads, simulate, bench, trace, list"
+        "workloads, simulate, bench, trace, serve, submit, status, "
+        "result, list"
     )
 
 
@@ -469,14 +476,74 @@ def _report_analysis(args) -> None:
         raise SystemExit(1)
 
 
+def _trace_convert(args) -> None:
+    """``repro trace convert SRC DST``: trace-format interop."""
+    from repro.workloads.formats import convert_trace
+
+    if len(args.paths) != 2:
+        raise SystemExit("trace convert: usage: trace convert SRC DST")
+    src, dst = args.paths
+    try:
+        summary = convert_trace(
+            src,
+            dst,
+            in_format=args.in_format,
+            out_format=args.out_format,
+            sort=args.sort,
+            limit=args.limit,
+        )
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"trace convert: {error}")
+    skipped = summary["skipped"]
+    extras = f", skipped {skipped}" if skipped else ""
+    print(
+        f"wrote {summary['dst']} ({summary['requests']} requests, "
+        f"{summary['in_format']} -> {summary['out_format']}"
+        f"{', sorted' if summary['sorted'] else ''}{extras})"
+    )
+
+
+def _trace_stat(args) -> None:
+    """``repro trace stat PATH``: streaming trace profile."""
+    import json
+
+    from repro.workloads.formats import stat_trace
+
+    if len(args.paths) != 1:
+        raise SystemExit("trace stat: usage: trace stat PATH")
+    try:
+        summary = stat_trace(args.paths[0], args.in_format)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"trace stat: {error}")
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    if not summary["monotone"]:
+        print(
+            "warning: arrivals are not monotone; convert with --sort "
+            "before replay",
+            file=sys.stderr,
+        )
+
+
 def _trace(args) -> None:
     from repro.obs.export import write_chrome_trace, write_span_jsonl
     from repro.obs.run import TRACEABLE_EXPERIMENTS, trace_experiment
 
+    if args.experiment == "convert":
+        _trace_convert(args)
+        return
+    if args.experiment == "stat":
+        _trace_stat(args)
+        return
+    if args.paths:
+        raise SystemExit(
+            "trace: extra path arguments only apply to "
+            "'trace convert'/'trace stat'"
+        )
     if args.experiment not in TRACEABLE_EXPERIMENTS:
         raise SystemExit(
             f"unknown experiment {args.experiment!r}; choose from "
-            f"{', '.join(sorted(TRACEABLE_EXPERIMENTS))}"
+            f"{', '.join(sorted(TRACEABLE_EXPERIMENTS))}, or the "
+            "trace-file tools: convert, stat"
         )
     run = trace_experiment(
         args.experiment,
@@ -500,6 +567,91 @@ def _trace(args) -> None:
     else:
         path = write_chrome_trace(tracer, args.out)
     print(f"wrote {path}")
+
+
+def _spec_from_args(args) -> "JobSpec":
+    from repro.serve.jobs import JobSpec
+
+    return JobSpec(
+        workload=args.workload,
+        trace_path=args.trace_file,
+        trace_format=args.in_format,
+        system=args.system,
+        requests=args.requests,
+        actuators=args.actuators,
+        rpm=args.rpm,
+        seed=args.seed,
+        disks=args.disks,
+        chunk_requests=args.chunk_requests,
+    )
+
+
+def _serve(args) -> None:
+    from repro.serve.service import serve
+
+    try:
+        codes = serve(
+            args.queue,
+            workers=args.workers,
+            poll_interval_s=args.poll_interval,
+            drain=args.drain,
+            max_jobs=args.max_jobs,
+            lease_s=args.lease_timeout,
+            max_attempts=args.max_attempts,
+        )
+    except ValueError as error:
+        raise SystemExit(f"serve: {error}")
+    print(f"serve: {len(codes)} worker(s) exited {codes}")
+    if any(codes):
+        raise SystemExit(1)
+
+
+def _submit(args) -> None:
+    import json
+
+    from repro.serve.service import submit
+
+    try:
+        record = submit(args.queue, _spec_from_args(args))
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"submit: {error}")
+    print(json.dumps(record, indent=2, sort_keys=True))
+
+
+def _status(args) -> None:
+    import json
+
+    from repro.serve.service import status
+
+    try:
+        summary = status(args.queue, args.job_id)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"status: {error}")
+    print(json.dumps(summary, indent=2, sort_keys=True))
+
+
+def _result(args) -> None:
+    import json
+
+    from repro.serve.service import result
+
+    try:
+        record, payload = result(args.queue, args.job_id)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"result: {error}")
+    if payload is None:
+        state = record.get("state")
+        outcome = record.get("outcome") or {}
+        detail = outcome.get("error", "no payload yet")
+        raise SystemExit(
+            f"result: job {args.job_id} is {state}: {detail}"
+        )
+    if args.output:
+        with open(args.output, "wb") as handle:
+            handle.write(payload)
+        print(f"wrote {args.output} ({len(payload)} bytes)")
+    else:
+        print(json.dumps(json.loads(payload), indent=2, sort_keys=True))
 
 
 def _simulate(args) -> None:
@@ -808,6 +960,48 @@ def build_parser() -> argparse.ArgumentParser:
             "(limit_study) and RAID members (rebuild); default 4"
         ),
     )
+    trace.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help=(
+            "for 'trace convert SRC DST' / 'trace stat PATH': the "
+            "trace files to convert or profile"
+        ),
+    )
+    trace.add_argument(
+        "--in-format",
+        choices=("disksim", "spc1", "blktrace"),
+        default=None,
+        help=(
+            "input trace format for convert/stat (default: detect "
+            "from the file suffix)"
+        ),
+    )
+    trace.add_argument(
+        "--out-format",
+        choices=("disksim", "spc1"),
+        default=None,
+        help=(
+            "output format for convert (default: detect from the "
+            "destination suffix; blktrace is read-only)"
+        ),
+    )
+    trace.add_argument(
+        "--sort",
+        action="store_true",
+        help=(
+            "sort converted requests by arrival time (materializes "
+            "the trace in memory; required before replaying a "
+            "non-monotone trace)"
+        ),
+    )
+    trace.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="convert at most this many requests",
+    )
 
     report = sub.add_parser(
         "report",
@@ -877,6 +1071,167 @@ def build_parser() -> argparse.ArgumentParser:
             "arm count of the supplementary HC-SD-SA(n) runs "
             "(limit_study) and RAID members (rebuild); default 4"
         ),
+    )
+
+    def add_queue(command):
+        command.add_argument(
+            "--queue",
+            metavar="DIR",
+            default="queue",
+            help="job-queue directory (default ./queue)",
+        )
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "run N worker processes over a persistent on-disk job "
+            "queue (crash-safe claims, content-addressed result cache)"
+        ),
+    )
+    serve.set_defaults(handler=_serve)
+    add_queue(serve)
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes (default 2; 1 runs in-process)",
+    )
+    serve.add_argument(
+        "--drain",
+        action="store_true",
+        help="exit when the queue is empty instead of polling forever",
+    )
+    serve.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        help="jobs per worker before it exits (default: unlimited)",
+    )
+    serve.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.2,
+        help="idle polling interval in seconds (default 0.2)",
+    )
+    serve.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=3600.0,
+        help=(
+            "seconds before a claimed job from a crashed worker is "
+            "requeued (default 3600)"
+        ),
+    )
+    serve.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="requeue attempts before a job is failed (default 3)",
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help=(
+            "submit a simulation job to a queue directory; duplicate "
+            "(config, trace, code) submissions hit the result cache"
+        ),
+    )
+    submit.set_defaults(handler=_submit)
+    add_queue(submit)
+    submit.add_argument(
+        "--workload",
+        default=None,
+        help=(
+            "generated workload to replay: financial | websearch | "
+            "tpcc | tpch (mutually exclusive with --trace-file)"
+        ),
+    )
+    submit.add_argument(
+        "--trace-file",
+        metavar="PATH",
+        default=None,
+        help=(
+            "replay this trace file (disksim/spc1/blktrace, "
+            "optionally .gz) via the streaming pipeline"
+        ),
+    )
+    submit.add_argument(
+        "--in-format",
+        choices=("disksim", "spc1", "blktrace"),
+        default=None,
+        help="trace-file format (default: detect from suffix)",
+    )
+    submit.add_argument(
+        "--system",
+        choices=("hcsd", "md"),
+        default="hcsd",
+        help="system to simulate (default hcsd)",
+    )
+    submit.add_argument(
+        "--requests",
+        type=int,
+        default=4000,
+        help=(
+            "requests for --workload jobs, or a replay limit for "
+            "--trace-file jobs (default 4000)"
+        ),
+    )
+    submit.add_argument(
+        "--actuators", type=int, default=1, help="arm assemblies (1-4)"
+    )
+    submit.add_argument(
+        "--rpm", type=float, default=None, help="override spindle RPM"
+    )
+    submit.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="workload generator seed override",
+    )
+    submit.add_argument(
+        "--disks",
+        type=int,
+        default=1,
+        help=(
+            "drives the replayed trace addresses are wrapped onto "
+            "(trace-file jobs; default 1)"
+        ),
+    )
+    submit.add_argument(
+        "--chunk-requests",
+        type=int,
+        default=65536,
+        help=(
+            "streamed replay chunk size (execution knob; excluded "
+            "from the cache key; default 65536)"
+        ),
+    )
+
+    status_cmd = sub.add_parser(
+        "status",
+        help="queue counts, or one job's record with a job id",
+    )
+    status_cmd.set_defaults(handler=_status)
+    add_queue(status_cmd)
+    status_cmd.add_argument(
+        "job_id",
+        nargs="?",
+        default=None,
+        help="job id to inspect (default: whole-queue summary)",
+    )
+
+    result_cmd = sub.add_parser(
+        "result",
+        help="fetch a finished job's canonical result payload",
+    )
+    result_cmd.set_defaults(handler=_result)
+    add_queue(result_cmd)
+    result_cmd.add_argument("job_id", help="job id to fetch")
+    result_cmd.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the payload bytes here (default: pretty-print)",
     )
 
     simulate = add("simulate", _simulate, "run one custom configuration")

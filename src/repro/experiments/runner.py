@@ -10,7 +10,7 @@ breakdown, and run metadata.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.disk.request import IORequest
 from repro.metrics.collector import RequestCollector
@@ -19,9 +19,10 @@ from repro.power.accounting import PowerBreakdown, array_power
 from repro.raid.array import DiskArray
 from repro.sim.engine import Environment
 from repro.sim.sharded import ShardedEngine, sharding_available
+from repro.workloads.streaming import StreamingTrace
 from repro.workloads.trace import Trace
 
-__all__ = ["RunResult", "run_trace"]
+__all__ = ["ChunkProgress", "RunResult", "run_trace"]
 
 
 @dataclass
@@ -48,6 +49,25 @@ class RunResult:
         return self.collector.response_percentile(q)
 
 
+@dataclass
+class ChunkProgress:
+    """Telemetry for one completed chunk of a streamed replay.
+
+    ``chunk`` holds exact per-chunk measurements (samples included, so
+    chunk percentiles are exact); ``cumulative`` is the incremental
+    :meth:`~repro.metrics.collector.RequestCollector.merge` of every
+    chunk so far with samples dropped — the flat-memory running
+    aggregate a progress consumer (e.g. a serve worker heartbeat)
+    reads without waiting for the run to drain.
+    """
+
+    index: int
+    completed: int
+    simulated_ms: float
+    chunk: RequestCollector
+    cumulative: RequestCollector
+
+
 def run_trace(
     env: Environment,
     system: DiskArray,
@@ -56,6 +76,8 @@ def run_trace(
     label: Optional[str] = None,
     warmup_fraction: float = 0.0,
     shards: int = 1,
+    on_chunk: Optional[Callable[[ChunkProgress], None]] = None,
+    chunk_requests: Optional[int] = None,
 ) -> RunResult:
     """Replay ``trace`` against ``system`` and collect measurements.
 
@@ -72,6 +94,17 @@ def run_trace(
     group, merged conservatively so every figure is bit-identical to
     the serial kernel.  Falls back to the serial kernel when fork is
     unavailable on the platform.
+
+    ``trace`` may also be a
+    :class:`~repro.workloads.streaming.StreamingTrace`: requests are
+    then pulled from disk in bounded-memory chunks and submitted
+    without ever materializing the trace, and the collector's figures
+    are bit-identical to an in-memory replay of the same file (the
+    record path is unchanged; only the producer's sourcing differs).
+    ``on_chunk``, if given, is called with a :class:`ChunkProgress`
+    after every ``chunk_requests`` completions (default: the stream's
+    chunk size): per-chunk collectors are merged incrementally so the
+    progress aggregate stays flat in memory too.
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise ValueError(
@@ -79,6 +112,32 @@ def run_trace(
         )
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
+    if isinstance(trace, StreamingTrace):
+        if warmup_fraction > 0.0:
+            raise ValueError(
+                "warmup_fraction requires a known trace length; "
+                "materialize the stream or use warmup_fraction=0"
+            )
+        if shards > 1:
+            raise ValueError(
+                "streamed replay runs on the serial kernel: the shard "
+                "workers fork mid-run and cannot share one file "
+                "cursor; use shards=1 (replay-level parallelism comes "
+                "from the job service instead)"
+            )
+        return _run_trace_streaming(
+            env,
+            system,
+            trace,
+            keep_samples=keep_samples,
+            label=label,
+            on_chunk=on_chunk,
+            chunk_requests=chunk_requests,
+        )
+    if on_chunk is not None or chunk_requests is not None:
+        raise ValueError(
+            "on_chunk/chunk_requests apply to StreamingTrace replays"
+        )
     if shards > 1 and not sharding_available():
         shards = 1
     collector = RequestCollector(keep_samples=keep_samples)
@@ -172,3 +231,136 @@ def run_trace(
         elapsed_ms=elapsed,
         requests=len(fresh),
     )
+
+
+def _run_trace_streaming(
+    env: Environment,
+    system: DiskArray,
+    trace: StreamingTrace,
+    keep_samples: bool,
+    label: Optional[str],
+    on_chunk: Optional[Callable[[ChunkProgress], None]],
+    chunk_requests: Optional[int],
+) -> RunResult:
+    """Replay a disk-backed stream without materializing it.
+
+    The measurement path is *identical* to the in-memory replay: one
+    collector records every completion in the same order the serial
+    kernel produces, so every figure (means, CDFs, PDFs, power) is
+    bit-identical to ``run_trace`` over ``trace.materialize()`` —
+    streaming only changes where the producer gets its requests.
+    Memory is bounded by one parse chunk plus in-flight requests (plus
+    retained samples if ``keep_samples=True``; pass ``False`` for a
+    flat ceiling on multi-million-request traces).
+    """
+    chunk_size = chunk_requests or trace.chunk_requests
+    if chunk_size < 1:
+        raise ValueError(
+            f"chunk_requests must be >= 1, got {chunk_size}"
+        )
+    collector = RequestCollector(keep_samples=keep_samples)
+    submitted = 0
+    progress_state = None
+    if on_chunk is None:
+        system.on_complete.append(collector)
+    else:
+        # Per-chunk collectors keep samples (exact chunk percentiles)
+        # and merge incrementally into a sample-free cumulative
+        # aggregate, so progress costs O(chunk), not O(trace).
+        progress_state = {
+            "chunk": RequestCollector(keep_samples=True),
+            "cumulative": RequestCollector(keep_samples=False),
+            "index": 0,
+        }
+
+        def record(request: IORequest) -> None:
+            collector.record(request)
+            chunk = progress_state["chunk"]
+            chunk.record(request)
+            if chunk.completed >= chunk_size:
+                _flush_chunk(progress_state, on_chunk, env)
+
+        system.on_complete.append(record)
+
+    def producer():
+        nonlocal submitted
+        timeout = env.timeout
+        submit = system.submit
+        for chunk in trace.iter_chunks(chunk_size):
+            for request in chunk:
+                delay = request.arrival_time - env._now
+                if delay > 0:
+                    yield timeout(delay)
+                request.arrival_time = env._now
+                submit(request)
+                submitted += 1
+
+    run_label = label or system.label
+    tracer = tracer_for(env)
+    env.process(producer())
+    with tracer.scope(run_label):
+        if tracer.enabled:
+            tracer.instant(
+                "run-start",
+                env.now,
+                (system.label, "run"),
+                args={"trace": trace.name, "streamed": True},
+            )
+        env.run()
+        if tracer.enabled:
+            tracer.instant(
+                "run-end",
+                env.now,
+                (system.label, "run"),
+                args={"requests": submitted, "elapsed_ms": env.now},
+            )
+    if progress_state is not None and progress_state["chunk"].completed:
+        _flush_chunk(progress_state, on_chunk, env)
+    if tracer.enabled:
+        telemetry = tracer.telemetry
+        telemetry.counter("runs.completed").inc()
+        telemetry.counter("runs.streamed").inc()
+        telemetry.stats("run.elapsed_ms").add(env.now)
+        if collector.completed:
+            telemetry.stats("run.mean_response_ms").add(
+                collector.mean_response_ms
+            )
+    if collector.completed != submitted:
+        raise RuntimeError(
+            f"streamed run did not drain: {collector.completed} of "
+            f"{submitted} requests completed"
+        )
+    if progress_state is not None:
+        merged = progress_state["cumulative"]
+        if merged.completed != collector.completed:
+            raise RuntimeError(
+                "chunk-merge accounting mismatch: merged "
+                f"{merged.completed} completions, collector saw "
+                f"{collector.completed}"
+            )
+    elapsed = max(env.now, 1e-9)
+    return RunResult(
+        label=run_label,
+        collector=collector,
+        power=array_power(system.drives, elapsed),
+        elapsed_ms=elapsed,
+        requests=submitted,
+    )
+
+
+def _flush_chunk(progress_state, on_chunk, env) -> None:
+    chunk = progress_state["chunk"]
+    progress_state["cumulative"] = cumulative = progress_state[
+        "cumulative"
+    ].merge(chunk)
+    on_chunk(
+        ChunkProgress(
+            index=progress_state["index"],
+            completed=cumulative.completed,
+            simulated_ms=env.now,
+            chunk=chunk,
+            cumulative=cumulative,
+        )
+    )
+    progress_state["index"] += 1
+    progress_state["chunk"] = RequestCollector(keep_samples=True)

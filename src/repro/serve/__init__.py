@@ -1,0 +1,42 @@
+"""Simulation-as-a-service: a persistent job queue over the simulator.
+
+The paper's "serve heavy traffic" story for this repo: clients submit
+simulation jobs (``python -m repro submit``), N worker processes drain
+a crash-safe on-disk queue (``python -m repro serve``), and results
+land in a content-addressed cache keyed by ``(config digest, trace
+digest, code version)`` — so a duplicate submission costs one cache
+read, not one simulation, and returns byte-identical payloads.
+
+* :mod:`repro.serve.jobs` — the job spec, its digests, and the job
+  runner (replays in-memory workload traces or streamed trace files).
+* :mod:`repro.serve.queue` — the persistent queue: atomic claim/ack
+  via rename, lease-based crash-safe requeue.
+* :mod:`repro.serve.cache` — the content-addressed result store.
+* :mod:`repro.serve.service` — worker loop, multi-process ``serve``,
+  and the submit/status/result client calls the CLI wraps.
+"""
+
+from repro.serve.cache import ResultCache
+from repro.serve.jobs import JobSpec, cache_key, code_version, run_job
+from repro.serve.queue import JobQueue
+from repro.serve.service import (
+    result,
+    serve,
+    status,
+    submit,
+    worker_loop,
+)
+
+__all__ = [
+    "JobQueue",
+    "JobSpec",
+    "ResultCache",
+    "cache_key",
+    "code_version",
+    "result",
+    "run_job",
+    "serve",
+    "status",
+    "submit",
+    "worker_loop",
+]

@@ -1,0 +1,85 @@
+"""The content-addressed result cache.
+
+Results are stored by cache key (see :func:`repro.serve.jobs.cache_key`)
+under two-character fan-out directories::
+
+    cache/
+      ab/abcdef....json      # canonical result payload bytes
+
+Writes go through a temp file and ``os.replace``; a key that already
+exists is left untouched (first write wins), which together with the
+simulator's determinism guarantees that every reader of a key — across
+workers, processes and submissions — sees byte-identical payloads.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import List, Optional
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Byte-payload store addressed by hex digest keys."""
+
+    def __init__(self, root: str):
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        if len(key) < 3 or not all(
+            c in "0123456789abcdef" for c in key
+        ):
+            raise ValueError(f"bad cache key {key!r}")
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self._path(key))
+
+    def get(self, key: str) -> Optional[bytes]:
+        try:
+            with open(self._path(key), "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            return None
+
+    def put(self, key: str, payload: bytes) -> bool:
+        """Store ``payload`` under ``key``; returns False when the key
+        already existed (the stored bytes win — determinism makes the
+        difference unobservable, and first-write-wins keeps concurrent
+        workers from racing on content)."""
+        path = self._path(key)
+        if os.path.exists(path):
+            return False
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, temp_path = tempfile.mkstemp(
+            dir=directory, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            if os.path.exists(path):
+                os.unlink(temp_path)
+                return False
+            os.replace(temp_path, path)
+            return True
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+
+    def keys(self) -> List[str]:
+        found = []
+        for directory, _, files in os.walk(self.root):
+            for name in files:
+                if name.endswith(".json") and not name.startswith("."):
+                    found.append(name[: -len(".json")])
+        return sorted(found)
+
+    def __len__(self) -> int:
+        return len(self.keys())

@@ -1,0 +1,312 @@
+"""A persistent, crash-safe, multi-process job queue on a directory.
+
+Layout (everything under one queue directory)::
+
+    queue/
+      pending/<job_id>.json    # submitted, unclaimed
+      claimed/<job_id>.json    # being worked; .lease.json sidecar
+      done/<job_id>.json       # finished (record carries the outcome)
+      failed/<job_id>.json     # exhausted max_attempts
+
+State transitions are single ``os.rename`` calls (atomic on POSIX
+within one filesystem), so any number of worker processes can claim
+concurrently without locks: exactly one rename wins, the losers get
+``FileNotFoundError`` and move on.  Records are written to a temp file
+and renamed into place, so a reader never observes a partial JSON.
+
+Crash safety: a claim writes a lease sidecar (owner pid + wall-clock
+expiry).  :meth:`JobQueue.requeue_stale` returns claimed jobs whose
+lease has expired — or whose owner process is verifiably dead — to
+``pending``, bumping the record's ``attempts``; jobs that exhaust
+``max_attempts`` land in ``failed`` instead of looping forever.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import tempfile
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["JobQueue", "QUEUE_STATES"]
+
+QUEUE_STATES = ("pending", "claimed", "done", "failed")
+
+#: Default wall-clock lease on a claimed job before it is presumed
+#: crashed.  Long: a multi-million-request replay is minutes of work.
+DEFAULT_LEASE_S = 3600.0
+
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+def _write_json_atomic(path: str, payload: Dict) -> None:
+    directory = os.path.dirname(path)
+    fd, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=".tmp-", suffix=".json"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="ascii") as handle:
+            json.dump(payload, handle, sort_keys=True, indent=1)
+            handle.write("\n")
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+
+
+def _pid_alive(pid: int) -> Optional[bool]:
+    """True/False when knowable on this host, None when ambiguous."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except OSError as error:
+        if error.errno == errno.ESRCH:
+            return False
+        return None  # EPERM etc.: exists but not ours, or unknowable
+    return True
+
+
+class JobQueue:
+    """Client and worker operations on one on-disk queue."""
+
+    def __init__(
+        self,
+        root: str,
+        lease_s: float = DEFAULT_LEASE_S,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ):
+        if lease_s <= 0:
+            raise ValueError(f"lease_s must be positive, got {lease_s}")
+        if max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        self.root = str(root)
+        self.lease_s = lease_s
+        self.max_attempts = max_attempts
+        for state in QUEUE_STATES:
+            os.makedirs(os.path.join(self.root, state), exist_ok=True)
+
+    # -- paths ------------------------------------------------------------
+    def _record_path(self, state: str, job_id: str) -> str:
+        return os.path.join(self.root, state, f"{job_id}.json")
+
+    def _lease_path(self, job_id: str) -> str:
+        return os.path.join(
+            self.root, "claimed", f"{job_id}.lease.json"
+        )
+
+    # -- submission -------------------------------------------------------
+    def enqueue(self, job_id: str, record: Dict) -> str:
+        """Write a pending record; returns the record path."""
+        if not job_id or "/" in job_id:
+            raise ValueError(f"bad job id {job_id!r}")
+        path = self._record_path("pending", job_id)
+        if any(
+            os.path.exists(self._record_path(state, job_id))
+            for state in QUEUE_STATES
+        ):
+            raise ValueError(f"job {job_id} already exists in the queue")
+        record = dict(record)
+        record.setdefault("attempts", 0)
+        _write_json_atomic(path, record)
+        return path
+
+    # -- worker side ------------------------------------------------------
+    def claim(self, owner: Optional[str] = None) -> Optional[Dict]:
+        """Atomically move the oldest pending job to ``claimed``.
+
+        Returns the job record (with ``job_id`` filled in) or ``None``
+        when the queue has no claimable work.  Safe to call from any
+        number of processes: the rename is the arbiter.
+        """
+        pending = os.path.join(self.root, "pending")
+        for name in sorted(os.listdir(pending)):
+            if not name.endswith(".json") or name.startswith("."):
+                continue
+            job_id = name[: -len(".json")]
+            source = os.path.join(pending, name)
+            target = self._record_path("claimed", job_id)
+            # The lease is created *before* the claiming rename — a
+            # concurrent requeue_stale() must never observe a claimed
+            # record without its lease (it would presume a crash and
+            # steal the job back) — and created exclusively, so only
+            # one claimer ever proceeds to the rename and a loser can
+            # never delete a winner's lease.
+            if not self._create_lease(job_id, owner):
+                continue
+            try:
+                os.rename(source, target)
+            except FileNotFoundError:
+                # The job left pending (acked fast, or requeued) while
+                # we held the speculative lease; release it.
+                try:
+                    os.unlink(self._lease_path(job_id))
+                except FileNotFoundError:
+                    pass
+                continue
+            record = self.read(job_id, "claimed")
+            record["job_id"] = job_id
+            return record
+        return None
+
+    def _create_lease(self, job_id: str, owner: Optional[str]) -> bool:
+        """Exclusively create the lease file; False when outraced.
+
+        A leftover lease from a claimer that died between lease
+        creation and rename would wedge its job forever, so an
+        existing lease that is expired — or owned by a verifiably
+        dead pid — is removed before giving up.
+        """
+        path = self._lease_path(job_id)
+        payload = {
+            "pid": os.getpid(),
+            "owner": owner or f"pid-{os.getpid()}",
+            "claimed_at": time.time(),
+            "expires_at": time.time() + self.lease_s,
+        }
+        # Fully write the lease to a private temp file, then link it
+        # into place: the link is exclusive (fails if a lease exists)
+        # AND atomic (no reader ever sees a partially written lease).
+        fd, temp_path = tempfile.mkstemp(
+            dir=os.path.join(self.root, "claimed"),
+            prefix=".tmp-lease-",
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="ascii") as handle:
+                json.dump(payload, handle, sort_keys=True)
+                handle.write("\n")
+            try:
+                os.link(temp_path, path)
+            except FileExistsError:
+                stale = self._read_optional(path)
+                if stale is not None:
+                    expired = stale.get("expires_at", 0) <= time.time()
+                    alive = _pid_alive(int(stale.get("pid", -1)))
+                    if expired or alive is False:
+                        try:
+                            os.unlink(path)
+                        except FileNotFoundError:
+                            pass
+                return False
+            return True
+        finally:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+
+    def ack(self, job_id: str, outcome: Dict, state: str = "done") -> None:
+        """Finish a claimed job: write the outcome, move the record."""
+        if state not in ("done", "failed"):
+            raise ValueError(f"ack state must be done/failed, got {state}")
+        claimed = self._record_path("claimed", job_id)
+        if not os.path.exists(claimed):
+            raise ValueError(f"job {job_id} is not claimed")
+        record = self.read(job_id, "claimed")
+        record["outcome"] = outcome
+        _write_json_atomic(claimed, record)
+        os.rename(claimed, self._record_path(state, job_id))
+        try:
+            os.unlink(self._lease_path(job_id))
+        except FileNotFoundError:
+            pass
+
+    def requeue_stale(self) -> List[str]:
+        """Return crashed claims to ``pending``; returns requeued ids.
+
+        A claim is stale when its lease is missing, expired, or owned
+        by a verifiably dead pid.  Requeueing bumps ``attempts``; a
+        job at ``max_attempts`` moves to ``failed`` with a
+        ``requeue-exhausted`` outcome instead.
+        """
+        requeued = []
+        claimed_dir = os.path.join(self.root, "claimed")
+        now = time.time()
+        for name in sorted(os.listdir(claimed_dir)):
+            if not name.endswith(".json") or ".lease." in name:
+                continue
+            if name.startswith("."):
+                continue
+            job_id = name[: -len(".json")]
+            lease = self._read_optional(self._lease_path(job_id))
+            if lease is not None:
+                expired = lease.get("expires_at", 0) <= now
+                alive = _pid_alive(int(lease.get("pid", -1)))
+                if not expired and alive is not False:
+                    continue  # healthily claimed
+            try:
+                record = self.read(job_id, "claimed")
+            except (OSError, ValueError):
+                continue  # acked between listdir and read
+            attempts = int(record.get("attempts", 0)) + 1
+            record["attempts"] = attempts
+            claimed = self._record_path("claimed", job_id)
+            if attempts >= self.max_attempts:
+                record["outcome"] = {
+                    "status": "failed",
+                    "error": "requeue-exhausted",
+                    "attempts": attempts,
+                }
+                _write_json_atomic(claimed, record)
+                os.rename(
+                    claimed, self._record_path("failed", job_id)
+                )
+            else:
+                _write_json_atomic(claimed, record)
+                os.rename(
+                    claimed, self._record_path("pending", job_id)
+                )
+                requeued.append(job_id)
+            try:
+                os.unlink(self._lease_path(job_id))
+            except FileNotFoundError:
+                pass
+        return requeued
+
+    # -- introspection ----------------------------------------------------
+    def read(self, job_id: str, state: Optional[str] = None) -> Dict:
+        """Load a job record, searching all states unless one is given."""
+        states = (state,) if state else QUEUE_STATES
+        for candidate in states:
+            payload = self._read_optional(
+                self._record_path(candidate, job_id)
+            )
+            if payload is not None:
+                payload["state"] = candidate
+                return payload
+        raise ValueError(f"no job {job_id!r} in queue {self.root}")
+
+    @staticmethod
+    def _read_optional(path: str) -> Optional[Dict]:
+        try:
+            with open(path, "r", encoding="ascii") as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return None
+        except json.JSONDecodeError:
+            # Record/lease writes are atomic, so a torn file means a
+            # crashed writer from a previous incarnation; treat it as
+            # absent so requeue/cleanup logic can reclaim the job.
+            return None
+
+    def jobs(self, state: str) -> List[str]:
+        if state not in QUEUE_STATES:
+            raise ValueError(f"unknown state {state!r}")
+        directory = os.path.join(self.root, state)
+        return sorted(
+            name[: -len(".json")]
+            for name in os.listdir(directory)
+            if name.endswith(".json")
+            and ".lease." not in name
+            and not name.startswith(".")
+        )
+
+    def counts(self) -> Dict[str, int]:
+        return {state: len(self.jobs(state)) for state in QUEUE_STATES}

@@ -1,0 +1,314 @@
+"""Worker processes and client calls over the queue + cache.
+
+The flow, end to end:
+
+1. ``submit`` validates a :class:`~repro.serve.jobs.JobSpec`, computes
+   its digests and cache key, and enqueues a pending record.
+2. ``serve`` runs N :func:`worker_loop` processes.  Each claims jobs
+   atomically, consults the result cache first — a duplicate
+   submission is acked as a **cache hit** without simulating — and
+   otherwise runs the simulation, stores the canonical payload, and
+   acks with per-job telemetry (wall time, chunk count, a telemetry
+   registry snapshot).
+3. ``result`` reads a finished job's payload back from the cache via
+   the cache key recorded in its outcome.
+
+Every payload byte is determined by ``(config digest, trace digest,
+code version)``; hits and misses of the same key return identical
+bytes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.registry import TelemetryRegistry
+from repro.serve.cache import ResultCache
+from repro.serve.jobs import (
+    JobSpec,
+    cache_key,
+    code_version,
+    result_payload_bytes,
+    run_job,
+)
+from repro.serve.queue import (
+    DEFAULT_LEASE_S,
+    DEFAULT_MAX_ATTEMPTS,
+    JobQueue,
+)
+
+__all__ = [
+    "result",
+    "serve",
+    "status",
+    "submit",
+    "worker_loop",
+]
+
+_submit_counter = itertools.count()
+
+
+def _cache_root(queue_dir: str, cache_dir: Optional[str]) -> str:
+    return cache_dir or os.path.join(str(queue_dir), "cache")
+
+
+def submit(
+    queue_dir: str,
+    spec: JobSpec,
+    cache_dir: Optional[str] = None,
+) -> Dict:
+    """Enqueue ``spec``; returns the pending record (with ``job_id``).
+
+    The record carries the spec plus its three digests, so workers
+    (and humans reading the queue directory) see the cache identity
+    without recomputing trace digests.
+    """
+    spec.validate()
+    key = cache_key(spec)
+    queue = JobQueue(queue_dir)
+    job_id = (
+        f"{int(time.time() * 1000):013d}-{key[:10]}-"
+        f"{os.getpid()}-{next(_submit_counter)}"
+    )
+    record = {
+        "job_id": job_id,
+        "spec": spec.to_dict(),
+        "cache_key": key,
+        "config_digest": spec.config_digest(),
+        "trace_digest": spec.trace_digest(),
+        "code_version": code_version(),
+        "submitted_at": time.time(),
+        "already_cached": key in ResultCache(
+            _cache_root(queue_dir, cache_dir)
+        ),
+    }
+    queue.enqueue(job_id, record)
+    return record
+
+
+def worker_loop(
+    queue_dir: str,
+    cache_dir: Optional[str] = None,
+    poll_interval_s: float = 0.2,
+    drain: bool = False,
+    max_jobs: Optional[int] = None,
+    lease_s: float = DEFAULT_LEASE_S,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    owner: Optional[str] = None,
+) -> Dict:
+    """Claim-and-run until stopped; returns this worker's telemetry.
+
+    ``drain=True`` exits when no pending work remains (the CI/batch
+    mode); otherwise the loop polls forever and is stopped by signal.
+    ``max_jobs`` bounds the number of jobs this worker processes.
+    """
+    queue = JobQueue(
+        queue_dir, lease_s=lease_s, max_attempts=max_attempts
+    )
+    cache = ResultCache(_cache_root(queue_dir, cache_dir))
+    telemetry = TelemetryRegistry()
+    worker_name = owner or f"worker-{os.getpid()}"
+    processed = 0
+    while True:
+        queue.requeue_stale()
+        record = queue.claim(owner=worker_name)
+        if record is None:
+            if drain:
+                break
+            time.sleep(poll_interval_s)
+            continue
+        _process_one(record, queue, cache, telemetry, worker_name)
+        processed += 1
+        if max_jobs is not None and processed >= max_jobs:
+            break
+    snapshot = telemetry.snapshot()
+    snapshot["worker"] = worker_name
+    snapshot["processed"] = processed
+    return snapshot
+
+
+def _process_one(
+    record: Dict,
+    queue: JobQueue,
+    cache: ResultCache,
+    telemetry: TelemetryRegistry,
+    worker_name: str,
+) -> None:
+    job_id = record["job_id"]
+    started = time.time()
+    job_telemetry = TelemetryRegistry()
+    try:
+        spec = JobSpec.from_dict(record["spec"])
+        key = cache_key(spec)
+        cached = cache.get(key)
+        if cached is not None:
+            telemetry.counter("jobs.cache_hits").inc()
+            payload = json.loads(cached.decode("ascii"))
+            outcome = {
+                "status": "done",
+                "cached": True,
+                "cache_key": key,
+                "figures_sha256": payload["figures_sha256"],
+                "worker": worker_name,
+                "wall_s": time.time() - started,
+            }
+        else:
+            telemetry.counter("jobs.cache_misses").inc()
+
+            def on_chunk(progress):
+                job_telemetry.counter("replay.chunks").inc()
+                job_telemetry.stats("replay.chunk_mean_response_ms").add(
+                    progress.chunk.mean_response_ms
+                )
+
+            payload, stats = run_job(spec, on_chunk=on_chunk)
+            cache.put(key, result_payload_bytes(payload))
+            wall = time.time() - started
+            job_telemetry.counter("replay.requests").inc(
+                stats["completed"]
+            )
+            job_telemetry.stats("job.wall_s").add(wall)
+            outcome = {
+                "status": "done",
+                "cached": False,
+                "cache_key": key,
+                "figures_sha256": payload["figures_sha256"],
+                "worker": worker_name,
+                "wall_s": wall,
+                "requests": stats["completed"],
+                "chunks": stats["chunks"],
+                "telemetry": job_telemetry.snapshot(),
+            }
+        _ack_safely(queue, telemetry, job_id, outcome, "done")
+        telemetry.counter("jobs.completed").inc()
+        telemetry.stats("job.wall_s").add(time.time() - started)
+    except Exception as error:  # noqa: BLE001 - worker must survive jobs
+        telemetry.counter("jobs.errors").inc()
+        _ack_safely(
+            queue,
+            telemetry,
+            job_id,
+            {
+                "status": "failed",
+                "error": f"{type(error).__name__}: {error}",
+                "worker": worker_name,
+                "wall_s": time.time() - started,
+            },
+            "failed",
+        )
+
+
+def _ack_safely(queue, telemetry, job_id, outcome, state) -> None:
+    """Ack, tolerating a lease lost to requeue while the job ran.
+
+    If the lease expired mid-run and another worker re-claimed the
+    job, our claimed record is gone; the result (if any) is already in
+    the content-addressed cache, so dropping the ack is harmless —
+    count it and move on rather than killing the worker.
+    """
+    try:
+        queue.ack(job_id, outcome, state=state)
+    except ValueError:
+        telemetry.counter("jobs.lost_leases").inc()
+
+
+def serve(
+    queue_dir: str,
+    workers: int = 2,
+    cache_dir: Optional[str] = None,
+    poll_interval_s: float = 0.2,
+    drain: bool = False,
+    max_jobs: Optional[int] = None,
+    lease_s: float = DEFAULT_LEASE_S,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+) -> List[int]:
+    """Run ``workers`` worker processes over one queue.
+
+    Returns the worker exit codes.  ``workers=1`` runs the loop
+    in-process (no child process), which keeps single-worker serving
+    debuggable exactly like ``sweep(n_workers=1)``.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    JobQueue(queue_dir)  # create the layout before children race on it
+    ResultCache(_cache_root(queue_dir, cache_dir))
+    if workers == 1:
+        worker_loop(
+            queue_dir,
+            cache_dir=cache_dir,
+            poll_interval_s=poll_interval_s,
+            drain=drain,
+            max_jobs=max_jobs,
+            lease_s=lease_s,
+            max_attempts=max_attempts,
+        )
+        return [0]
+    import multiprocessing
+
+    children = [
+        multiprocessing.Process(
+            target=worker_loop,
+            args=(queue_dir,),
+            kwargs={
+                "cache_dir": cache_dir,
+                "poll_interval_s": poll_interval_s,
+                "drain": drain,
+                "max_jobs": max_jobs,
+                "lease_s": lease_s,
+                "max_attempts": max_attempts,
+                "owner": f"worker-{index}",
+            },
+            name=f"repro-serve-{index}",
+        )
+        for index in range(workers)
+    ]
+    for child in children:
+        child.start()
+    codes = []
+    try:
+        for child in children:
+            child.join()
+            codes.append(child.exitcode or 0)
+    except KeyboardInterrupt:
+        for child in children:
+            child.terminate()
+        for child in children:
+            child.join()
+        raise
+    return codes
+
+
+def status(queue_dir: str, job_id: Optional[str] = None) -> Dict:
+    """Queue counts, or one job's full record when ``job_id`` given."""
+    queue = JobQueue(queue_dir)
+    if job_id is not None:
+        return queue.read(job_id)
+    summary = {"queue": str(queue_dir), "counts": queue.counts()}
+    summary["jobs"] = {
+        state: queue.jobs(state) for state in ("claimed", "failed")
+    }
+    return summary
+
+
+def result(
+    queue_dir: str,
+    job_id: str,
+    cache_dir: Optional[str] = None,
+) -> Tuple[Dict, Optional[bytes]]:
+    """A finished job's ``(record, payload bytes)``.
+
+    The payload is ``None`` while the job is still pending/claimed, or
+    if its outcome was a failure.
+    """
+    queue = JobQueue(queue_dir)
+    record = queue.read(job_id)
+    outcome = record.get("outcome") or {}
+    key = outcome.get("cache_key")
+    if record.get("state") != "done" or not key:
+        return record, None
+    cache = ResultCache(_cache_root(queue_dir, cache_dir))
+    return record, cache.get(key)

@@ -1,7 +1,13 @@
 """Workload substrate: traces and generators.
 
 * :mod:`repro.workloads.trace` — the in-memory trace container plus an
-  ASCII on-disk format compatible in spirit with DiskSim's.
+  ASCII on-disk format compatible in spirit with DiskSim's
+  (transparently gzip-compressed for ``.gz`` paths).
+* :mod:`repro.workloads.formats` — SPC-1 and blktrace readers, format
+  detection, and the streaming ``convert``/``stat`` tools.
+* :mod:`repro.workloads.streaming` — :class:`StreamingTrace`, the
+  bounded-memory generator-backed trace for replaying files larger
+  than RAM.
 * :mod:`repro.workloads.synthetic` — the DiskSim-style synthetic
   generator used by the paper's §7.3 study (exponential inter-arrival;
   60 % reads, 20 % sequential).
@@ -10,7 +16,21 @@
   the published characteristics of Table 2.
 """
 
-from repro.workloads.trace import Trace, load_trace, save_trace
+from repro.workloads.trace import (
+    Trace,
+    load_trace,
+    open_trace_text,
+    save_trace,
+)
+from repro.workloads.formats import (
+    TRACE_FORMATS,
+    convert_trace,
+    detect_trace_format,
+    iter_trace_requests,
+    stat_trace,
+    write_trace_requests,
+)
+from repro.workloads.streaming import StreamingTrace
 from repro.workloads.synthetic import SyntheticWorkload
 from repro.workloads.closedloop import ClosedLoopClients, ClosedLoopResult
 from repro.workloads.bursty import BurstyWorkload
@@ -31,13 +51,21 @@ __all__ = [
     "ClosedLoopResult",
     "CommercialWorkload",
     "FINANCIAL",
+    "StreamingTrace",
     "SyntheticWorkload",
     "TPCC",
     "TPCH",
+    "TRACE_FORMATS",
     "Trace",
     "TraceProfile",
-    "profile_trace",
-    "WEBSEARCH",
+    "convert_trace",
+    "detect_trace_format",
+    "iter_trace_requests",
     "load_trace",
+    "open_trace_text",
+    "profile_trace",
     "save_trace",
+    "stat_trace",
+    "write_trace_requests",
+    "WEBSEARCH",
 ]

@@ -1,0 +1,374 @@
+"""Streaming readers and writers for on-disk trace formats.
+
+Three ASCII formats cover the traces the paper's studies were driven
+by (§7.1, Table 2) plus what modern tooling produces:
+
+``disksim``
+    This repo's native format (see :mod:`repro.workloads.trace`):
+    ``<arrival-ms> <disk> <lba> <size-sectors> <R|W>`` with ``#``
+    comments.
+
+``spc1``
+    The SPC-1 / UMass trace-repository CSV convention the paper's
+    Financial and Websearch traces are published in::
+
+        ASU,LBA,Size,Opcode,Timestamp
+
+    ``ASU`` (application storage unit) maps to ``source_disk``,
+    ``Size`` is in bytes (rounded up to whole sectors), ``Opcode`` is
+    ``r``/``R``/``w``/``W`` and ``Timestamp`` is in seconds.
+
+``blktrace``
+    The default ``blkparse`` per-event text output::
+
+        <maj,min> <cpu> <seq> <time-s> <pid> <action> <rwbs> \
+            <sector> + <nsectors> [process]
+
+    Only one event per request is replayed (default action ``Q``, the
+    queue-insertion event — the closest analogue of an open-loop
+    arrival); devices map to ``source_disk`` in order of first
+    appearance.  Lines that are not per-event records (blkparse
+    summaries, other actions, zero-sector barriers) are skipped and
+    counted.
+
+Every reader is a generator over :class:`~repro.disk.request.IORequest`
+— nothing is materialized, so a multi-million-request trace can be
+converted, profiled or replayed at a flat memory ceiling.  ``.gz``
+paths are handled transparently by
+:func:`repro.workloads.trace.open_trace_text`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Iterable, Iterator, Optional, Union
+
+from repro.disk.request import IORequest
+from repro.workloads.trace import (
+    Trace,
+    format_request_line,
+    open_trace_text,
+    parse_request_line,
+)
+
+__all__ = [
+    "TRACE_FORMATS",
+    "convert_trace",
+    "detect_trace_format",
+    "iter_trace_requests",
+    "stat_trace",
+    "write_trace_requests",
+]
+
+#: Formats readers/writers exist for, in documentation order.
+TRACE_FORMATS = ("disksim", "spc1", "blktrace")
+
+_SUFFIX_FORMATS = {
+    ".trace": "disksim",
+    ".dsim": "disksim",
+    ".txt": "disksim",
+    ".spc": "spc1",
+    ".spc1": "spc1",
+    ".csv": "spc1",
+    ".blktrace": "blktrace",
+    ".blkparse": "blktrace",
+}
+
+_MS_PER_S = 1000.0
+_SECTOR_BYTES = 512
+
+
+def detect_trace_format(path: Union[str, os.PathLike]) -> str:
+    """Infer a trace format from the path suffix (``.gz`` stripped).
+
+    Unknown suffixes default to the native ``disksim`` format, which
+    fails loudly on the first malformed line rather than guessing.
+    """
+    text = str(path)
+    if text.endswith(".gz"):
+        text = text[: -len(".gz")]
+    suffix = os.path.splitext(text)[1].lower()
+    return _SUFFIX_FORMATS.get(suffix, "disksim")
+
+
+def _iter_disksim(
+    handle: Iterable[str], where: str, skipped: Dict[str, int]
+) -> Iterator[IORequest]:
+    for line_number, line in enumerate(handle, start=1):
+        text = line.strip()
+        if not text or text.startswith("#"):
+            skipped["comments"] += 1
+            continue
+        yield parse_request_line(text, where=f"{where}:{line_number}")
+
+
+def _iter_spc1(
+    handle: Iterable[str], where: str, skipped: Dict[str, int]
+) -> Iterator[IORequest]:
+    for line_number, line in enumerate(handle, start=1):
+        text = line.strip()
+        if not text or text.startswith("#"):
+            skipped["comments"] += 1
+            continue
+        fields = text.split(",")
+        if len(fields) < 5:
+            raise ValueError(
+                f"{where}:{line_number}: expected 5 comma-separated "
+                f"SPC-1 fields (ASU,LBA,Size,Opcode,Timestamp), got "
+                f"{len(fields)}: {text!r}"
+            )
+        asu, lba, size_bytes, opcode, timestamp = (
+            field.strip() for field in fields[:5]
+        )
+        kind = opcode.upper()
+        if kind not in ("R", "W"):
+            raise ValueError(
+                f"{where}:{line_number}: SPC-1 opcode must be r or w, "
+                f"got {opcode!r}"
+            )
+        size = max(1, (int(size_bytes) + _SECTOR_BYTES - 1) // _SECTOR_BYTES)
+        yield IORequest(
+            lba=int(lba),
+            size=size,
+            is_read=kind == "R",
+            arrival_time=float(timestamp) * _MS_PER_S,
+            source_disk=int(asu),
+        )
+
+
+def _iter_blktrace(
+    handle: Iterable[str],
+    where: str,
+    skipped: Dict[str, int],
+    action: str = "Q",
+) -> Iterator[IORequest]:
+    device_ids: Dict[str, int] = {}
+    for line in handle:
+        fields = line.split()
+        # Per-event records have at least: dev cpu seq time pid action
+        # rwbs sector + nsectors.  Everything else (blank lines, the
+        # blkparse per-CPU summary block, truncated lines) is skipped.
+        if len(fields) < 10 or fields[8] != "+":
+            skipped["non_event"] += 1
+            continue
+        try:
+            timestamp = float(fields[3])
+            sector = int(fields[7])
+            nsectors = int(fields[9])
+        except ValueError:
+            skipped["non_event"] += 1
+            continue
+        if fields[5] != action:
+            skipped["other_action"] += 1
+            continue
+        rwbs = fields[6].upper()
+        if "R" in rwbs:
+            is_read = True  # plain reads and readahead ('RA') alike
+        elif "W" in rwbs or "D" in rwbs:
+            is_read = False  # writes; discards modelled as writes
+        else:
+            skipped["no_data"] += 1
+            continue
+        if nsectors <= 0:
+            skipped["no_data"] += 1
+            continue
+        device = fields[0]
+        source = device_ids.setdefault(device, len(device_ids))
+        yield IORequest(
+            lba=sector,
+            size=nsectors,
+            is_read=is_read,
+            arrival_time=timestamp * _MS_PER_S,
+            source_disk=source,
+        )
+
+
+_READERS: Dict[str, Callable] = {
+    "disksim": _iter_disksim,
+    "spc1": _iter_spc1,
+    "blktrace": _iter_blktrace,
+}
+
+
+def iter_trace_requests(
+    path: Union[str, os.PathLike],
+    trace_format: Optional[str] = None,
+    skipped: Optional[Dict[str, int]] = None,
+) -> Iterator[IORequest]:
+    """Stream the requests of a trace file, one at a time.
+
+    ``trace_format`` defaults to :func:`detect_trace_format`;
+    ``skipped``, when given, accumulates per-reason counts of lines
+    the reader ignored (comments, non-event blktrace records, ...).
+    """
+    chosen = trace_format or detect_trace_format(path)
+    try:
+        reader = _READERS[chosen]
+    except KeyError:
+        raise ValueError(
+            f"unknown trace format {chosen!r}; choose from "
+            f"{', '.join(TRACE_FORMATS)}"
+        ) from None
+    counts = skipped if skipped is not None else _new_skip_counts()
+    with open_trace_text(path, "r") as handle:
+        yield from reader(handle, str(path), counts)
+
+
+def _new_skip_counts() -> Dict[str, int]:
+    return {
+        "comments": 0,
+        "non_event": 0,
+        "other_action": 0,
+        "no_data": 0,
+    }
+
+
+def _format_spc1_line(request: IORequest) -> str:
+    opcode = "r" if request.is_read else "w"
+    return (
+        f"{request.source_disk},{request.lba},"
+        f"{request.size * _SECTOR_BYTES},{opcode},"
+        f"{request.arrival_time / _MS_PER_S:.6f}"
+    )
+
+
+def write_trace_requests(
+    path: Union[str, os.PathLike],
+    requests: Iterable[IORequest],
+    trace_format: str = "disksim",
+    name: str = "trace",
+) -> int:
+    """Stream ``requests`` to ``path`` in ``trace_format``; returns the
+    request count.  ``blktrace`` is read-only (it is a kernel event
+    log, not a replay format)."""
+    if trace_format == "disksim":
+        formatter = format_request_line
+        header = [f"# trace: {name}", "# arrival_ms disk lba size kind"]
+    elif trace_format == "spc1":
+        formatter = _format_spc1_line
+        header = []
+    else:
+        raise ValueError(
+            f"cannot write format {trace_format!r}; choose from "
+            "disksim, spc1"
+        )
+    count = 0
+    with open_trace_text(path, "w") as handle:
+        for line in header:
+            handle.write(line + "\n")
+        for request in requests:
+            handle.write(formatter(request) + "\n")
+            count += 1
+    return count
+
+
+def convert_trace(
+    src: Union[str, os.PathLike],
+    dst: Union[str, os.PathLike],
+    in_format: Optional[str] = None,
+    out_format: Optional[str] = None,
+    sort: bool = False,
+    limit: Optional[int] = None,
+    name: Optional[str] = None,
+) -> Dict:
+    """Convert a trace file between formats, streaming by default.
+
+    ``sort=True`` materializes the trace to reorder non-monotone
+    arrivals (stable, so equal arrivals keep file order); without it
+    the conversion is a flat-memory pass and out-of-order inputs are
+    passed through untouched (the replay layer validates arrival
+    order).  ``limit`` truncates to the first N requests.  Returns a
+    summary dict (requests written, skipped-line counts, formats).
+    """
+    if limit is not None and limit <= 0:
+        raise ValueError(f"limit must be positive, got {limit}")
+    chosen_in = in_format or detect_trace_format(src)
+    chosen_out = out_format or detect_trace_format(dst)
+    skipped = _new_skip_counts()
+    stream: Iterable[IORequest] = iter_trace_requests(
+        src, chosen_in, skipped=skipped
+    )
+    if limit is not None:
+        stream = _truncate(stream, limit)
+    trace_name = name or _stem(dst)
+    if sort:
+        stream = Trace(stream, name=trace_name, sort=True)
+    written = write_trace_requests(
+        dst, stream, trace_format=chosen_out, name=trace_name
+    )
+    return {
+        "src": str(src),
+        "dst": str(dst),
+        "in_format": chosen_in,
+        "out_format": chosen_out,
+        "requests": written,
+        "sorted": sort,
+        "skipped": {k: v for k, v in skipped.items() if v},
+    }
+
+
+def _truncate(
+    stream: Iterable[IORequest], limit: int
+) -> Iterator[IORequest]:
+    for index, request in enumerate(stream):
+        if index >= limit:
+            return
+        yield request
+
+
+def _stem(path: Union[str, os.PathLike]) -> str:
+    base = os.path.basename(str(path))
+    if base.endswith(".gz"):
+        base = base[: -len(".gz")]
+    return os.path.splitext(base)[0]
+
+
+def stat_trace(
+    path: Union[str, os.PathLike],
+    trace_format: Optional[str] = None,
+) -> Dict:
+    """One streaming pass over a trace file: the same summary a
+    :class:`~repro.workloads.trace.Trace` reports, without
+    materializing, plus skipped-line counts and a monotonicity flag."""
+    chosen = trace_format or detect_trace_format(path)
+    skipped = _new_skip_counts()
+    count = 0
+    reads = 0
+    size_total = 0
+    first_arrival = 0.0
+    last_arrival = 0.0
+    monotone = True
+    disks = set()
+    last_end: Dict[int, int] = {}
+    sequential = 0
+    for request in iter_trace_requests(path, chosen, skipped=skipped):
+        if count == 0:
+            first_arrival = request.arrival_time
+        elif request.arrival_time < last_arrival:
+            monotone = False
+        last_arrival = request.arrival_time
+        count += 1
+        if request.is_read:
+            reads += 1
+        size_total += request.size
+        disks.add(request.source_disk)
+        if last_end.get(request.source_disk) == request.lba:
+            sequential += 1
+        last_end[request.source_disk] = request.end_lba
+    duration = last_arrival - first_arrival if count else 0.0
+    return {
+        "name": _stem(path),
+        "path": str(path),
+        "format": chosen,
+        "requests": count,
+        "duration_ms": duration,
+        "mean_interarrival_ms": duration / (count - 1) if count > 1 else 0.0,
+        "read_fraction": reads / count if count else 0.0,
+        "mean_size_sectors": size_total / count if count else 0.0,
+        "disks": len(disks),
+        "sequential_fraction": (
+            sequential / (count - 1) if count > 1 else 0.0
+        ),
+        "monotone": monotone,
+        "skipped": {k: v for k, v in skipped.items() if v},
+    }

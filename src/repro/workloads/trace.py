@@ -6,16 +6,38 @@ request per line:
     <arrival-time-ms> <disk> <lba> <size-sectors> <R|W>
 
 Lines beginning with ``#`` are comments.  Times must be non-decreasing.
+
+Paths ending in ``.gz`` are read and written through gzip
+transparently (both here and in the streaming readers of
+:mod:`repro.workloads.formats`), so multi-million-request fixtures
+stay small on disk.
 """
 
 from __future__ import annotations
 
+import gzip
 import os
-from typing import Iterable, Iterator, List, Optional, Union
+from typing import IO, Iterable, Iterator, List, Optional, Union
 
 from repro.disk.request import IORequest
 
-__all__ = ["Trace", "load_trace", "save_trace"]
+__all__ = ["Trace", "load_trace", "open_trace_text", "save_trace"]
+
+
+def open_trace_text(
+    path: Union[str, os.PathLike], mode: str = "r"
+) -> IO[str]:
+    """Open a trace file as ASCII text, gunzipping ``.gz`` paths.
+
+    ``mode`` is ``"r"`` or ``"w"``; the gzip layer is chosen purely by
+    the ``.gz`` suffix so a converted trace keeps working wherever the
+    uncompressed one did.
+    """
+    if mode not in ("r", "w"):
+        raise ValueError(f"mode must be 'r' or 'w', got {mode!r}")
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="ascii")
+    return open(path, mode, encoding="ascii")
 
 
 class Trace:
@@ -33,13 +55,18 @@ class Trace:
             # Stable, so simultaneous arrivals keep their input order
             # (and therefore their FCFS tie-break behaviour).
             self.requests.sort(key=lambda request: request.arrival_time)
-            return
+        # Sorted and pre-sorted traces share one validation path: a
+        # sorted list passes trivially, and any future invariant added
+        # here automatically covers both construction modes.
+        self._validate_monotone()
+
+    def _validate_monotone(self) -> None:
         for index, (earlier, later) in enumerate(
             zip(self.requests, self.requests[1:])
         ):
             if later.arrival_time < earlier.arrival_time:
                 raise ValueError(
-                    f"trace {name!r} arrival times not monotone at "
+                    f"trace {self.name!r} arrival times not monotone at "
                     f"request {index + 1}: {later.arrival_time} after "
                     f"{earlier.arrival_time}; pass sort=True to reorder"
                 )
@@ -106,17 +133,54 @@ class Trace:
         }
 
 
-def save_trace(path: Union[str, os.PathLike], trace: Trace) -> None:
-    """Write a trace in the ASCII format described in the module docs."""
-    with open(path, "w", encoding="ascii") as handle:
-        handle.write(f"# trace: {trace.name}\n")
+def format_request_line(request: IORequest) -> str:
+    """One request in the on-disk ASCII format (no trailing newline)."""
+    kind = "R" if request.is_read else "W"
+    return (
+        f"{request.arrival_time:.6f} {request.source_disk} "
+        f"{request.lba} {request.size} {kind}"
+    )
+
+
+def parse_request_line(
+    text: str, where: str = "<line>"
+) -> IORequest:
+    """Parse one non-comment trace line; ``where`` labels errors."""
+    fields = text.split()
+    if len(fields) != 5:
+        raise ValueError(
+            f"{where}: expected 5 fields, got {len(fields)}: {text!r}"
+        )
+    arrival, disk, lba, size, kind = fields
+    if kind.upper() not in ("R", "W"):
+        raise ValueError(f"{where}: kind must be R or W, got {kind!r}")
+    return IORequest(
+        lba=int(lba),
+        size=int(size),
+        is_read=kind.upper() == "R",
+        arrival_time=float(arrival),
+        source_disk=int(disk),
+    )
+
+
+def save_trace(
+    path: Union[str, os.PathLike],
+    trace: Iterable[IORequest],
+    name: Optional[str] = None,
+) -> None:
+    """Write a trace in the ASCII format described in the module docs.
+
+    ``trace`` may be a :class:`Trace` or any iterable of requests (a
+    generator streams straight to disk without materializing); ``.gz``
+    paths are gzip-compressed.  ``name`` overrides the header comment
+    (defaults to ``trace.name`` when present).
+    """
+    header = name or getattr(trace, "name", "trace")
+    with open_trace_text(path, "w") as handle:
+        handle.write(f"# trace: {header}\n")
         handle.write("# arrival_ms disk lba size kind\n")
         for request in trace:
-            kind = "R" if request.is_read else "W"
-            handle.write(
-                f"{request.arrival_time:.6f} {request.source_disk} "
-                f"{request.lba} {request.size} {kind}\n"
-            )
+            handle.write(format_request_line(request) + "\n")
 
 
 def load_trace(
@@ -124,30 +188,16 @@ def load_trace(
 ) -> Trace:
     """Read a trace written by :func:`save_trace` (or hand-authored)."""
     requests: List[IORequest] = []
-    with open(path, "r", encoding="ascii") as handle:
+    with open_trace_text(path, "r") as handle:
         for line_number, line in enumerate(handle, start=1):
             text = line.strip()
             if not text or text.startswith("#"):
                 continue
-            fields = text.split()
-            if len(fields) != 5:
-                raise ValueError(
-                    f"{path}:{line_number}: expected 5 fields, got "
-                    f"{len(fields)}: {text!r}"
-                )
-            arrival, disk, lba, size, kind = fields
-            if kind.upper() not in ("R", "W"):
-                raise ValueError(
-                    f"{path}:{line_number}: kind must be R or W, got {kind!r}"
-                )
             requests.append(
-                IORequest(
-                    lba=int(lba),
-                    size=int(size),
-                    is_read=kind.upper() == "R",
-                    arrival_time=float(arrival),
-                    source_disk=int(disk),
-                )
+                parse_request_line(text, where=f"{path}:{line_number}")
             )
-    trace_name = name or os.path.splitext(os.path.basename(str(path)))[0]
+    base = os.path.basename(str(path))
+    if base.endswith(".gz"):
+        base = base[: -len(".gz")]
+    trace_name = name or os.path.splitext(base)[0]
     return Trace(requests, name=trace_name)

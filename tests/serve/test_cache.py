@@ -1,0 +1,44 @@
+"""Tests for the content-addressed result cache."""
+
+import pytest
+
+from repro.serve.cache import ResultCache
+
+KEY = "ab" * 32
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestResultCache:
+    def test_miss_returns_none(self, cache):
+        assert cache.get(KEY) is None
+        assert KEY not in cache
+
+    def test_put_then_get(self, cache):
+        assert cache.put(KEY, b"payload\n")
+        assert KEY in cache
+        assert cache.get(KEY) == b"payload\n"
+
+    def test_first_write_wins(self, cache):
+        assert cache.put(KEY, b"first\n")
+        assert not cache.put(KEY, b"second\n")
+        assert cache.get(KEY) == b"first\n"
+
+    def test_fan_out_layout(self, cache, tmp_path):
+        cache.put(KEY, b"x")
+        assert (tmp_path / "cache" / KEY[:2] / f"{KEY}.json").is_file()
+
+    def test_bad_keys_rejected(self, cache):
+        for bad in ("", "ab", "XYZ123", "ab/../../etc"):
+            with pytest.raises(ValueError, match="bad cache key"):
+                cache.get(bad)
+
+    def test_keys_and_len(self, cache):
+        other = "cd" * 32
+        cache.put(KEY, b"x")
+        cache.put(other, b"y")
+        assert cache.keys() == sorted([KEY, other])
+        assert len(cache) == 2

@@ -1,0 +1,214 @@
+"""Tests for the persistent on-disk job queue."""
+
+import json
+import os
+
+import pytest
+
+from repro.serve.queue import JobQueue
+
+
+@pytest.fixture
+def queue(tmp_path):
+    return JobQueue(tmp_path / "q")
+
+
+class TestLayout:
+    def test_creates_state_directories(self, tmp_path):
+        JobQueue(tmp_path / "q")
+        for state in ("pending", "claimed", "done", "failed"):
+            assert (tmp_path / "q" / state).is_dir()
+
+    def test_bad_parameters_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="lease_s"):
+            JobQueue(tmp_path / "q", lease_s=0)
+        with pytest.raises(ValueError, match="max_attempts"):
+            JobQueue(tmp_path / "q", max_attempts=0)
+
+
+class TestEnqueueClaimAck:
+    def test_enqueue_then_claim(self, queue):
+        queue.enqueue("job-1", {"spec": {"x": 1}})
+        record = queue.claim(owner="w0")
+        assert record["job_id"] == "job-1"
+        assert record["spec"] == {"x": 1}
+        assert queue.counts() == {
+            "pending": 0, "claimed": 1, "done": 0, "failed": 0
+        }
+
+    def test_claim_order_is_sorted(self, queue):
+        queue.enqueue("job-b", {})
+        queue.enqueue("job-a", {})
+        assert queue.claim()["job_id"] == "job-a"
+        assert queue.claim()["job_id"] == "job-b"
+
+    def test_claim_empty_returns_none(self, queue):
+        assert queue.claim() is None
+
+    def test_claim_writes_lease(self, queue):
+        queue.enqueue("job-1", {})
+        queue.claim(owner="w0")
+        lease_path = queue._lease_path("job-1")
+        assert os.path.exists(lease_path)
+        with open(lease_path) as handle:
+            lease = json.load(handle)
+        assert lease["owner"] == "w0"
+        assert lease["pid"] == os.getpid()
+        assert lease["expires_at"] > lease["claimed_at"]
+
+    def test_duplicate_enqueue_rejected_across_states(self, queue):
+        queue.enqueue("job-1", {})
+        with pytest.raises(ValueError, match="already exists"):
+            queue.enqueue("job-1", {})
+        queue.claim()
+        with pytest.raises(ValueError, match="already exists"):
+            queue.enqueue("job-1", {})
+        queue.ack("job-1", {"status": "done"})
+        with pytest.raises(ValueError, match="already exists"):
+            queue.enqueue("job-1", {})
+
+    def test_bad_job_id_rejected(self, queue):
+        with pytest.raises(ValueError, match="bad job id"):
+            queue.enqueue("", {})
+        with pytest.raises(ValueError, match="bad job id"):
+            queue.enqueue("../escape", {})
+
+    def test_ack_done_and_failed(self, queue):
+        queue.enqueue("job-1", {})
+        queue.enqueue("job-2", {})
+        queue.claim()
+        queue.claim()
+        queue.ack("job-1", {"status": "done"}, state="done")
+        queue.ack("job-2", {"status": "failed"}, state="failed")
+        assert queue.read("job-1")["state"] == "done"
+        assert queue.read("job-2")["state"] == "failed"
+        assert not os.path.exists(queue._lease_path("job-1"))
+
+    def test_ack_requires_claim(self, queue):
+        queue.enqueue("job-1", {})
+        with pytest.raises(ValueError, match="not claimed"):
+            queue.ack("job-1", {})
+
+    def test_ack_state_validated(self, queue):
+        queue.enqueue("job-1", {})
+        queue.claim()
+        with pytest.raises(ValueError, match="done/failed"):
+            queue.ack("job-1", {}, state="pending")
+
+    def test_read_unknown_job(self, queue):
+        with pytest.raises(ValueError, match="no job"):
+            queue.read("ghost")
+
+
+class TestRequeue:
+    def test_healthy_claim_not_requeued(self, queue):
+        queue.enqueue("job-1", {})
+        queue.claim()
+        assert queue.requeue_stale() == []
+        assert queue.counts()["claimed"] == 1
+
+    def test_expired_lease_requeued_with_attempt_bump(self, tmp_path):
+        queue = JobQueue(tmp_path / "q", lease_s=0.001)
+        queue.enqueue("job-1", {})
+        queue.claim()
+        import time
+
+        time.sleep(0.01)
+        assert queue.requeue_stale() == ["job-1"]
+        record = queue.read("job-1")
+        assert record["state"] == "pending"
+        assert record["attempts"] == 1
+        assert not os.path.exists(queue._lease_path("job-1"))
+
+    def test_missing_lease_treated_as_crash(self, queue):
+        queue.enqueue("job-1", {})
+        queue.claim()
+        os.unlink(queue._lease_path("job-1"))
+        assert queue.requeue_stale() == ["job-1"]
+
+    def test_dead_pid_requeued_before_expiry(self, queue):
+        queue.enqueue("job-1", {})
+        queue.claim()
+        lease_path = queue._lease_path("job-1")
+        with open(lease_path) as handle:
+            lease = json.load(handle)
+        # Max pid is bounded well below this on Linux; verifiably dead.
+        lease["pid"] = 2 ** 22 + 1
+        os.unlink(lease_path)
+        with open(lease_path, "w") as handle:
+            json.dump(lease, handle)
+        assert queue.requeue_stale() == ["job-1"]
+
+    def test_exhausted_attempts_fail_the_job(self, tmp_path):
+        queue = JobQueue(tmp_path / "q", lease_s=0.001, max_attempts=2)
+        queue.enqueue("job-1", {})
+        import time
+
+        for _ in range(2):
+            queue.claim()
+            time.sleep(0.01)
+            queue.requeue_stale()
+        record = queue.read("job-1")
+        assert record["state"] == "failed"
+        assert record["attempts"] == 2
+        assert record["outcome"]["error"] == "requeue-exhausted"
+
+    def test_torn_lease_file_treated_as_missing(self, queue):
+        queue.enqueue("job-1", {})
+        queue.claim()
+        with open(queue._lease_path("job-1"), "w") as handle:
+            handle.write('{"pid": 12')  # crashed mid-write
+        assert queue.requeue_stale() == ["job-1"]
+
+    def test_requeued_job_claimable_again(self, tmp_path):
+        queue = JobQueue(tmp_path / "q", lease_s=0.001)
+        queue.enqueue("job-1", {})
+        queue.claim()
+        import time
+
+        time.sleep(0.01)
+        queue.requeue_stale()
+        record = queue.claim()
+        assert record["job_id"] == "job-1"
+        queue.ack("job-1", {"status": "done"})
+        assert queue.read("job-1")["state"] == "done"
+
+
+class TestConcurrency:
+    def test_many_processes_claim_each_job_exactly_once(self, tmp_path):
+        """The atomic-rename arbiter: N processes, no double-claims."""
+        import multiprocessing
+
+        root = tmp_path / "q"
+        queue = JobQueue(root)
+        jobs = [f"job-{i:03d}" for i in range(24)]
+        for job_id in jobs:
+            queue.enqueue(job_id, {})
+
+        def drain(root, out):
+            q = JobQueue(root)
+            claimed = []
+            while True:
+                record = q.claim()
+                if record is None:
+                    break
+                claimed.append(record["job_id"])
+                q.ack(record["job_id"], {"status": "done"})
+            out.extend(claimed)
+
+        manager = multiprocessing.Manager()
+        outs = [manager.list() for _ in range(4)]
+        procs = [
+            multiprocessing.Process(target=drain, args=(str(root), out))
+            for out in outs
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join()
+        assert all(proc.exitcode == 0 for proc in procs)
+        all_claimed = [job for out in outs for job in out]
+        assert sorted(all_claimed) == jobs  # every job once, none twice
+        assert queue.counts() == {
+            "pending": 0, "claimed": 0, "done": 24, "failed": 0
+        }

@@ -83,6 +83,35 @@ class TestTrace:
         assert summary["disks"] == 2
 
 
+class TestValidation:
+    def test_non_monotone_error_names_offender_and_hints_sort(self):
+        requests = make_requests()
+        requests[2].arrival_time = 0.5
+        with pytest.raises(ValueError, match="request 2.*sort=True"):
+            Trace(requests, name="demo")
+
+    def test_sorted_construction_still_validated(self):
+        # The sort=True path must run the same validation as the
+        # pre-sorted one (it used to return early and skip it); a
+        # sorted result passes, and both modes accept equal arrivals.
+        requests = make_requests()
+        requests[0].arrival_time = 9.0
+        trace = Trace(requests, sort=True)
+        assert [r.arrival_time for r in trace] == [2.5, 5.0, 9.0]
+        Trace(trace.requests)  # pre-sorted path agrees
+
+    def test_equal_arrival_fcfs_tie_break_preserved_by_sort(self):
+        # Simultaneous arrivals must keep file order under sort=True,
+        # so FCFS queueing sees them in submission order.
+        requests = [
+            IORequest(lba=lba, size=8, is_read=True, arrival_time=1.0,
+                      source_disk=0)
+            for lba in (300, 100, 200)
+        ]
+        trace = Trace(requests, sort=True)
+        assert [r.lba for r in trace] == [300, 100, 200]
+
+
 class TestIO:
     def test_roundtrip(self, tmp_path):
         original = Trace(make_requests(), name="roundtrip")
@@ -125,3 +154,59 @@ class TestIO:
         path = tmp_path / "t.txt"
         path.write_text("0.0 0 100 8 w\n")
         assert not load_trace(path)[0].is_read
+
+    def test_non_monotone_file_rejected_on_load(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("5.0 0 100 8 R\n1.0 0 200 8 W\n")
+        with pytest.raises(ValueError, match="monotone"):
+            load_trace(path)
+
+    def test_gzip_roundtrip(self, tmp_path):
+        import gzip
+
+        original = Trace(make_requests(), name="zipped")
+        path = tmp_path / "zipped.trace.gz"
+        save_trace(path, original)
+        with open(path, "rb") as handle:
+            assert handle.read(2) == b"\x1f\x8b"  # actually gzipped
+        loaded = load_trace(path)
+        assert loaded.name == "zipped"  # .gz stripped before the stem
+        assert len(loaded) == 3
+        for a, b in zip(original, loaded):
+            assert (a.lba, a.size, a.is_read, a.source_disk) == (
+                b.lba, b.size, b.is_read, b.source_disk
+            )
+            assert a.arrival_time == pytest.approx(b.arrival_time)
+        with gzip.open(path, "rt") as handle:
+            assert handle.readline() == "# trace: zipped\n"
+
+    def test_comments_and_blank_lines_roundtrip(self, tmp_path):
+        # A hand-annotated trace survives load -> save -> load: the
+        # requests round-trip even though comments are not preserved.
+        path = tmp_path / "annotated.txt"
+        path.write_text(
+            "# hand-written header\n"
+            "\n"
+            "0.0 0 100 8 R\n"
+            "# interleaved comment\n"
+            "1.0 1 200 16 W\n"
+            "\n"
+        )
+        first = load_trace(path)
+        assert len(first) == 2
+        resaved = tmp_path / "resaved.txt"
+        save_trace(resaved, first)
+        second = load_trace(resaved)
+        assert [(r.lba, r.size) for r in second] == [(100, 8), (200, 16)]
+
+    def test_save_trace_streams_any_iterable(self, tmp_path):
+        def generate():
+            for i in range(4):
+                yield IORequest(lba=i * 8, size=8, is_read=True,
+                                arrival_time=float(i), source_disk=0)
+
+        path = tmp_path / "gen.trace"
+        save_trace(path, generate(), name="from-generator")
+        loaded = load_trace(path)
+        assert len(loaded) == 4
+        assert path.read_text().startswith("# trace: from-generator\n")
