@@ -22,7 +22,12 @@ Usage (``python -m repro <command> ...``)::
     python -m repro serve --queue q --workers 4 --drain
     python -m repro submit --queue q --workload websearch
     python -m repro status --queue q          # or: status --queue q ID
+    python -m repro status --queue q --metrics   # + merged worker metrics
     python -m repro result --queue q ID -o payload.json
+    python -m repro serve --queue q --drain --metrics m.prom
+    python -m repro metrics --queue q         # merged Prometheus snapshot
+    python -m repro metrics --queue q --watch # live terminal dashboard
+    python -m repro fig5 --metrics fig5.prom  # meter any command's runs
 
 Every command prints the same plain-text tables the benchmark harness
 asserts against.  ``--trace PATH`` records a request-lifecycle trace of
@@ -30,7 +35,13 @@ the command (Chrome trace-event JSON, loadable in ui.perfetto.dev)
 without changing any figure; the dedicated ``trace`` subcommand runs a
 named experiment with richer per-arm instrumentation, and ``report``
 turns a traced run (or a previously exported trace) into utilization,
-queue-depth and bottleneck-attribution analytics.
+queue-depth and bottleneck-attribution analytics.  ``--metrics PATH``
+works the same way for live operational metrics: the command runs under
+an ambient :class:`~repro.obs.metrics.MetricsRegistry` and writes a
+Prometheus text exposition (or a JSONL snapshot for a ``.jsonl`` path)
+on exit, again without changing any figure; the ``metrics`` subcommand
+reads the merged per-worker snapshots of a serve queue, one-shot or as
+a ``--watch`` dashboard.
 """
 
 from __future__ import annotations
@@ -229,7 +240,7 @@ def _list(args) -> None:
     print(
         "other commands: all, results, report, scorecard, faults, "
         "workloads, simulate, bench, trace, serve, submit, status, "
-        "result, list"
+        "result, metrics, list"
     )
 
 
@@ -624,7 +635,7 @@ def _status(args) -> None:
     from repro.serve.service import status
 
     try:
-        summary = status(args.queue, args.job_id)
+        summary = status(args.queue, args.job_id, metrics=args.metrics)
     except (OSError, ValueError) as error:
         raise SystemExit(f"status: {error}")
     print(json.dumps(summary, indent=2, sort_keys=True))
@@ -652,6 +663,60 @@ def _result(args) -> None:
         print(f"wrote {args.output} ({len(payload)} bytes)")
     else:
         print(json.dumps(json.loads(payload), indent=2, sort_keys=True))
+
+
+def _metrics(args) -> None:
+    """``repro metrics --queue Q``: merged worker-metrics snapshot."""
+    import json
+    import time
+
+    from repro.obs.dashboard import format_dashboard, watch_metrics
+    from repro.obs.metrics import render_prometheus, write_prometheus
+    from repro.serve.service import merged_queue_metrics
+
+    if args.watch:
+        try:
+            frames = watch_metrics(
+                args.queue,
+                interval_s=args.interval,
+                iterations=args.iterations,
+            )
+        except (OSError, ValueError) as error:
+            raise SystemExit(f"metrics: {error}")
+        print(f"metrics: watched {frames} frame(s)")
+        return
+    try:
+        registry, workers = merged_queue_metrics(args.queue)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"metrics: {error}")
+    if args.format == "prom":
+        text = render_prometheus(registry)
+    elif args.format == "json":
+        text = (
+            json.dumps(registry.snapshot(), indent=2, sort_keys=True)
+            + "\n"
+        )
+    else:
+        text = (
+            format_dashboard(
+                registry,
+                workers=workers,
+                title=f"queue {args.queue}",
+                now=time.time(),
+            )
+            + "\n"
+        )
+    if args.output:
+        if args.format == "prom":
+            write_prometheus(registry, args.output)
+        else:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        print(
+            f"wrote {args.output} ({registry.sample_count()} series)"
+        )
+    else:
+        print(text, end="")
 
 
 def _simulate(args) -> None:
@@ -701,6 +766,20 @@ def _simulate(args) -> None:
             title=f"{workload.name}: {args.requests} requests",
             float_format="{:.2f}",
         )
+    )
+
+
+def _add_metrics_flag(command) -> None:
+    command.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help=(
+            "collect live operational metrics for this command and "
+            "write them to PATH on exit (Prometheus text exposition; "
+            "a .jsonl suffix appends one JSON snapshot line instead); "
+            "figures are unchanged"
+        ),
     )
 
 
@@ -755,6 +834,7 @@ def build_parser() -> argparse.ArgumentParser:
                 "ui.perfetto.dev); figures are unchanged"
             ),
         )
+        _add_metrics_flag(command)
         return command
 
     for name in ARTIFACTS:
@@ -1002,6 +1082,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="convert at most this many requests",
     )
+    _add_metrics_flag(trace)
 
     report = sub.add_parser(
         "report",
@@ -1072,6 +1153,7 @@ def build_parser() -> argparse.ArgumentParser:
             "(limit_study) and RAID members (rebuild); default 4"
         ),
     )
+    _add_metrics_flag(report)
 
     def add_queue(command):
         command.add_argument(
@@ -1128,6 +1210,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=3,
         help="requeue attempts before a job is failed (default 3)",
     )
+    _add_metrics_flag(serve)
 
     submit = sub.add_parser(
         "submit",
@@ -1206,6 +1289,7 @@ def build_parser() -> argparse.ArgumentParser:
             "from the cache key; default 65536)"
         ),
     )
+    _add_metrics_flag(submit)
 
     status_cmd = sub.add_parser(
         "status",
@@ -1218,6 +1302,14 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default=None,
         help="job id to inspect (default: whole-queue summary)",
+    )
+    status_cmd.add_argument(
+        "--metrics",
+        action="store_true",
+        help=(
+            "include the merged worker-metrics snapshot and worker "
+            "heartbeats in the summary"
+        ),
     )
 
     result_cmd = sub.add_parser(
@@ -1232,6 +1324,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         default=None,
         help="write the payload bytes here (default: pretty-print)",
+    )
+
+    metrics_cmd = sub.add_parser(
+        "metrics",
+        help=(
+            "merged live-metrics snapshot of a serve queue: one-shot "
+            "table/Prometheus/JSON, or a --watch terminal dashboard"
+        ),
+    )
+    metrics_cmd.set_defaults(handler=_metrics)
+    add_queue(metrics_cmd)
+    metrics_cmd.add_argument(
+        "--watch",
+        action="store_true",
+        help=(
+            "poll the queue's worker snapshots and redraw a terminal "
+            "dashboard until interrupted"
+        ),
+    )
+    metrics_cmd.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="--watch refresh interval in seconds (default 2)",
+    )
+    metrics_cmd.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="--watch frame count (default: until interrupted)",
+    )
+    metrics_cmd.add_argument(
+        "--format",
+        choices=("table", "prom", "json"),
+        default="table",
+        help=(
+            "one-shot output: human table (default), Prometheus text "
+            "exposition, or the JSON snapshot"
+        ),
+    )
+    metrics_cmd.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the snapshot here instead of stdout",
     )
 
     simulate = add("simulate", _simulate, "run one custom configuration")
@@ -1258,16 +1395,50 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    if isinstance(metrics_path, bool):
+        # ``status --metrics`` is a boolean summary toggle handled by
+        # its own handler, not an ambient recording session.
+        metrics_path = None
+
+    def invoke() -> None:
+        if metrics_path:
+            import time
+
+            from repro.obs.metrics import (
+                append_snapshot_jsonl,
+                metrics_session,
+                write_prometheus,
+            )
+
+            with metrics_session() as registry:
+                args.handler(args)
+            if str(metrics_path).endswith(".jsonl"):
+                append_snapshot_jsonl(
+                    registry,
+                    metrics_path,
+                    now=time.time(),
+                    meta={"command": args.command},
+                )
+            else:
+                write_prometheus(registry, metrics_path)
+            print(
+                f"wrote {metrics_path} "
+                f"({registry.sample_count()} series)"
+            )
+        else:
+            args.handler(args)
+
     if trace_path:
         from repro.obs.export import write_chrome_trace
         from repro.obs.tracer import tracing
 
         with tracing() as tracer:
-            args.handler(args)
+            invoke()
         write_chrome_trace(tracer, trace_path)
         print(f"wrote {trace_path} ({len(tracer.spans)} spans)")
     else:
-        args.handler(args)
+        invoke()
     return 0
 
 

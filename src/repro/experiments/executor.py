@@ -26,13 +26,15 @@ serial call.
 
 Observability
 -------------
-When an ambient tracer (:func:`repro.obs.tracing`) is active, a
-multi-process sweep transparently collects each worker's spans and
-telemetry: the job is wrapped so the worker runs it under a fresh
-tracer and ships the recorded payload back with the result, and the
-parent merges the payloads into the ambient tracer in job order —
-deterministic, and without re-running anything.  Tracing never changes
-job *results*; the figures stay bit-identical to an untraced sweep.
+When an ambient tracer (:func:`repro.obs.tracing`) or an ambient
+metrics registry (:func:`repro.obs.metrics_session`) is active, a
+multi-process sweep transparently collects each worker's spans,
+telemetry and live metrics: the job is wrapped so the worker runs it
+under fresh collectors and ships the recorded payloads back with the
+result, and the parent merges them into the ambient collectors in job
+order — deterministic, and without re-running anything.  Neither
+tracing nor metrics ever changes job *results*; the figures stay
+bit-identical to an unobserved sweep.
 """
 
 from __future__ import annotations
@@ -78,18 +80,34 @@ def _run_job(job: Job) -> Any:
     return job.run()
 
 
-def _run_job_traced(job: Job) -> Tuple[Any, Dict]:
-    """Worker-side wrapper: run ``job`` under a fresh tracer.
+def _run_job_observed(job: Job, traced: bool, metered: bool) -> Tuple:
+    """Worker-side wrapper: run ``job`` under fresh observability.
 
-    Returns ``(result, payload)`` where the payload is the plain-data
-    form of everything the job recorded (spans + telemetry), ready to
-    cross the process boundary.
+    Returns ``(result, trace_payload, metrics_snapshot)`` — the
+    plain-data forms of everything the job recorded, ready to cross
+    the process boundary.  Either side may be ``None`` when the
+    corresponding collector was not requested.
     """
+    from repro.obs.metrics import MetricsRegistry, metrics_session
     from repro.obs.tracer import Tracer, tracing
 
-    with tracing(Tracer()) as tracer:
-        result = job.run()
-    return result, tracer.payload()
+    trace_payload = None
+    metrics_snapshot = None
+    if traced and metered:
+        with tracing(Tracer()) as tracer:
+            with metrics_session(MetricsRegistry()) as registry:
+                result = job.run()
+        trace_payload = tracer.payload()
+        metrics_snapshot = registry.snapshot()
+    elif traced:
+        with tracing(Tracer()) as tracer:
+            result = job.run()
+        trace_payload = tracer.payload()
+    else:
+        with metrics_session(MetricsRegistry()) as registry:
+            result = job.run()
+        metrics_snapshot = registry.snapshot()
+    return result, trace_payload, metrics_snapshot
 
 
 def _picklable(jobs: List[Job]) -> bool:
@@ -134,22 +152,35 @@ def sweep(
         # In-process: an active ambient tracer observes the jobs
         # directly, no wrapping required.
         return [job.run() for job in job_list]
+    from repro.obs.metrics import current_metrics
     from repro.obs.tracer import current_tracer
 
     tracer = current_tracer()
-    if tracer.enabled:
-        # Fan out with per-worker tracers and merge the recorded
-        # payloads back (in job order, so merged traces are
-        # deterministic for any worker count).
-        wrapped = [Job(_run_job_traced, (job,), key=job.key)
-                   for job in job_list]
+    metrics = current_metrics()
+    if tracer.enabled or metrics.enabled:
+        # Fan out with per-worker collectors and merge the recorded
+        # payloads back (in job order, so merged traces and metric
+        # snapshots are deterministic for any worker count).
+        wrapped = [
+            Job(
+                _run_job_observed,
+                (job, tracer.enabled, metrics.enabled),
+                key=job.key,
+            )
+            for job in job_list
+        ]
         with ProcessPoolExecutor(
             max_workers=min(workers, len(job_list))
         ) as pool:
-            pairs = list(pool.map(_run_job, wrapped, chunksize=chunksize))
+            triples = list(
+                pool.map(_run_job, wrapped, chunksize=chunksize)
+            )
         results = []
-        for result, payload in pairs:
-            tracer.merge_payload(payload)
+        for result, trace_payload, metrics_snapshot in triples:
+            if trace_payload is not None:
+                tracer.merge_payload(trace_payload)
+            if metrics_snapshot is not None:
+                metrics.merge_snapshot(metrics_snapshot)
             results.append(result)
         return results
     with ProcessPoolExecutor(

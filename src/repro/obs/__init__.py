@@ -5,7 +5,7 @@ of response time (queue vs. seek vs. rotational latency vs. transfer,
 §7.1–§7.2) directly visible from a single run instead of being
 inferred from aggregate histograms after the fact.
 
-Four pieces:
+Five pieces:
 
 * :class:`~repro.obs.tracer.Tracer` — a low-overhead span recorder
   with per-request, per-drive and per-arm attribution.  The default
@@ -17,6 +17,12 @@ Four pieces:
   :class:`~repro.sim.stats.OnlineStats` /
   :class:`~repro.sim.stats.BucketHistogram`, mergeable across worker
   processes.
+* :class:`~repro.obs.metrics.MetricsRegistry` — *live* operational
+  metrics (Prometheus-style counters / gauges / fixed-bucket
+  histograms with labeled families), a zero-cost
+  :data:`~repro.obs.metrics.NULL_METRICS` default, text-exposition
+  and JSONL exporters, and atomic per-worker snapshot files merged
+  across serve processes (``python -m repro metrics [--watch]``).
 * Exporters — Chrome trace-event / Perfetto JSON
   (:func:`~repro.obs.export.write_chrome_trace`) and a JSONL span log
   (:func:`~repro.obs.export.write_span_jsonl`), so a limit-study run
@@ -44,6 +50,24 @@ from repro.obs.export import (
     write_chrome_trace,
     write_span_jsonl,
 )
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    append_snapshot_jsonl,
+    current_metrics,
+    merge_worker_snapshots,
+    metrics_for,
+    metrics_session,
+    parse_prometheus,
+    render_prometheus,
+    set_current_metrics,
+    write_prometheus,
+    write_worker_snapshot,
+)
 from repro.obs.report import render_html, render_text, write_html_report
 from repro.obs.registry import NULL_REGISTRY, TelemetryRegistry
 from repro.obs.tracer import (
@@ -59,20 +83,34 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "NULL_METRICS",
     "NULL_REGISTRY",
     "NULL_TRACER",
     "PHASES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
     "NullTracer",
     "Span",
     "Tracer",
     "TelemetryRegistry",
     "TraceAnalysis",
     "analyze",
+    "append_snapshot_jsonl",
+    "current_metrics",
     "current_tracer",
+    "merge_worker_snapshots",
+    "metrics_for",
+    "metrics_session",
+    "parse_prometheus",
     "read_chrome_trace",
     "reconcile_with_collector",
     "render_html",
+    "render_prometheus",
     "render_text",
+    "set_current_metrics",
     "set_current_tracer",
     "to_chrome_trace",
     "tracer_for",
@@ -80,5 +118,7 @@ __all__ = [
     "validate_chrome_trace",
     "write_chrome_trace",
     "write_html_report",
+    "write_prometheus",
     "write_span_jsonl",
+    "write_worker_snapshot",
 ]

@@ -80,6 +80,7 @@ class JobQueue:
         root: str,
         lease_s: float = DEFAULT_LEASE_S,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        create: bool = True,
     ):
         if lease_s <= 0:
             raise ValueError(f"lease_s must be positive, got {lease_s}")
@@ -90,8 +91,30 @@ class JobQueue:
         self.root = str(root)
         self.lease_s = lease_s
         self.max_attempts = max_attempts
-        for state in QUEUE_STATES:
-            os.makedirs(os.path.join(self.root, state), exist_ok=True)
+        #: Jobs moved to ``failed`` by the most recent
+        #: :meth:`requeue_stale` call (attempts exhausted).
+        self.last_requeue_failed: List[str] = []
+        if create:
+            for state in QUEUE_STATES:
+                os.makedirs(os.path.join(self.root, state), exist_ok=True)
+        else:
+            # Read-only callers (status/result/metrics) must not
+            # conjure an empty queue out of a typo'd path.
+            if not os.path.isdir(self.root):
+                raise FileNotFoundError(
+                    f"no job queue at {self.root!r} (submit or serve "
+                    "a job there first)"
+                )
+            missing = [
+                state
+                for state in QUEUE_STATES
+                if not os.path.isdir(os.path.join(self.root, state))
+            ]
+            if missing:
+                raise FileNotFoundError(
+                    f"{self.root!r} is not a job queue (missing "
+                    f"{'/'.join(missing)} subdirectories)"
+                )
 
     # -- paths ------------------------------------------------------------
     def _record_path(self, state: str, job_id: str) -> str:
@@ -227,6 +250,7 @@ class JobQueue:
         ``requeue-exhausted`` outcome instead.
         """
         requeued = []
+        self.last_requeue_failed = []
         claimed_dir = os.path.join(self.root, "claimed")
         now = time.time()
         for name in sorted(os.listdir(claimed_dir)):
@@ -258,6 +282,7 @@ class JobQueue:
                 os.rename(
                     claimed, self._record_path("failed", job_id)
                 )
+                self.last_requeue_failed.append(job_id)
             else:
                 _write_json_atomic(claimed, record)
                 os.rename(

@@ -26,6 +26,14 @@ import os
 import time
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.metrics import (
+    NULL_METRICS,
+    MetricsRegistry,
+    current_metrics,
+    merge_worker_snapshots,
+    set_current_metrics,
+    write_worker_snapshot,
+)
 from repro.obs.registry import TelemetryRegistry
 from repro.serve.cache import ResultCache
 from repro.serve.jobs import (
@@ -42,6 +50,7 @@ from repro.serve.queue import (
 )
 
 __all__ = [
+    "merged_queue_metrics",
     "result",
     "serve",
     "status",
@@ -87,6 +96,16 @@ def submit(
         ),
     }
     queue.enqueue(job_id, record)
+    metrics = current_metrics()
+    if metrics.enabled:
+        metrics.counter(
+            "repro_jobs_submitted_total", "Jobs enqueued by submit()"
+        ).inc()
+        if record["already_cached"]:
+            metrics.counter(
+                "repro_submit_already_cached_total",
+                "Submissions whose result was already in the cache",
+            ).inc()
     return record
 
 
@@ -99,12 +118,21 @@ def worker_loop(
     lease_s: float = DEFAULT_LEASE_S,
     max_attempts: int = DEFAULT_MAX_ATTEMPTS,
     owner: Optional[str] = None,
+    metrics: bool = False,
+    heartbeat_interval_s: float = 2.0,
 ) -> Dict:
     """Claim-and-run until stopped; returns this worker's telemetry.
 
     ``drain=True`` exits when no pending work remains (the CI/batch
     mode); otherwise the loop polls forever and is stopped by signal.
     ``max_jobs`` bounds the number of jobs this worker processes.
+
+    ``metrics=True`` gives the worker a live :class:`MetricsRegistry`
+    (installed as ambient for the duration, so replay/shard
+    instrumentation lands in it too) and writes it atomically to
+    ``<queue>/metrics/`` after every job and at least every
+    ``heartbeat_interval_s`` seconds — the snapshot files a
+    ``repro metrics``/``status --metrics`` reader merges.
     """
     queue = JobQueue(
         queue_dir, lease_s=lease_s, max_attempts=max_attempts
@@ -112,19 +140,90 @@ def worker_loop(
     cache = ResultCache(_cache_root(queue_dir, cache_dir))
     telemetry = TelemetryRegistry()
     worker_name = owner or f"worker-{os.getpid()}"
+    registry: object = MetricsRegistry() if metrics else NULL_METRICS
+    last_beat = 0.0
+
+    def beat(force: bool = False) -> None:
+        nonlocal last_beat
+        now = time.time()
+        if not force and now - last_beat < heartbeat_interval_s:
+            return
+        registry.gauge(
+            "repro_worker_heartbeat_timestamp",
+            "Wall-clock time of the worker's last metrics write",
+            labels=("worker", "pid"),
+        ).labels(worker=worker_name, pid=os.getpid()).set(now)
+        depth = registry.gauge(
+            "repro_queue_depth",
+            "Jobs per queue state, as of this worker's last sample",
+            labels=("state",),
+        )
+        for state, count in queue.counts().items():
+            depth.labels(state=state).set(count)
+        write_worker_snapshot(queue_dir, worker_name, registry, now=now)
+        last_beat = now
+
     processed = 0
-    while True:
-        queue.requeue_stale()
-        record = queue.claim(owner=worker_name)
-        if record is None:
-            if drain:
+    previous_ambient = None
+    if registry.enabled:
+        previous_ambient = set_current_metrics(registry)
+        beat(force=True)
+    try:
+        while True:
+            requeued = queue.requeue_stale()
+            if registry.enabled and (
+                requeued or queue.last_requeue_failed
+            ):
+                if requeued:
+                    registry.counter(
+                        "repro_jobs_requeued_total",
+                        "Stale claims returned to pending",
+                        labels=("worker",),
+                    ).labels(worker=worker_name).inc(len(requeued))
+                if queue.last_requeue_failed:
+                    registry.counter(
+                        "repro_jobs_failed_out_total",
+                        "Jobs that exhausted max_attempts on requeue",
+                        labels=("worker",),
+                    ).labels(worker=worker_name).inc(
+                        len(queue.last_requeue_failed)
+                    )
+            if registry.enabled:
+                claim_started = time.perf_counter()
+            record = queue.claim(owner=worker_name)
+            if registry.enabled:
+                registry.histogram(
+                    "repro_claim_latency_ms",
+                    "Wall-clock latency of one claim attempt",
+                    labels=("worker",),
+                ).labels(worker=worker_name).observe(
+                    (time.perf_counter() - claim_started) * 1000.0
+                )
+            if record is None:
+                if drain:
+                    break
+                if registry.enabled:
+                    beat()
+                time.sleep(poll_interval_s)
+                continue
+            if registry.enabled:
+                registry.counter(
+                    "repro_job_attempts_total",
+                    "Claims processed (retries of one job each count)",
+                    labels=("worker",),
+                ).labels(worker=worker_name).inc()
+            _process_one(
+                record, queue, cache, telemetry, worker_name, registry
+            )
+            processed += 1
+            if registry.enabled:
+                beat(force=True)
+            if max_jobs is not None and processed >= max_jobs:
                 break
-            time.sleep(poll_interval_s)
-            continue
-        _process_one(record, queue, cache, telemetry, worker_name)
-        processed += 1
-        if max_jobs is not None and processed >= max_jobs:
-            break
+    finally:
+        if registry.enabled:
+            beat(force=True)
+            set_current_metrics(previous_ambient)
     snapshot = telemetry.snapshot()
     snapshot["worker"] = worker_name
     snapshot["processed"] = processed
@@ -137,6 +236,7 @@ def _process_one(
     cache: ResultCache,
     telemetry: TelemetryRegistry,
     worker_name: str,
+    registry: object = NULL_METRICS,
 ) -> None:
     job_id = record["job_id"]
     started = time.time()
@@ -147,6 +247,12 @@ def _process_one(
         cached = cache.get(key)
         if cached is not None:
             telemetry.counter("jobs.cache_hits").inc()
+            if registry.enabled:
+                registry.counter(
+                    "repro_cache_hits_total",
+                    "Jobs answered from the result cache",
+                    labels=("worker",),
+                ).labels(worker=worker_name).inc()
             payload = json.loads(cached.decode("ascii"))
             outcome = {
                 "status": "done",
@@ -158,6 +264,12 @@ def _process_one(
             }
         else:
             telemetry.counter("jobs.cache_misses").inc()
+            if registry.enabled:
+                registry.counter(
+                    "repro_cache_misses_total",
+                    "Jobs that had to be simulated",
+                    labels=("worker",),
+                ).labels(worker=worker_name).inc()
 
             def on_chunk(progress):
                 job_telemetry.counter("replay.chunks").inc()
@@ -183,11 +295,35 @@ def _process_one(
                 "chunks": stats["chunks"],
                 "telemetry": job_telemetry.snapshot(),
             }
-        _ack_safely(queue, telemetry, job_id, outcome, "done")
+        _ack_safely(
+            queue, telemetry, job_id, outcome, "done",
+            registry=registry, worker_name=worker_name,
+        )
         telemetry.counter("jobs.completed").inc()
-        telemetry.stats("job.wall_s").add(time.time() - started)
+        wall = time.time() - started
+        telemetry.stats("job.wall_s").add(wall)
+        if registry.enabled:
+            registry.counter(
+                "repro_jobs_completed_total",
+                "Jobs acked done (cache hits included)",
+                labels=("worker",),
+            ).labels(worker=worker_name).inc()
+            registry.histogram(
+                "repro_job_wall_ms",
+                "Wall-clock time from claim to ack",
+                labels=("worker", "cached"),
+            ).labels(
+                worker=worker_name,
+                cached="yes" if outcome["cached"] else "no",
+            ).observe(wall * 1000.0)
     except Exception as error:  # noqa: BLE001 - worker must survive jobs
         telemetry.counter("jobs.errors").inc()
+        if registry.enabled:
+            registry.counter(
+                "repro_jobs_failed_total",
+                "Jobs acked failed (the worker survived)",
+                labels=("worker",),
+            ).labels(worker=worker_name).inc()
         _ack_safely(
             queue,
             telemetry,
@@ -199,10 +335,15 @@ def _process_one(
                 "wall_s": time.time() - started,
             },
             "failed",
+            registry=registry,
+            worker_name=worker_name,
         )
 
 
-def _ack_safely(queue, telemetry, job_id, outcome, state) -> None:
+def _ack_safely(
+    queue, telemetry, job_id, outcome, state,
+    registry: object = NULL_METRICS, worker_name: str = "",
+) -> None:
     """Ack, tolerating a lease lost to requeue while the job ran.
 
     If the lease expired mid-run and another worker re-claimed the
@@ -214,6 +355,12 @@ def _ack_safely(queue, telemetry, job_id, outcome, state) -> None:
         queue.ack(job_id, outcome, state=state)
     except ValueError:
         telemetry.counter("jobs.lost_leases").inc()
+        if registry.enabled:
+            registry.counter(
+                "repro_jobs_lost_leases_total",
+                "Acks dropped because the lease was re-claimed",
+                labels=("worker",),
+            ).labels(worker=worker_name).inc()
 
 
 def serve(
@@ -225,15 +372,25 @@ def serve(
     max_jobs: Optional[int] = None,
     lease_s: float = DEFAULT_LEASE_S,
     max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    metrics: bool = False,
 ) -> List[int]:
     """Run ``workers`` worker processes over one queue.
 
     Returns the worker exit codes.  ``workers=1`` runs the loop
     in-process (no child process), which keeps single-worker serving
     debuggable exactly like ``sweep(n_workers=1)``.
+
+    Live metrics are enabled either explicitly (``metrics=True``) or
+    by an enabled ambient registry (the ``--metrics PATH`` CLI path):
+    each worker writes atomic snapshot files under
+    ``<queue>/metrics/``, and after the workers exit the merged queue
+    metrics are folded into the ambient registry so the caller's
+    exporter sees the whole session.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    ambient = current_metrics()
+    want_metrics = metrics or ambient.enabled
     JobQueue(queue_dir)  # create the layout before children race on it
     ResultCache(_cache_root(queue_dir, cache_dir))
     if workers == 1:
@@ -245,52 +402,94 @@ def serve(
             max_jobs=max_jobs,
             lease_s=lease_s,
             max_attempts=max_attempts,
+            metrics=want_metrics,
         )
-        return [0]
-    import multiprocessing
+        codes = [0]
+    else:
+        import multiprocessing
 
-    children = [
-        multiprocessing.Process(
-            target=worker_loop,
-            args=(queue_dir,),
-            kwargs={
-                "cache_dir": cache_dir,
-                "poll_interval_s": poll_interval_s,
-                "drain": drain,
-                "max_jobs": max_jobs,
-                "lease_s": lease_s,
-                "max_attempts": max_attempts,
-                "owner": f"worker-{index}",
-            },
-            name=f"repro-serve-{index}",
-        )
-        for index in range(workers)
-    ]
-    for child in children:
-        child.start()
-    codes = []
-    try:
+        children = [
+            multiprocessing.Process(
+                target=worker_loop,
+                args=(queue_dir,),
+                kwargs={
+                    "cache_dir": cache_dir,
+                    "poll_interval_s": poll_interval_s,
+                    "drain": drain,
+                    "max_jobs": max_jobs,
+                    "lease_s": lease_s,
+                    "max_attempts": max_attempts,
+                    "owner": f"worker-{index}",
+                    "metrics": want_metrics,
+                },
+                name=f"repro-serve-{index}",
+            )
+            for index in range(workers)
+        ]
         for child in children:
-            child.join()
-            codes.append(child.exitcode or 0)
-    except KeyboardInterrupt:
-        for child in children:
-            child.terminate()
-        for child in children:
-            child.join()
-        raise
+            child.start()
+        codes = []
+        try:
+            for child in children:
+                child.join()
+                codes.append(child.exitcode or 0)
+        except KeyboardInterrupt:
+            for child in children:
+                child.terminate()
+            for child in children:
+                child.join()
+            raise
+    if want_metrics and ambient.enabled:
+        merged_queue_metrics(queue_dir, into=ambient)
     return codes
 
 
-def status(queue_dir: str, job_id: Optional[str] = None) -> Dict:
-    """Queue counts, or one job's full record when ``job_id`` given."""
-    queue = JobQueue(queue_dir)
+def merged_queue_metrics(
+    queue_dir: str,
+    into: Optional[MetricsRegistry] = None,
+) -> Tuple[MetricsRegistry, List[Dict]]:
+    """Merge a queue's per-worker metrics snapshots into one registry.
+
+    On top of the file merge (counters/histograms add, gauges
+    last-write-wins, per-worker heartbeat gauges derived from the
+    snapshot timestamps) the queue depth gauges are re-sampled live,
+    so a dashboard reflects the directory as it is *now*, not as of
+    the last worker heartbeat.  Raises ``FileNotFoundError`` for a
+    path that is not a queue.
+    """
+    queue = JobQueue(queue_dir, create=False)
+    registry, workers = merge_worker_snapshots(queue_dir, into=into)
+    depth = registry.gauge(
+        "repro_queue_depth",
+        "Jobs per queue state, re-sampled at merge time",
+        labels=("state",),
+    )
+    for state, count in queue.counts().items():
+        depth.labels(state=state).set(count)
+    return registry, workers
+
+
+def status(
+    queue_dir: str,
+    job_id: Optional[str] = None,
+    metrics: bool = False,
+) -> Dict:
+    """Queue counts, or one job's full record when ``job_id`` given.
+
+    ``metrics=True`` adds the merged live-metrics snapshot (and the
+    per-worker heartbeat list) to the queue summary.
+    """
+    queue = JobQueue(queue_dir, create=False)
     if job_id is not None:
         return queue.read(job_id)
     summary = {"queue": str(queue_dir), "counts": queue.counts()}
     summary["jobs"] = {
         state: queue.jobs(state) for state in ("claimed", "failed")
     }
+    if metrics:
+        registry, workers = merged_queue_metrics(queue_dir)
+        summary["metrics"] = registry.snapshot()
+        summary["workers"] = workers
     return summary
 
 
@@ -304,7 +503,7 @@ def result(
     The payload is ``None`` while the job is still pending/claimed, or
     if its outcome was a failure.
     """
-    queue = JobQueue(queue_dir)
+    queue = JobQueue(queue_dir, create=False)
     record = queue.read(job_id)
     outcome = record.get("outcome") or {}
     key = outcome.get("cache_key")

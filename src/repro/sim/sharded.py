@@ -51,6 +51,7 @@ import time
 import traceback
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import metrics_for
 from repro.sim.engine import NORMAL, URGENT, Environment, Event
 
 __all__ = [
@@ -448,7 +449,11 @@ class ShardedEngine:
         self.lockstep = bool(system.needs_lockstep)
         self.windows = 0
         self.window_stall_ms = 0.0
+        self.backlog_peak = 0
         self.shard_events: List[int] = [0] * self.shards
+        # Wall-clock metrics only: live metrics never touch simulated
+        # time, so figures stay bit-identical with metrics on or off.
+        self._metrics = metrics_for(env)
         self._seq = 0
         self._pending: Dict[int, _Pending] = {}
         self._scheduled: Dict[int, _Pending] = {}
@@ -707,9 +712,15 @@ class ShardedEngine:
                     self._scheduled[record.seq] = record
             for index in resolving:
                 self._unresolved.pop(index, None)
-            self.window_stall_ms += (
-                (time.perf_counter() - stall_start) * 1000.0
-            )
+            if len(self._scheduled) > self.backlog_peak:
+                self.backlog_peak = len(self._scheduled)
+            stall_ms = (time.perf_counter() - stall_start) * 1000.0
+            self.window_stall_ms += stall_ms
+            if self._metrics.enabled:
+                self._metrics.histogram(
+                    "repro_shard_window_stall_ms",
+                    "Wall-clock wait for all shard reports, per window",
+                ).observe(stall_ms)
         env._now = high_water
 
     def _finish(
@@ -771,6 +782,41 @@ class ShardedEngine:
                 telemetry.stats("shards.utilization").add(
                     events / total_events
                 )
+        metrics = self._metrics
+        if metrics.enabled:
+            metrics.counter(
+                "repro_shard_windows_total",
+                "Synchronization windows executed",
+            ).inc(self.windows)
+            metrics.counter(
+                "repro_shard_stall_ms_total",
+                "Total wall-clock lookahead wait across windows",
+            ).inc(self.window_stall_ms)
+            metrics.gauge(
+                "repro_shard_count", "Shards in the last sharded run"
+            ).set(self.shards)
+            metrics.gauge(
+                "repro_shard_lookahead_ms",
+                "Provable lookahead of the last sharded run (sim ms)",
+            ).set(self.lookahead)
+            mode = metrics.gauge(
+                "repro_shard_mode",
+                "1 for the synchronization mode of the last run",
+                labels=("mode",),
+            )
+            mode.labels(mode="lockstep").set(1 if self.lockstep else 0)
+            mode.labels(mode="runahead").set(0 if self.lockstep else 1)
+            metrics.gauge(
+                "repro_shard_backlog_peak",
+                "Peak merged-completion backlog (scheduled, unfired)",
+            ).set(self.backlog_peak)
+            events_total = metrics.counter(
+                "repro_shard_events_total",
+                "Events executed inside shard workers",
+                labels=("shard",),
+            )
+            for shard, events in enumerate(self.shard_events):
+                events_total.labels(shard=shard).inc(events)
 
     def _recv(self, conn: Any, shard: int) -> Tuple:
         try:

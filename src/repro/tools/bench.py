@@ -9,10 +9,10 @@ snapshots from the same machine and interpreter are directly
 comparable, and the recorded figure digest doubles as a regression
 check: serial and parallel runs must produce byte-identical figures.
 
-The JSON schema (``repro-bench/4``)::
+The JSON schema (``repro-bench/5``)::
 
     {
-      "schema": "repro-bench/4",
+      "schema": "repro-bench/5",
       "date": "2026-08-06",
       "python": "3.11.x ...",
       "cpu_count": 8,
@@ -49,6 +49,13 @@ The JSON schema (``repro-bench/4``)::
            "figures_identical": true},
           ...
         ]
+      },
+      "metrics_overhead": {       # live-metrics cost (non-gating)
+        "workload": "websearch", "requests": ...,
+        "events": ...,
+        "off_events_per_s": ..., "on_events_per_s": ...,
+        "overhead_fraction": ...,  # 1 - on/off (negative = noise)
+        "figures_identical": true  # metered figures == unmetered
       }
     }
 
@@ -62,7 +69,13 @@ the same host-honesty rule as the worker sweep: shard counts above
 every shard count that can run at all is still *executed* once so its
 figure digest is checked against the serial cell (bit-identity is
 host-independent; wall-clocks are not).  Migrated v1/v2/v3 snapshots
-carry a ``null`` ``shard_scaling``.
+carry a ``null`` ``shard_scaling``.  v5 added the ``metrics_overhead``
+cell — one serial workload pass timed with the live-metrics registry
+off and on (:mod:`repro.obs.metrics`), recording the throughput cost
+of metering and checking the metered figures are bit-identical.  The
+cell is informational, never a gate: ``--check`` ignores it, because
+the overhead of a few counter increments is far below shared-runner
+noise.  Migrated v1-v4 snapshots carry a ``null`` ``metrics_overhead``.
 
 Worker counts above ``cpu_count`` are never timed: on an oversubscribed
 host a "parallel" pass measures scheduler contention, not speedup (a
@@ -105,12 +118,14 @@ __all__ = [
     "migrate_bench",
     "run_bench",
     "run_kernel_bench",
+    "run_metrics_overhead_bench",
     "run_shard_bench",
     "validate_bench",
     "write_bench",
 ]
 
-BENCH_SCHEMA = "repro-bench/4"
+BENCH_SCHEMA = "repro-bench/5"
+BENCH_SCHEMA_V4 = "repro-bench/4"
 BENCH_SCHEMA_V3 = "repro-bench/3"
 BENCH_SCHEMA_V2 = "repro-bench/2"
 BENCH_SCHEMA_V1 = "repro-bench/1"
@@ -378,13 +393,75 @@ def run_shard_bench(
     }
 
 
+#: Metrics-overhead cell shape: one serial limit-study workload is
+#: plenty to surface a hot-path regression, and keeps a smoke-sized
+#: bench smoke sized.
+METRICS_OVERHEAD_WORKLOAD = "websearch"
+METRICS_OVERHEAD_REQUESTS = 2000
+
+
+def run_metrics_overhead_bench(
+    requests: int = METRICS_OVERHEAD_REQUESTS,
+    workload: str = METRICS_OVERHEAD_WORKLOAD,
+    repeats: int = 3,
+) -> Dict:
+    """Time one serial workload pass with live metrics off, then on.
+
+    The "on" pass runs under an ambient
+    :class:`~repro.obs.metrics.MetricsRegistry` — exactly what
+    ``--metrics PATH`` installs — so the recorded overhead is what a
+    metered production run pays.  Figures from both passes are
+    digest-compared: metering must never perturb simulated time.  The
+    cell is informational (non-gating); ``overhead_fraction`` is
+    ``1 - on/off`` events/second and can go negative in timing noise.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if requests < 1:
+        raise ValueError(f"requests must be >= 1, got {requests}")
+    if workload not in COMMERCIAL_WORKLOADS:
+        raise ValueError(
+            f"unknown workload {workload!r}; choose from "
+            f"{sorted(COMMERCIAL_WORKLOADS)}"
+        )
+    from repro.obs.metrics import MetricsRegistry, metrics_session
+
+    off_wall = float("inf")
+    off_outcome: Dict = {}
+    for _ in range(repeats):
+        outcome = _bench_job(workload, requests)
+        off_wall = min(off_wall, outcome["wall_s"])
+        off_outcome = outcome
+    on_wall = float("inf")
+    on_outcome: Dict = {}
+    for _ in range(repeats):
+        with metrics_session(MetricsRegistry()):
+            outcome = _bench_job(workload, requests)
+        on_wall = min(on_wall, outcome["wall_s"])
+        on_outcome = outcome
+    events = off_outcome["events"]
+    off_rate = events / off_wall
+    on_rate = events / on_wall
+    return {
+        "workload": workload,
+        "requests": requests,
+        "events": events,
+        "off_events_per_s": round(off_rate, 1),
+        "on_events_per_s": round(on_rate, 1),
+        "overhead_fraction": round(1.0 - on_rate / off_rate, 4),
+        "figures_identical": (
+            off_outcome["figures"] == on_outcome["figures"]
+        ),
+    }
+
+
 def run_bench(
     requests: int = 6000,
     workers: int = 1,
     repeats: int = 3,
     workloads: Optional[Sequence[str]] = None,
 ) -> Dict:
-    """Time the reference workload; returns the ``repro-bench/3`` dict.
+    """Time the reference workload; returns the ``repro-bench/5`` dict.
 
     ``workers`` adds a second timed configuration beyond the serial
     baseline (pass 1, the default, to time only the baseline); the
@@ -496,6 +573,17 @@ def run_bench(
         "shard_scaling": run_shard_bench(
             requests=min(requests, SHARD_REQUESTS), repeats=repeats
         ),
+        # Same budget rule for the metrics-overhead cell, and it
+        # prefers a workload the caller actually selected.
+        "metrics_overhead": run_metrics_overhead_bench(
+            requests=min(requests, METRICS_OVERHEAD_REQUESTS),
+            workload=(
+                METRICS_OVERHEAD_WORKLOAD
+                if METRICS_OVERHEAD_WORKLOAD in selected
+                else selected[0]
+            ),
+            repeats=repeats,
+        ),
     }
 
 
@@ -595,6 +683,17 @@ def format_bench(result: Dict) -> str:
             for entry in shard_scaling["results"]
             if entry.get("skipped")
         )
+    overhead = result.get("metrics_overhead")
+    if overhead:
+        lines.append(
+            f"metrics overhead ({overhead['workload']}, "
+            f"{overhead['requests']} requests, non-gating): "
+            f"{overhead['off_events_per_s']:.0f} events/s off, "
+            f"{overhead['on_events_per_s']:.0f} on = "
+            f"{overhead['overhead_fraction'] * 100:.1f}% cost; "
+            f"metered figures identical: "
+            f"{overhead['figures_identical']}"
+        )
     lines.extend(
         f"skipped workers={entry['workers']}: {entry['reason']}"
         for entry in skipped
@@ -616,6 +715,7 @@ def validate_bench(snapshot: Dict, source: str = "snapshot") -> None:
         raise ValueError(f"{source}: missing 'schema' field")
     supported = (
         BENCH_SCHEMA,
+        BENCH_SCHEMA_V4,
         BENCH_SCHEMA_V3,
         BENCH_SCHEMA_V2,
         BENCH_SCHEMA_V1,
@@ -626,14 +726,19 @@ def validate_bench(snapshot: Dict, source: str = "snapshot") -> None:
             f"of {', '.join(supported)})"
         )
     missing = [key for key in REQUIRED_KEYS if key not in snapshot]
-    if schema in (BENCH_SCHEMA, BENCH_SCHEMA_V3):
+    if schema in (BENCH_SCHEMA, BENCH_SCHEMA_V4, BENCH_SCHEMA_V3):
         missing.extend(
             key
             for key in ("workload_results", "kernel")
             if key not in snapshot
         )
-    if schema == BENCH_SCHEMA and "shard_scaling" not in snapshot:
+    if (
+        schema in (BENCH_SCHEMA, BENCH_SCHEMA_V4)
+        and "shard_scaling" not in snapshot
+    ):
         missing.append("shard_scaling")
+    if schema == BENCH_SCHEMA and "metrics_overhead" not in snapshot:
+        missing.append("metrics_overhead")
     if missing:
         raise ValueError(f"{source}: missing keys {missing}")
     if not isinstance(snapshot["results"], list) or not snapshot["results"]:
@@ -650,7 +755,7 @@ def validate_bench(snapshot: Dict, source: str = "snapshot") -> None:
 
 
 def migrate_bench(snapshot: Dict) -> Dict:
-    """Normalise a snapshot to the current ``repro-bench/4`` schema.
+    """Normalise a snapshot to the current ``repro-bench/5`` schema.
 
     Migrations chain version by version:
 
@@ -667,6 +772,9 @@ def migrate_bench(snapshot: Dict) -> Dict:
     * **v3 → v4** — the sharded-kernel scaling curve.  Older runs
       never executed the sharded kernel, so migrated snapshots carry
       a ``None`` ``shard_scaling``.
+    * **v4 → v5** — the metrics-overhead cell.  Older runs never
+      timed the live-metrics registry, so migrated snapshots carry a
+      ``None`` ``metrics_overhead``.
 
     The result is stamped with the schema it now satisfies plus the
     schema it ``migrated_from``.  Current-schema snapshots are
@@ -703,6 +811,9 @@ def migrate_bench(snapshot: Dict) -> Dict:
         migrated["schema"] = BENCH_SCHEMA_V3
     if migrated["schema"] == BENCH_SCHEMA_V3:
         migrated["shard_scaling"] = None
+        migrated["schema"] = BENCH_SCHEMA_V4
+    if migrated["schema"] == BENCH_SCHEMA_V4:
+        migrated["metrics_overhead"] = None
         migrated["schema"] = BENCH_SCHEMA
     migrated["migrated_from"] = original
     return migrated
@@ -712,8 +823,8 @@ def load_bench(path: str) -> Dict:
     """Read, validate and migrate a bench snapshot from ``path``.
 
     Unknown or missing schemas raise ``ValueError`` (no more silently
-    comparing incompatible snapshots); v1/v2/v3 snapshots come back
-    migrated to ``repro-bench/4``.
+    comparing incompatible snapshots); v1/v2/v3/v4 snapshots come back
+    migrated to ``repro-bench/5``.
     """
     with open(path, encoding="utf-8") as handle:
         try:

@@ -91,12 +91,21 @@ def detect_trace_format(path: Union[str, os.PathLike]) -> str:
     return _SUFFIX_FORMATS.get(suffix, "disksim")
 
 
+def _skip(skipped: Dict[str, int], reason: str) -> None:
+    # ``.get`` rather than ``+=``: callers may pass dicts predating a
+    # newly introduced reason key.
+    skipped[reason] = skipped.get(reason, 0) + 1
+
+
 def _iter_disksim(
     handle: Iterable[str], where: str, skipped: Dict[str, int]
 ) -> Iterator[IORequest]:
     for line_number, line in enumerate(handle, start=1):
         text = line.strip()
-        if not text or text.startswith("#"):
+        if not text:
+            _skip(skipped, "blank")
+            continue
+        if text.startswith("#"):
             skipped["comments"] += 1
             continue
         yield parse_request_line(text, where=f"{where}:{line_number}")
@@ -107,7 +116,10 @@ def _iter_spc1(
 ) -> Iterator[IORequest]:
     for line_number, line in enumerate(handle, start=1):
         text = line.strip()
-        if not text or text.startswith("#"):
+        if not text:
+            _skip(skipped, "blank")
+            continue
+        if text.startswith("#"):
             skipped["comments"] += 1
             continue
         fields = text.split(",")
@@ -145,9 +157,12 @@ def _iter_blktrace(
     device_ids: Dict[str, int] = {}
     for line in handle:
         fields = line.split()
+        if not fields:
+            _skip(skipped, "blank")
+            continue
         # Per-event records have at least: dev cpu seq time pid action
-        # rwbs sector + nsectors.  Everything else (blank lines, the
-        # blkparse per-CPU summary block, truncated lines) is skipped.
+        # rwbs sector + nsectors.  Everything else (the blkparse
+        # per-CPU summary block, truncated lines) is skipped.
         if len(fields) < 10 or fields[8] != "+":
             skipped["non_event"] += 1
             continue
@@ -216,6 +231,7 @@ def iter_trace_requests(
 
 def _new_skip_counts() -> Dict[str, int]:
     return {
+        "blank": 0,
         "comments": 0,
         "non_event": 0,
         "other_action": 0,

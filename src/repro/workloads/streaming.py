@@ -23,7 +23,9 @@ import os
 from typing import Dict, Iterator, List, Optional, Union
 
 from repro.disk.request import IORequest
+from repro.obs.metrics import current_metrics
 from repro.workloads.formats import (
+    _new_skip_counts,
     detect_trace_format,
     iter_trace_requests,
     stat_trace,
@@ -57,6 +59,9 @@ class StreamingTrace:
         self.trace_format = trace_format or detect_trace_format(path)
         self.name = name or _stem(self.path)
         self.chunk_requests = chunk_requests
+        #: Per-reason skipped-line counts of the last *complete*
+        #: iteration pass (empty until one finishes).
+        self.last_skipped: Dict[str, int] = {}
 
     def __repr__(self) -> str:
         return (
@@ -67,8 +72,11 @@ class StreamingTrace:
     def __iter__(self) -> Iterator[IORequest]:
         """Yield requests in file order, enforcing monotone arrivals."""
         last_arrival = -math.inf
+        skipped = _new_skip_counts()
         for index, request in enumerate(
-            iter_trace_requests(self.path, self.trace_format)
+            iter_trace_requests(
+                self.path, self.trace_format, skipped=skipped
+            )
         ):
             if request.arrival_time < last_arrival:
                 raise ValueError(
@@ -79,6 +87,16 @@ class StreamingTrace:
                 )
             last_arrival = request.arrival_time
             yield request
+        self.last_skipped = {k: v for k, v in skipped.items() if v}
+        metrics = current_metrics()
+        if metrics.enabled and self.last_skipped:
+            family = metrics.counter(
+                "repro_trace_skipped_lines_total",
+                "Trace lines the readers ignored, by reason",
+                labels=("reason",),
+            )
+            for reason, count in sorted(self.last_skipped.items()):
+                family.labels(reason=reason).inc(count)
 
     def iter_chunks(
         self, chunk_requests: Optional[int] = None

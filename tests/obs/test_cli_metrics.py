@@ -1,0 +1,232 @@
+"""CLI-level tests for the ``metrics`` subcommand and ``--metrics``.
+
+Small-request versions of the issue's acceptance criteria: any
+command accepts ``--metrics PATH`` and writes a parseable Prometheus
+exposition (or JSONL snapshot) without changing its figures; the
+``metrics``/``status --metrics`` readers merge a served queue's
+worker snapshots; and the read-only queue commands fail cleanly on a
+missing queue.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.metrics import parse_prometheus
+
+
+def drain_queue(q, metered=True):
+    """Submit one tiny job and drain it with a single CLI worker."""
+    assert (
+        main(
+            [
+                "submit",
+                "--queue",
+                q,
+                "--workload",
+                "websearch",
+                "--requests",
+                "150",
+            ]
+        )
+        == 0
+    )
+    argv = ["serve", "--queue", q, "--workers", "1", "--drain"]
+    if metered:
+        argv += ["--metrics", q + ".serve.prom"]
+    assert main(argv) == 0
+
+
+class TestMetricsFlag:
+    def test_artifact_run_writes_prometheus(self, tmp_path, capsys):
+        target = tmp_path / "fig5.prom"
+        assert (
+            main(
+                ["fig5", "--requests", "200", "--metrics", str(target)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert f"wrote {target}" in out
+        parsed = parse_prometheus(target.read_text())
+        assert parsed[("repro_runs_total", (("mode", "memory"),))] > 0
+
+    def test_jsonl_suffix_appends_snapshot(self, tmp_path):
+        target = tmp_path / "fig5.jsonl"
+        for _ in range(2):
+            assert (
+                main(
+                    [
+                        "fig5",
+                        "--requests",
+                        "200",
+                        "--metrics",
+                        str(target),
+                    ]
+                )
+                == 0
+            )
+        lines = [
+            json.loads(line) for line in target.read_text().splitlines()
+        ]
+        assert len(lines) == 2
+        assert lines[0]["command"] == "fig5"
+        assert "repro_runs_total" in lines[0]["metrics"]["families"]
+
+    def test_composes_with_trace_flag(self, tmp_path):
+        prom = tmp_path / "m.prom"
+        trace = tmp_path / "t.json"
+        assert (
+            main(
+                [
+                    "fig5",
+                    "--requests",
+                    "150",
+                    "--metrics",
+                    str(prom),
+                    "--trace",
+                    str(trace),
+                ]
+            )
+            == 0
+        )
+        assert prom.exists()
+        assert trace.exists()
+
+
+class TestMetricsSubcommand:
+    def test_serve_then_oneshot_snapshot(self, tmp_path, capsys):
+        q = str(tmp_path / "q")
+        drain_queue(q)
+        capsys.readouterr()
+        assert main(["metrics", "--queue", q, "--format", "prom"]) == 0
+        parsed = parse_prometheus(capsys.readouterr().out)
+        completed = [
+            value
+            for (name, _), value in parsed.items()
+            if name == "repro_jobs_completed_total"
+        ]
+        assert sum(completed) == 1
+
+    def test_table_output_lists_workers(self, tmp_path, capsys):
+        q = str(tmp_path / "q")
+        drain_queue(q)
+        capsys.readouterr()
+        assert main(["metrics", "--queue", q]) == 0
+        out = capsys.readouterr().out
+        assert "Workers" in out
+        assert "repro_jobs_completed_total" in out
+
+    def test_json_output_is_snapshot(self, tmp_path, capsys):
+        q = str(tmp_path / "q")
+        drain_queue(q)
+        capsys.readouterr()
+        assert (
+            main(["metrics", "--queue", q, "--format", "json"]) == 0
+        )
+        snapshot = json.loads(capsys.readouterr().out)
+        assert "repro_jobs_completed_total" in snapshot["families"]
+
+    def test_output_file(self, tmp_path, capsys):
+        q = str(tmp_path / "q")
+        drain_queue(q)
+        target = tmp_path / "m.prom"
+        assert (
+            main(
+                [
+                    "metrics",
+                    "--queue",
+                    q,
+                    "--format",
+                    "prom",
+                    "-o",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        assert parse_prometheus(target.read_text())
+
+    def test_watch_iterations(self, tmp_path, capsys):
+        q = str(tmp_path / "q")
+        drain_queue(q)
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "metrics",
+                    "--queue",
+                    q,
+                    "--watch",
+                    "--interval",
+                    "0.05",
+                    "--iterations",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        assert "watched 2 frame(s)" in capsys.readouterr().out
+
+    def test_missing_queue_fails_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["metrics", "--queue", str(tmp_path / "nope")])
+        assert "no job queue" in str(excinfo.value)
+
+    def test_status_metrics_flag(self, tmp_path, capsys):
+        q = str(tmp_path / "q")
+        drain_queue(q)
+        capsys.readouterr()
+        assert main(["status", "--queue", q, "--metrics"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        families = summary["metrics"]["families"]
+        assert "repro_jobs_completed_total" in families
+        assert summary["workers"]
+
+
+class TestMissingQueueCLI:
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["status", "--queue", "{q}"],
+            ["result", "--queue", "{q}", "some-job"],
+            ["metrics", "--queue", "{q}"],
+        ],
+    )
+    def test_one_line_error_nonzero_exit(self, tmp_path, argv):
+        q = str(tmp_path / "missing")
+        argv = [part.format(q=q) for part in argv]
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        message = str(excinfo.value)
+        assert "no job queue" in message
+        assert "\n" not in message
+        assert not (tmp_path / "missing").exists()
+
+
+class TestTraceStatEdgeCases:
+    def stat(self, path, capsys):
+        assert main(["trace", "stat", str(path)]) == 0
+        return json.loads(capsys.readouterr().out.split("warning:")[0])
+
+    def test_zero_byte_file(self, tmp_path, capsys):
+        path = tmp_path / "empty.trace"
+        path.write_bytes(b"")
+        summary = self.stat(path, capsys)
+        assert summary["requests"] == 0
+        assert summary["skipped"] == {}
+
+    def test_comment_only_file(self, tmp_path, capsys):
+        path = tmp_path / "c.trace"
+        path.write_text("# one\n# two\n")
+        summary = self.stat(path, capsys)
+        assert summary["requests"] == 0
+        assert summary["skipped"] == {"comments": 2}
+
+    def test_whitespace_only_file(self, tmp_path, capsys):
+        path = tmp_path / "w.trace"
+        path.write_text("\n  \n")
+        summary = self.stat(path, capsys)
+        assert summary["requests"] == 0
+        assert summary["skipped"] == {"blank": 2}

@@ -1,7 +1,7 @@
 """Smoke tests for the benchmark harness (``python -m repro bench``).
 
 Marked ``bench_smoke``: a tiny (500-request) pass that checks the
-``repro-bench/4`` JSON schema and the harness's determinism promise
+``repro-bench/5`` JSON schema and the harness's determinism promise
 without timing anything meaningful.  Runs inside the tier-1 suite.
 """
 
@@ -33,6 +33,7 @@ REQUIRED_KEYS = {
     "kernel",
     "results",
     "shard_scaling",
+    "metrics_overhead",
 }
 
 RESULT_KEYS = {"workers", "wall_s", "events_per_s", "speedup_vs_serial"}
@@ -147,6 +148,17 @@ class TestBenchSmoke:
             elif not entry.get("skipped"):
                 assert entry["wall_s"] > 0
 
+    def test_metrics_overhead_shape(self, smoke_result):
+        cell = smoke_result["metrics_overhead"]
+        assert cell["workload"] == "websearch"
+        # The cell tracks the (smaller) smoke request budget.
+        assert cell["requests"] == 500
+        assert cell["events"] > 0
+        assert cell["off_events_per_s"] > 0
+        assert cell["on_events_per_s"] > 0
+        # Metering must never perturb simulated time.
+        assert cell["figures_identical"] is True
+
     def test_format_mentions_throughput(self, smoke_result):
         text = format_bench(smoke_result)
         assert "events_per_s" in text
@@ -155,6 +167,8 @@ class TestBenchSmoke:
         assert "websearch" in text
         assert "Sharded kernel" in text
         assert "sharded figures identical to serial: True" in text
+        assert "metrics overhead" in text
+        assert "metered figures identical: True" in text
 
     def test_oversubscribed_workers_not_timed(self):
         cpu = os.cpu_count() or 1

@@ -11,6 +11,7 @@ from repro.tools.bench import (
     BENCH_SCHEMA_V1,
     BENCH_SCHEMA_V2,
     BENCH_SCHEMA_V3,
+    BENCH_SCHEMA_V4,
     load_bench,
     migrate_bench,
     validate_bench,
@@ -83,10 +84,22 @@ def snapshot(**overrides):
             }
         ],
         "shard_scaling": shard_scaling(),
+        "metrics_overhead": {
+            "workload": "websearch",
+            "requests": 2000,
+            "events": 250,
+            "off_events_per_s": 500.0,
+            "on_events_per_s": 495.0,
+            "overhead_fraction": 0.01,
+            "figures_identical": True,
+        },
     }
     base.update(overrides)
     if base["schema"] != BENCH_SCHEMA:
-        # Older schemas predate the shard-scaling section.
+        # Older schemas predate the metrics-overhead cell.
+        base.pop("metrics_overhead", None)
+    if base["schema"] not in (BENCH_SCHEMA, BENCH_SCHEMA_V4):
+        # v1/v2/v3 also predate the shard-scaling section.
         base.pop("shard_scaling", None)
     if base["schema"] in (BENCH_SCHEMA_V1, BENCH_SCHEMA_V2):
         # v1/v2 also predate the per-workload and kernel sections.
@@ -165,6 +178,15 @@ class TestValidateBench:
         with pytest.raises(ValueError, match="shard_scaling"):
             validate_bench(bad)
 
+    def test_v4_accepted_without_metrics_overhead(self):
+        validate_bench(snapshot(schema=BENCH_SCHEMA_V4))
+
+    def test_v5_requires_metrics_overhead(self):
+        bad = snapshot()
+        del bad["metrics_overhead"]
+        with pytest.raises(ValueError, match="metrics_overhead"):
+            validate_bench(bad)
+
 
 class TestMigrateBench:
     def test_current_schema_returned_as_copy(self):
@@ -173,11 +195,20 @@ class TestMigrateBench:
         assert migrated == original
         assert migrated is not original
 
+    def test_v4_gains_null_metrics_overhead(self):
+        migrated = migrate_bench(snapshot(schema=BENCH_SCHEMA_V4))
+        assert migrated["schema"] == BENCH_SCHEMA
+        assert migrated["migrated_from"] == BENCH_SCHEMA_V4
+        assert migrated["metrics_overhead"] is None
+        # v4 sections survive the hop untouched.
+        assert migrated["shard_scaling"]["disks"] == 16
+
     def test_v3_gains_null_shard_scaling(self):
         migrated = migrate_bench(snapshot(schema=BENCH_SCHEMA_V3))
         assert migrated["schema"] == BENCH_SCHEMA
         assert migrated["migrated_from"] == BENCH_SCHEMA_V3
         assert migrated["shard_scaling"] is None
+        assert migrated["metrics_overhead"] is None
         # v3 sections survive the hop untouched.
         assert migrated["kernel"]["processes"] == 50
         assert migrated["workload_results"]
@@ -190,7 +221,7 @@ class TestMigrateBench:
         assert migrated["kernel"] is None
         assert migrated["shard_scaling"] is None
 
-    def test_v1_chains_through_v2_and_v3_to_v4(self):
+    def test_v1_chains_through_every_version_to_current(self):
         v1 = snapshot(
             schema=BENCH_SCHEMA_V1,
             cpu_count=2,

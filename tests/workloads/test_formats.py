@@ -79,7 +79,8 @@ class TestSpc1:
         skipped = {"comments": 0, "non_event": 0, "other_action": 0,
                    "no_data": 0}
         assert len(list(iter_trace_requests(path, skipped=skipped))) == 1
-        assert skipped["comments"] == 2
+        assert skipped["comments"] == 1
+        assert skipped["blank"] == 1
 
     def test_bad_opcode_rejected(self, tmp_path):
         path = tmp_path / "t.spc"
@@ -220,3 +221,26 @@ class TestStat:
         assert summary["requests"] == 0
         assert summary["monotone"]
         assert summary["skipped"] == {"comments": 1}
+
+    def test_zero_byte_file(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_bytes(b"")
+        summary = stat_trace(path)
+        assert summary["requests"] == 0
+        assert summary["monotone"]
+        assert summary["skipped"] == {}
+        assert summary["duration_ms"] == 0.0
+
+    def test_whitespace_only_file(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("\n   \n\t\n")
+        summary = stat_trace(path)
+        assert summary["requests"] == 0
+        assert summary["skipped"] == {"blank": 3}
+
+    def test_whitespace_only_spc1(self, tmp_path):
+        path = tmp_path / "t.spc"
+        path.write_text("\n \n")
+        summary = stat_trace(path)
+        assert summary["requests"] == 0
+        assert summary["skipped"] == {"blank": 2}
