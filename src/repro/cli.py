@@ -28,6 +28,9 @@ Usage (``python -m repro <command> ...``)::
     python -m repro metrics --queue q         # merged Prometheus snapshot
     python -m repro metrics --queue q --watch # live terminal dashboard
     python -m repro fig5 --metrics fig5.prom  # meter any command's runs
+    python -m repro chaos --seed 0            # seeded chaos campaign
+    python -m repro chaos --scenarios kill,torn-write --report out.json
+    python -m repro chaos --validate plan.json   # schema-check a plan
 
 Every command prints the same plain-text tables the benchmark harness
 asserts against.  ``--trace PATH`` records a request-lifecycle trace of
@@ -239,8 +242,8 @@ def _list(args) -> None:
     print("artifacts:", ", ".join(ARTIFACTS))
     print(
         "other commands: all, results, report, scorecard, faults, "
-        "workloads, simulate, bench, trace, serve, submit, status, "
-        "result, metrics, list"
+        "chaos, workloads, simulate, bench, trace, serve, submit, "
+        "status, result, metrics, list"
     )
 
 
@@ -353,6 +356,97 @@ def _faults(args) -> None:
     print(format_reliability_cdfs(result))
     print()
     print(format_mttdl_table(result))
+
+
+def _chaos(args) -> None:
+    """Seeded chaos campaign against a live serve queue (and the
+    plan plumbing mirroring ``repro faults``)."""
+    import json
+    import tempfile
+
+    from repro.chaos import (
+        ChaosPlan,
+        load_chaos_plan,
+        resolve_scenarios,
+        run_campaign,
+        write_chaos_plan,
+    )
+
+    if args.validate:
+        from repro.tools.validate import validate_chaos_plan_file
+
+        problems = validate_chaos_plan_file(args.validate)
+        if problems:
+            for problem in problems:
+                print(f"INVALID: {problem}")
+            raise SystemExit(1)
+        print(f"{args.validate}: valid chaos plan")
+        return
+
+    scenarios = (
+        args.scenarios.split(",") if args.scenarios else None
+    )
+    try:
+        kinds = resolve_scenarios(scenarios)
+        plan = None
+        if args.plan:
+            plan = load_chaos_plan(args.plan)
+        if args.emit_plan:
+            emitted = plan if plan is not None else ChaosPlan.generate(
+                args.seed, scenarios=kinds, workers=args.workers,
+                lease_s=args.lease_timeout,
+            )
+            write_chaos_plan(emitted, args.emit_plan)
+            print(f"wrote {args.emit_plan} ({len(emitted)} events)")
+            plan = emitted
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"chaos: {error}")
+
+    queue_dir = args.queue or tempfile.mkdtemp(prefix="repro-chaos-")
+    try:
+        campaign = run_campaign(
+            queue_dir,
+            seed=args.seed,
+            scenarios=kinds,
+            plan=plan,
+            jobs=args.jobs,
+            workers=args.workers,
+            requests=args.requests,
+            lease_s=args.lease_timeout,
+            max_attempts=args.max_attempts,
+            max_restarts=args.max_restarts,
+            recovery_timeout_s=args.recovery_timeout,
+            durable=args.fsync,
+        )
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"chaos: {error}")
+    report = campaign.to_dict()
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.report}")
+    counters = report["counters"]
+    print(
+        f"chaos: seed={report['seed']} queue={queue_dir} "
+        f"plan={counters['plan_events']} events, "
+        f"{counters['applied_events']} applied"
+    )
+    print(
+        f"chaos: {counters['submitted']} submitted "
+        f"(+{counters['resubmitted']} recovery resubmits), "
+        f"{counters['chaos_restarts']} worker restart(s), "
+        f"{counters['recovery_rounds']} recovery round(s), "
+        f"{counters['quarantined_records']} record(s) + "
+        f"{counters['quarantined_cache_payloads']} cache payload(s) "
+        f"quarantined"
+    )
+    for name, held in report["invariants"].items():
+        print(f"invariant {name}: {'OK' if held else 'VIOLATED'}")
+    if not campaign.ok:
+        for violation in campaign.violations:
+            print(f"VIOLATION: {violation}")
+        raise SystemExit(1)
 
 
 def _bench(args) -> None:
@@ -609,6 +703,8 @@ def _serve(args) -> None:
             max_jobs=args.max_jobs,
             lease_s=args.lease_timeout,
             max_attempts=args.max_attempts,
+            max_restarts=args.max_restarts,
+            durable=args.fsync,
         )
     except ValueError as error:
         raise SystemExit(f"serve: {error}")
@@ -623,7 +719,12 @@ def _submit(args) -> None:
     from repro.serve.service import submit
 
     try:
-        record = submit(args.queue, _spec_from_args(args))
+        record = submit(
+            args.queue,
+            _spec_from_args(args),
+            retries=args.retries,
+            deadline_s=args.deadline,
+        )
     except (OSError, ValueError) as error:
         raise SystemExit(f"submit: {error}")
     print(json.dumps(record, indent=2, sort_keys=True))
@@ -635,7 +736,13 @@ def _status(args) -> None:
     from repro.serve.service import status
 
     try:
-        summary = status(args.queue, args.job_id, metrics=args.metrics)
+        summary = status(
+            args.queue,
+            args.job_id,
+            metrics=args.metrics,
+            retries=args.retries,
+            deadline_s=args.deadline,
+        )
     except (OSError, ValueError) as error:
         raise SystemExit(f"status: {error}")
     print(json.dumps(summary, indent=2, sort_keys=True))
@@ -647,7 +754,12 @@ def _result(args) -> None:
     from repro.serve.service import result
 
     try:
-        record, payload = result(args.queue, args.job_id)
+        record, payload = result(
+            args.queue,
+            args.job_id,
+            retries=args.retries,
+            deadline_s=args.deadline,
+        )
     except (OSError, ValueError) as error:
         raise SystemExit(f"result: {error}")
     if payload is None:
@@ -766,6 +878,27 @@ def _simulate(args) -> None:
             title=f"{workload.name}: {args.requests} requests",
             float_format="{:.2f}",
         )
+    )
+
+
+def _add_retry_flags(command) -> None:
+    command.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help=(
+            "retry transient queue errors this many times with "
+            "deterministic-jitter exponential backoff (default 0)"
+        ),
+    )
+    command.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help=(
+            "wall-clock budget in seconds for the call including "
+            "retries (default: none)"
+        ),
     )
 
 
@@ -983,6 +1116,122 @@ def build_parser() -> argparse.ArgumentParser:
     # The reliability cells run with an aggressive retry policy and a
     # structural failure mid-run; 2000 requests keeps the study quick.
     faults.set_defaults(requests=2000)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help=(
+            "run a seeded, invariant-checked chaos campaign against "
+            "the serve stack (worker kills, torn writes, ENOSPC, "
+            "clock skew, hangs)"
+        ),
+    )
+    chaos.set_defaults(handler=_chaos)
+    chaos.add_argument(
+        "--queue",
+        metavar="DIR",
+        default=None,
+        help=(
+            "queue directory to campaign against (default: a fresh "
+            "temporary directory; never point this at a production "
+            "queue)"
+        ),
+    )
+    chaos.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="chaos-plan and job-spec seed (default 0)",
+    )
+    chaos.add_argument(
+        "--scenarios",
+        metavar="KINDS",
+        default=None,
+        help=(
+            "comma-separated fault kinds: kill, torn-write, enospc, "
+            "clock-skew, hang (default: all)"
+        ),
+    )
+    chaos.add_argument(
+        "--plan",
+        metavar="PATH",
+        default=None,
+        help="replay this chaos-plan JSON instead of generating one",
+    )
+    chaos.add_argument(
+        "--emit-plan",
+        metavar="PATH",
+        default=None,
+        help="write the plan the campaign replays to PATH, then run",
+    )
+    chaos.add_argument(
+        "--validate",
+        metavar="PATH",
+        default=None,
+        help=(
+            "schema-check a chaos-plan JSON and exit (non-zero if "
+            "invalid); no campaign runs"
+        ),
+    )
+    chaos.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="write the JSON campaign report (plan, applied events, "
+        "invariants, counters) to PATH",
+    )
+    chaos.add_argument(
+        "--jobs",
+        type=int,
+        default=4,
+        help="unique job specs to submit (default 4)",
+    )
+    chaos.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="serve worker processes (default 2)",
+    )
+    chaos.add_argument(
+        "--requests",
+        type=int,
+        default=150,
+        help="requests per job spec (default 150; campaigns exercise "
+        "the queue, not the simulator)",
+    )
+    chaos.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=2.0,
+        help="claim lease in seconds (default 2; short so hang/skew "
+        "faults force requeues within the campaign)",
+    )
+    chaos.add_argument(
+        "--max-attempts",
+        type=int,
+        default=8,
+        help="requeue attempts before a job is failed (default 8)",
+    )
+    chaos.add_argument(
+        "--max-restarts",
+        type=int,
+        default=6,
+        help="supervisor restarts of crashed workers (default 6)",
+    )
+    chaos.add_argument(
+        "--recovery-timeout",
+        type=float,
+        default=120.0,
+        help="recovery-phase wall-clock budget in seconds (default "
+        "120; exceeding it is an invariant violation)",
+    )
+    chaos.add_argument(
+        "--fsync",
+        action="store_true",
+        help="run the queue with durable (fsynced) writes; off by "
+        "default to keep campaigns fast",
+    )
+    _add_metrics_flag(chaos)
+
     listing = sub.add_parser("list", help="list available artifacts")
     listing.set_defaults(handler=_list)
 
@@ -1210,6 +1459,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=3,
         help="requeue attempts before a job is failed (default 3)",
     )
+    serve.add_argument(
+        "--max-restarts",
+        type=int,
+        default=0,
+        help=(
+            "restart a crashed (nonzero-exit) worker up to this many "
+            "times across the pool (default 0; gracefully drained "
+            "workers are never restarted)"
+        ),
+    )
+    serve.add_argument(
+        "--no-fsync",
+        dest="fsync",
+        action="store_false",
+        default=True,
+        help=(
+            "skip fsync on queue record writes (faster, but records "
+            "may be lost or torn on power failure; fine for "
+            "scratch/test queues)"
+        ),
+    )
     _add_metrics_flag(serve)
 
     submit = sub.add_parser(
@@ -1289,6 +1559,7 @@ def build_parser() -> argparse.ArgumentParser:
             "from the cache key; default 65536)"
         ),
     )
+    _add_retry_flags(submit)
     _add_metrics_flag(submit)
 
     status_cmd = sub.add_parser(
@@ -1311,6 +1582,7 @@ def build_parser() -> argparse.ArgumentParser:
             "heartbeats in the summary"
         ),
     )
+    _add_retry_flags(status_cmd)
 
     result_cmd = sub.add_parser(
         "result",
@@ -1325,6 +1597,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the payload bytes here (default: pretty-print)",
     )
+    _add_retry_flags(result_cmd)
 
     metrics_cmd = sub.add_parser(
         "metrics",

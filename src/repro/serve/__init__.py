@@ -10,16 +10,27 @@ read, not one simulation, and returns byte-identical payloads.
 * :mod:`repro.serve.jobs` — the job spec, its digests, and the job
   runner (replays in-memory workload traces or streamed trace files).
 * :mod:`repro.serve.queue` — the persistent queue: atomic claim/ack
-  via rename, lease-based crash-safe requeue.
+  via rename, lease-based crash-safe requeue, checksummed records
+  with a ``corrupt/`` quarantine for torn files.
 * :mod:`repro.serve.cache` — the content-addressed result store.
-* :mod:`repro.serve.service` — worker loop, multi-process ``serve``,
-  and the submit/status/result client calls the CLI wraps.
+* :mod:`repro.serve.retry` — deterministic-jitter client backoff.
+* :mod:`repro.serve.service` — worker loop (graceful SIGTERM drain),
+  supervised multi-process ``serve``, and the submit/status/result
+  client calls the CLI wraps.
 """
 
 from repro.serve.cache import ResultCache
-from repro.serve.jobs import JobSpec, cache_key, code_version, run_job
+from repro.serve.jobs import (
+    JobSpec,
+    cache_key,
+    code_version,
+    run_job,
+    verify_result_payload,
+)
 from repro.serve.queue import JobQueue
+from repro.serve.retry import backoff_delays, call_with_retries
 from repro.serve.service import (
+    GracefulShutdown,
     result,
     serve,
     status,
@@ -28,15 +39,19 @@ from repro.serve.service import (
 )
 
 __all__ = [
+    "GracefulShutdown",
     "JobQueue",
     "JobSpec",
     "ResultCache",
+    "backoff_delays",
     "cache_key",
+    "call_with_retries",
     "code_version",
     "result",
     "run_job",
     "serve",
     "status",
     "submit",
+    "verify_result_payload",
     "worker_loop",
 ]

@@ -5,18 +5,30 @@ under two-character fan-out directories::
 
     cache/
       ab/abcdef....json      # canonical result payload bytes
+      corrupt/ab/...         # quarantined torn/tampered payloads
 
 Writes go through a temp file and ``os.replace``; a key that already
 exists is left untouched (first write wins), which together with the
 simulator's determinism guarantees that every reader of a key — across
 workers, processes and submissions — sees byte-identical payloads.
+
+A payload that fails verification (torn write, bit rot — see
+:func:`repro.serve.jobs.verify_result_payload`) is moved aside by
+:meth:`ResultCache.quarantine` into ``corrupt/`` with a diagnostics
+sidecar, so the next worker to need that key re-simulates instead of
+serving garbage forever.  The write path carries chaos failpoints
+(no-ops unless an injector is installed).
 """
 
 from __future__ import annotations
 
+import json
 import os
 import tempfile
+import time
 from typing import List, Optional
+
+from repro.chaos.failpoints import current_failpoints
 
 __all__ = ["ResultCache"]
 
@@ -64,7 +76,12 @@ class ResultCache:
             if os.path.exists(path):
                 os.unlink(temp_path)
                 return False
+            fp = current_failpoints()
+            if fp.enabled:
+                fp.hit("cache.put.before_replace", path=path)
             os.replace(temp_path, path)
+            if fp.enabled:
+                fp.hit("cache.put.after_replace", path=path)
             return True
         except BaseException:
             try:
@@ -73,9 +90,57 @@ class ResultCache:
                 pass
             raise
 
+    def quarantine(self, key: str, reason: str) -> Optional[str]:
+        """Move a corrupt payload into ``corrupt/``; returns its path.
+
+        First-write-wins means a bad payload would otherwise be served
+        to every future hit on the key — quarantining clears the slot
+        so the next miss re-simulates, and keeps the bad bytes (plus a
+        ``.reason.json`` diagnostics sidecar) for inspection.  Returns
+        ``None`` when the key vanished first (another worker already
+        quarantined it).
+        """
+        source = self._path(key)
+        corrupt_dir = os.path.join(self.root, "corrupt", key[:2])
+        os.makedirs(corrupt_dir, exist_ok=True)
+        target = os.path.join(corrupt_dir, f"{key}.json")
+        sequence = 0
+        while os.path.exists(target):
+            sequence += 1
+            target = os.path.join(
+                corrupt_dir, f"{key}.{sequence}.json"
+            )
+        try:
+            os.rename(source, target)
+        except FileNotFoundError:
+            return None
+        try:
+            with open(
+                target[: -len(".json")] + ".reason.json",
+                "w",
+                encoding="ascii",
+            ) as handle:
+                json.dump(
+                    {
+                        "cache_key": key,
+                        "reason": reason,
+                        "quarantined_at": time.time(),
+                        "by_pid": os.getpid(),
+                    },
+                    handle,
+                    indent=1,
+                    sort_keys=True,
+                )
+                handle.write("\n")
+        except OSError:
+            pass  # diagnostics are best-effort; the quarantine stands
+        return target
+
     def keys(self) -> List[str]:
         found = []
-        for directory, _, files in os.walk(self.root):
+        for directory, subdirs, files in os.walk(self.root):
+            if os.path.abspath(directory) == os.path.abspath(self.root):
+                subdirs[:] = [d for d in subdirs if d != "corrupt"]
             for name in files:
                 if name.endswith(".json") and not name.startswith("."):
                     found.append(name[: -len(".json")])

@@ -39,6 +39,7 @@ __all__ = [
     "code_version",
     "result_payload_bytes",
     "run_job",
+    "verify_result_payload",
 ]
 
 JOB_SCHEMA = "repro-job/1"
@@ -395,3 +396,31 @@ def result_payload_bytes(payload: Dict) -> bytes:
     return (
         json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
     ).encode("ascii")
+
+
+def verify_result_payload(payload_bytes: bytes) -> Optional[str]:
+    """Integrity-check cached payload bytes; returns the problem.
+
+    ``None`` means intact: the bytes parse, carry the result schema,
+    and the embedded ``figures_sha256`` matches a recomputation over
+    the figures — the self-check that catches a torn cache write or
+    bit rot before a worker serves it as a cache hit.
+    """
+    try:
+        payload = json.loads(payload_bytes.decode("ascii"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        return f"torn JSON ({error}; {len(payload_bytes)} bytes)"
+    if not isinstance(payload, dict):
+        return f"not a payload object ({type(payload).__name__})"
+    if payload.get("schema") != RESULT_SCHEMA:
+        return (
+            f"unexpected schema {payload.get('schema')!r} "
+            f"(expected {RESULT_SCHEMA!r})"
+        )
+    figures = payload.get("figures")
+    stored = payload.get("figures_sha256")
+    if not isinstance(figures, dict) or not stored:
+        return "missing figures/figures_sha256"
+    if _sha256_json(figures) != stored:
+        return "figures_sha256 mismatch (torn write or bit rot)"
+    return None

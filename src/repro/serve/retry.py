@@ -1,0 +1,98 @@
+"""Deterministic-jitter exponential backoff for queue clients.
+
+A transient queue error (ENOSPC, NFS hiccup, a record mid-rename) is
+worth retrying, but naive retries synchronize: every client that hit
+the same error retries at the same instant.  Classic full jitter
+(random sleep in ``[0, cap]``) fixes that at the cost of
+reproducibility — two runs of the same campaign would retry at
+different times.  This module does both: the jitter for attempt ``i``
+is drawn from ``random.Random(seed * 1000003 + i)``, so distinct
+seeds (clients) de-synchronize while a fixed seed replays the exact
+same schedule.
+
+``call_with_retries`` bounds the whole affair with a wall-clock
+deadline: the last error is re-raised once the deadline would be
+exceeded, so a dead queue fails the client in bounded time instead of
+retrying forever.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Tuple, Type
+
+__all__ = ["backoff_delays", "call_with_retries"]
+
+#: Multiplier spreading per-attempt jitter streams across seeds; any
+#: prime much larger than realistic attempt counts works.
+_SEED_STRIDE = 1000003
+
+
+def backoff_delays(
+    retries: int,
+    base_s: float = 0.05,
+    cap_s: float = 2.0,
+    seed: int = 0,
+) -> List[float]:
+    """The full, precomputable backoff schedule for ``retries``.
+
+    Attempt ``i`` sleeps ``min(cap_s, base_s * 2**i) * jitter`` with
+    jitter drawn uniformly from ``[0.5, 1.0)`` — half-deterministic
+    full jitter: bounded below so progress is guaranteed, jittered
+    above so clients spread out.  Deterministic in ``(retries,
+    base_s, cap_s, seed)``.
+    """
+    import random
+
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    delays = []
+    for attempt in range(retries):
+        ceiling = min(cap_s, base_s * (2.0 ** attempt))
+        jitter = random.Random(
+            seed * _SEED_STRIDE + attempt
+        ).random()
+        delays.append(ceiling * (0.5 + 0.5 * jitter))
+    return delays
+
+
+def call_with_retries(
+    call: Callable,
+    retries: int = 0,
+    base_s: float = 0.05,
+    cap_s: float = 2.0,
+    deadline_s: Optional[float] = None,
+    seed: int = 0,
+    retry_on: Tuple[Type[BaseException], ...] = (OSError,),
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    sleep_fn: Callable[[float], None] = time.sleep,
+    now_fn: Callable[[], float] = time.monotonic,
+):
+    """Invoke ``call()`` with up to ``retries`` backed-off retries.
+
+    Only exceptions in ``retry_on`` are retried; anything else (and
+    the final failure) propagates.  ``deadline_s`` is a wall-clock
+    budget from first attempt: a retry whose backoff sleep would
+    overrun it re-raises immediately.  ``on_retry(attempt, error)``
+    fires before each backoff sleep (retry metrics hook);
+    ``sleep_fn``/``now_fn`` are injectable for tests.
+    """
+    delays = backoff_delays(
+        retries, base_s=base_s, cap_s=cap_s, seed=seed
+    )
+    started = now_fn()
+    for attempt in range(retries + 1):
+        try:
+            return call()
+        except retry_on as error:
+            if attempt >= retries:
+                raise
+            delay = delays[attempt]
+            if (
+                deadline_s is not None
+                and now_fn() - started + delay > deadline_s
+            ):
+                raise
+            if on_retry is not None:
+                on_retry(attempt, error)
+            sleep_fn(delay)

@@ -4,18 +4,32 @@ The flow, end to end:
 
 1. ``submit`` validates a :class:`~repro.serve.jobs.JobSpec`, computes
    its digests and cache key, and enqueues a pending record.
-2. ``serve`` runs N :func:`worker_loop` processes.  Each claims jobs
-   atomically, consults the result cache first — a duplicate
-   submission is acked as a **cache hit** without simulating — and
-   otherwise runs the simulation, stores the canonical payload, and
-   acks with per-job telemetry (wall time, chunk count, a telemetry
-   registry snapshot).
+2. ``serve`` runs N :func:`worker_loop` processes under a supervisor
+   that restarts crashed workers (nonzero exit) up to a cap.  Each
+   worker claims jobs atomically, consults the result cache first — a
+   duplicate submission is acked as a **cache hit** without
+   simulating — and otherwise runs the simulation, stores the
+   canonical payload, and acks with per-job telemetry (wall time,
+   chunk count, a telemetry registry snapshot).
 3. ``result`` reads a finished job's payload back from the cache via
    the cache key recorded in its outcome.
 
 Every payload byte is determined by ``(config digest, trace digest,
 code version)``; hits and misses of the same key return identical
-bytes.
+bytes.  Cached payloads are integrity-checked before being served as
+hits; a corrupt one is quarantined and the job re-simulated.
+
+Robustness contract:
+
+* SIGTERM/SIGINT drain a worker gracefully: the in-flight job is
+  released back to ``pending`` with its attempt count intact, a final
+  metrics snapshot is flushed, and the worker exits 0.
+* The client calls accept ``retries``/``deadline_s`` and back off with
+  deterministic jitter (:mod:`repro.serve.retry`) on transient errors.
+* The worker paths are threaded with chaos failpoints
+  (:mod:`repro.chaos.failpoints`) — free unless an injector is
+  installed — so seeded campaigns can kill, hang, and starve workers
+  at precise points.
 """
 
 from __future__ import annotations
@@ -23,9 +37,11 @@ from __future__ import annotations
 import itertools
 import json
 import os
+import signal
 import time
 from typing import Dict, List, Optional, Tuple
 
+from repro.chaos.failpoints import current_failpoints
 from repro.obs.metrics import (
     NULL_METRICS,
     MetricsRegistry,
@@ -42,14 +58,17 @@ from repro.serve.jobs import (
     code_version,
     result_payload_bytes,
     run_job,
+    verify_result_payload,
 )
 from repro.serve.queue import (
     DEFAULT_LEASE_S,
     DEFAULT_MAX_ATTEMPTS,
     JobQueue,
 )
+from repro.serve.retry import call_with_retries
 
 __all__ = [
+    "GracefulShutdown",
     "merged_queue_metrics",
     "result",
     "serve",
@@ -61,20 +80,58 @@ __all__ = [
 _submit_counter = itertools.count()
 
 
+class GracefulShutdown(BaseException):
+    """Raised by the worker's SIGTERM/SIGINT handler to start a drain.
+
+    A ``BaseException`` so a job-level ``except Exception`` cannot
+    swallow the shutdown: it unwinds to :func:`worker_loop`, which
+    releases the in-flight job and flushes metrics before exiting.
+    """
+
+    def __init__(self, signum: int):
+        super().__init__(f"signal {signum}")
+        self.signum = signum
+
+
 def _cache_root(queue_dir: str, cache_dir: Optional[str]) -> str:
     return cache_dir or os.path.join(str(queue_dir), "cache")
+
+
+def _retry_counter(call_name: str):
+    """An ``on_retry`` hook counting client retries on the ambient
+    registry (no-op when metrics are disabled)."""
+
+    def on_retry(attempt: int, error: BaseException) -> None:
+        metrics = current_metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "repro_client_retries_total",
+                "Client calls retried after a transient error",
+                labels=("call",),
+            ).labels(call=call_name).inc()
+
+    return on_retry
 
 
 def submit(
     queue_dir: str,
     spec: JobSpec,
     cache_dir: Optional[str] = None,
+    retries: int = 0,
+    deadline_s: Optional[float] = None,
+    retry_seed: int = 0,
 ) -> Dict:
     """Enqueue ``spec``; returns the pending record (with ``job_id``).
 
     The record carries the spec plus its three digests, so workers
     (and humans reading the queue directory) see the cache identity
     without recomputing trace digests.
+
+    Transient ``OSError`` (ENOSPC, a flaky filesystem) is retried up
+    to ``retries`` times with deterministic-jitter backoff under the
+    ``deadline_s`` wall-clock budget.  The job id and record are
+    computed once, so retries can never double-enqueue: the atomic
+    write only places the record when it fully succeeds.
     """
     spec.validate()
     key = cache_key(spec)
@@ -95,7 +152,14 @@ def submit(
             _cache_root(queue_dir, cache_dir)
         ),
     }
-    queue.enqueue(job_id, record)
+    call_with_retries(
+        lambda: queue.enqueue(job_id, record),
+        retries=retries,
+        deadline_s=deadline_s,
+        seed=retry_seed,
+        retry_on=(OSError,),
+        on_retry=_retry_counter("submit"),
+    )
     metrics = current_metrics()
     if metrics.enabled:
         metrics.counter(
@@ -120,6 +184,8 @@ def worker_loop(
     owner: Optional[str] = None,
     metrics: bool = False,
     heartbeat_interval_s: float = 2.0,
+    durable: bool = True,
+    handle_signals: bool = False,
 ) -> Dict:
     """Claim-and-run until stopped; returns this worker's telemetry.
 
@@ -133,15 +199,41 @@ def worker_loop(
     ``<queue>/metrics/`` after every job and at least every
     ``heartbeat_interval_s`` seconds — the snapshot files a
     ``repro metrics``/``status --metrics`` reader merges.
+
+    ``handle_signals=True`` (what ``serve`` passes its children)
+    installs SIGTERM/SIGINT handlers that drain gracefully: the
+    in-flight job is released back to ``pending`` with its attempt
+    count preserved, a final metrics snapshot is flushed, and the loop
+    returns normally.  A second signal falls through to the default
+    disposition (hard kill).
     """
     queue = JobQueue(
-        queue_dir, lease_s=lease_s, max_attempts=max_attempts
+        queue_dir,
+        lease_s=lease_s,
+        max_attempts=max_attempts,
+        durable=durable,
     )
     cache = ResultCache(_cache_root(queue_dir, cache_dir))
     telemetry = TelemetryRegistry()
     worker_name = owner or f"worker-{os.getpid()}"
+    failpoints = current_failpoints()
+    if failpoints.enabled:
+        failpoints.bind_worker(worker_name)
     registry: object = MetricsRegistry() if metrics else NULL_METRICS
     last_beat = 0.0
+    in_flight = {"job_id": None}
+
+    def on_signal(signum, frame):
+        # Restore default dispositions first so a second signal kills
+        # the worker outright instead of re-raising mid-unwind.
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.default_int_handler)
+        raise GracefulShutdown(signum)
+
+    previous_handlers = {}
+    if handle_signals:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous_handlers[signum] = signal.signal(signum, on_signal)
 
     def beat(force: bool = False) -> None:
         nonlocal last_beat
@@ -163,6 +255,21 @@ def worker_loop(
         write_worker_snapshot(queue_dir, worker_name, registry, now=now)
         last_beat = now
 
+    def count_quarantined() -> None:
+        if not queue.last_quarantined:
+            return
+        telemetry.counter("jobs.quarantined").inc(
+            len(queue.last_quarantined)
+        )
+        if registry.enabled:
+            registry.counter(
+                "repro_records_quarantined_total",
+                "Torn/tampered queue records moved to corrupt/",
+                labels=("worker",),
+            ).labels(worker=worker_name).inc(
+                len(queue.last_quarantined)
+            )
+
     processed = 0
     previous_ambient = None
     if registry.enabled:
@@ -171,6 +278,7 @@ def worker_loop(
     try:
         while True:
             requeued = queue.requeue_stale()
+            count_quarantined()
             if registry.enabled and (
                 requeued or queue.last_requeue_failed
             ):
@@ -191,6 +299,7 @@ def worker_loop(
             if registry.enabled:
                 claim_started = time.perf_counter()
             record = queue.claim(owner=worker_name)
+            count_quarantined()
             if registry.enabled:
                 registry.histogram(
                     "repro_claim_latency_ms",
@@ -212,15 +321,34 @@ def worker_loop(
                     "Claims processed (retries of one job each count)",
                     labels=("worker",),
                 ).labels(worker=worker_name).inc()
+            in_flight["job_id"] = record["job_id"]
             _process_one(
                 record, queue, cache, telemetry, worker_name, registry
             )
+            in_flight["job_id"] = None
             processed += 1
             if registry.enabled:
                 beat(force=True)
             if max_jobs is not None and processed >= max_jobs:
                 break
+    except GracefulShutdown:
+        job_id = in_flight["job_id"]
+        if job_id is not None and queue.release(job_id):
+            telemetry.counter("jobs.released").inc()
+            if registry.enabled:
+                registry.counter(
+                    "repro_jobs_released_total",
+                    "In-flight jobs released on graceful shutdown",
+                    labels=("worker",),
+                ).labels(worker=worker_name).inc()
+        count_quarantined()
     finally:
+        if handle_signals:
+            for signum, handler in previous_handlers.items():
+                try:
+                    signal.signal(signum, handler)
+                except (ValueError, TypeError):
+                    pass
         if registry.enabled:
             beat(force=True)
             set_current_metrics(previous_ambient)
@@ -241,10 +369,27 @@ def _process_one(
     job_id = record["job_id"]
     started = time.time()
     job_telemetry = TelemetryRegistry()
+    failpoints = current_failpoints()
     try:
+        if failpoints.enabled:
+            failpoints.hit("service.job.before_run")
         spec = JobSpec.from_dict(record["spec"])
         key = cache_key(spec)
         cached = cache.get(key)
+        if cached is not None:
+            # Never serve bytes that fail their self-check: quarantine
+            # and fall through to a fresh simulation of the same key.
+            problem = verify_result_payload(cached)
+            if problem is not None:
+                cache.quarantine(key, problem)
+                cached = None
+                telemetry.counter("jobs.cache_corrupt").inc()
+                if registry.enabled:
+                    registry.counter(
+                        "repro_cache_corrupt_total",
+                        "Cached payloads quarantined at hit time",
+                        labels=("worker",),
+                    ).labels(worker=worker_name).inc()
         if cached is not None:
             telemetry.counter("jobs.cache_hits").inc()
             if registry.enabled:
@@ -295,6 +440,8 @@ def _process_one(
                 "chunks": stats["chunks"],
                 "telemetry": job_telemetry.snapshot(),
             }
+        if failpoints.enabled:
+            failpoints.hit("service.job.before_ack")
         _ack_safely(
             queue, telemetry, job_id, outcome, "done",
             registry=registry, worker_name=worker_name,
@@ -373,12 +520,22 @@ def serve(
     lease_s: float = DEFAULT_LEASE_S,
     max_attempts: int = DEFAULT_MAX_ATTEMPTS,
     metrics: bool = False,
+    max_restarts: int = 0,
+    durable: bool = True,
 ) -> List[int]:
     """Run ``workers`` worker processes over one queue.
 
-    Returns the worker exit codes.  ``workers=1`` runs the loop
-    in-process (no child process), which keeps single-worker serving
-    debuggable exactly like ``sweep(n_workers=1)``.
+    Returns the exit codes of every worker incarnation (restarts
+    append, so ``len(codes) - workers`` is the restart count).
+    ``workers=1`` with ``max_restarts=0`` runs the loop in-process (no
+    child process), which keeps single-worker serving debuggable
+    exactly like ``sweep(n_workers=1)``.
+
+    The supervisor restarts a worker that exits nonzero (crash, chaos
+    kill) up to ``max_restarts`` times across the pool; replacements
+    are named ``worker-{i}r{attempt}`` so their metrics and leases are
+    distinguishable from the incarnation they replace.  Gracefully
+    drained workers (exit 0) are not restarted.
 
     Live metrics are enabled either explicitly (``metrics=True``) or
     by an enabled ambient registry (the ``--metrics PATH`` CLI path):
@@ -389,11 +546,15 @@ def serve(
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if max_restarts < 0:
+        raise ValueError(
+            f"max_restarts must be >= 0, got {max_restarts}"
+        )
     ambient = current_metrics()
     want_metrics = metrics or ambient.enabled
-    JobQueue(queue_dir)  # create the layout before children race on it
+    JobQueue(queue_dir, durable=durable)  # create the layout first
     ResultCache(_cache_root(queue_dir, cache_dir))
-    if workers == 1:
+    if workers == 1 and max_restarts == 0:
         worker_loop(
             queue_dir,
             cache_dir=cache_dir,
@@ -403,13 +564,17 @@ def serve(
             lease_s=lease_s,
             max_attempts=max_attempts,
             metrics=want_metrics,
+            durable=durable,
         )
         codes = [0]
     else:
         import multiprocessing
 
-        children = [
-            multiprocessing.Process(
+        def spawn(index: int, attempt: int):
+            name = f"worker-{index}" if attempt == 0 else (
+                f"worker-{index}r{attempt}"
+            )
+            child = multiprocessing.Process(
                 target=worker_loop,
                 args=(queue_dir,),
                 kwargs={
@@ -419,25 +584,46 @@ def serve(
                     "max_jobs": max_jobs,
                     "lease_s": lease_s,
                     "max_attempts": max_attempts,
-                    "owner": f"worker-{index}",
+                    "owner": name,
                     "metrics": want_metrics,
+                    "durable": durable,
+                    "handle_signals": True,
                 },
-                name=f"repro-serve-{index}",
+                name=f"repro-serve-{name}",
             )
-            for index in range(workers)
-        ]
-        for child in children:
             child.start()
+            return {"index": index, "attempt": attempt, "child": child}
+
+        active = [spawn(index, 0) for index in range(workers)]
         codes = []
+        restarts = 0
         try:
-            for child in children:
-                child.join()
-                codes.append(child.exitcode or 0)
-        except KeyboardInterrupt:
-            for child in children:
-                child.terminate()
-            for child in children:
-                child.join()
+            while active:
+                for entry in list(active):
+                    child = entry["child"]
+                    child.join(0.05)
+                    if child.is_alive():
+                        continue
+                    code = child.exitcode or 0
+                    codes.append(code)
+                    active.remove(entry)
+                    if code != 0 and restarts < max_restarts:
+                        restarts += 1
+                        if ambient.enabled:
+                            ambient.counter(
+                                "repro_worker_restarts_total",
+                                "Crashed workers restarted by serve()",
+                            ).inc()
+                        active.append(
+                            spawn(
+                                entry["index"], entry["attempt"] + 1
+                            )
+                        )
+        except (KeyboardInterrupt, GracefulShutdown):
+            for entry in active:
+                entry["child"].terminate()
+            for entry in active:
+                entry["child"].join()
             raise
     if want_metrics and ambient.enabled:
         merged_queue_metrics(queue_dir, into=ambient)
@@ -473,41 +659,73 @@ def status(
     queue_dir: str,
     job_id: Optional[str] = None,
     metrics: bool = False,
+    retries: int = 0,
+    deadline_s: Optional[float] = None,
+    retry_seed: int = 0,
 ) -> Dict:
     """Queue counts, or one job's full record when ``job_id`` given.
 
     ``metrics=True`` adds the merged live-metrics snapshot (and the
-    per-worker heartbeat list) to the queue summary.
+    per-worker heartbeat list) to the queue summary.  ``retries``
+    backs off and retries transient errors — including ``ValueError``
+    for a job that has not appeared yet, which makes a bounded-retry
+    ``status`` double as "wait for the job to exist".
     """
-    queue = JobQueue(queue_dir, create=False)
-    if job_id is not None:
-        return queue.read(job_id)
-    summary = {"queue": str(queue_dir), "counts": queue.counts()}
-    summary["jobs"] = {
-        state: queue.jobs(state) for state in ("claimed", "failed")
-    }
-    if metrics:
-        registry, workers = merged_queue_metrics(queue_dir)
-        summary["metrics"] = registry.snapshot()
-        summary["workers"] = workers
-    return summary
+
+    def attempt() -> Dict:
+        queue = JobQueue(queue_dir, create=False)
+        if job_id is not None:
+            return queue.read(job_id)
+        summary = {"queue": str(queue_dir), "counts": queue.counts()}
+        summary["jobs"] = {
+            state: queue.jobs(state) for state in ("claimed", "failed")
+        }
+        if metrics:
+            registry, workers = merged_queue_metrics(queue_dir)
+            summary["metrics"] = registry.snapshot()
+            summary["workers"] = workers
+        return summary
+
+    return call_with_retries(
+        attempt,
+        retries=retries,
+        deadline_s=deadline_s,
+        seed=retry_seed,
+        retry_on=(OSError, ValueError),
+        on_retry=_retry_counter("status"),
+    )
 
 
 def result(
     queue_dir: str,
     job_id: str,
     cache_dir: Optional[str] = None,
+    retries: int = 0,
+    deadline_s: Optional[float] = None,
+    retry_seed: int = 0,
 ) -> Tuple[Dict, Optional[bytes]]:
     """A finished job's ``(record, payload bytes)``.
 
     The payload is ``None`` while the job is still pending/claimed, or
-    if its outcome was a failure.
+    if its outcome was a failure.  ``retries`` retries transient
+    errors (and not-yet-visible jobs) with deterministic backoff.
     """
-    queue = JobQueue(queue_dir, create=False)
-    record = queue.read(job_id)
-    outcome = record.get("outcome") or {}
-    key = outcome.get("cache_key")
-    if record.get("state") != "done" or not key:
-        return record, None
-    cache = ResultCache(_cache_root(queue_dir, cache_dir))
-    return record, cache.get(key)
+
+    def attempt() -> Tuple[Dict, Optional[bytes]]:
+        queue = JobQueue(queue_dir, create=False)
+        record = queue.read(job_id)
+        outcome = record.get("outcome") or {}
+        key = outcome.get("cache_key")
+        if record.get("state") != "done" or not key:
+            return record, None
+        cache = ResultCache(_cache_root(queue_dir, cache_dir))
+        return record, cache.get(key)
+
+    return call_with_retries(
+        attempt,
+        retries=retries,
+        deadline_s=deadline_s,
+        seed=retry_seed,
+        retry_on=(OSError, ValueError),
+        on_retry=_retry_counter("result"),
+    )

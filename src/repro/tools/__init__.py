@@ -18,7 +18,12 @@ from repro.tools.characterize import (
     estimate_seek_curve,
     estimate_zone_bandwidth,
 )
-from repro.tools.validate import mg1_mean_response_ms, validate_against_mg1
+from repro.tools.validate import (
+    mg1_mean_response_ms,
+    validate_against_mg1,
+    validate_chaos_plan_file,
+    validate_fault_plan_file,
+)
 
 __all__ = [
     "CharacterizationReport",
@@ -30,5 +35,7 @@ __all__ = [
     "mg1_mean_response_ms",
     "run_bench",
     "validate_against_mg1",
+    "validate_chaos_plan_file",
+    "validate_fault_plan_file",
     "write_bench",
 ]

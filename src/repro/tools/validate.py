@@ -35,6 +35,7 @@ __all__ = [
     "Mg1Validation",
     "mg1_mean_response_ms",
     "validate_against_mg1",
+    "validate_chaos_plan_file",
     "validate_fault_plan_file",
 ]
 
@@ -57,6 +58,26 @@ def validate_fault_plan_file(path: str) -> List[str]:
     except json.JSONDecodeError as error:
         return [f"{path}: invalid JSON: {error}"]
     return validate_fault_plan(payload)
+
+
+def validate_chaos_plan_file(path: str) -> List[str]:
+    """Schema-check a chaos-plan JSON file; returns problem strings.
+
+    The serve-stack counterpart of :func:`validate_fault_plan_file`
+    (``repro chaos --validate`` calls it): an empty list means the
+    file parses and passes
+    :func:`repro.chaos.plan.validate_chaos_plan`.
+    """
+    from repro.chaos.plan import validate_chaos_plan
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as error:
+        return [f"{path}: {error}"]
+    except json.JSONDecodeError as error:
+        return [f"{path}: invalid JSON: {error}"]
+    return validate_chaos_plan(payload)
 
 
 def mg1_mean_response_ms(

@@ -1,0 +1,105 @@
+"""Campaign acceptance: seeded chaos runs hold every invariant.
+
+These are the slowest tests in the suite (each campaign forks a
+supervised worker pool several times), so the job specs are kept
+small; the scenarios still exercise kills, torn writes, ENOSPC,
+clock skew and hangs against real multi-process serves.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos import ChaosPlan, resolve_scenarios, run_campaign
+from repro.chaos.plan import CHAOS_KINDS
+
+
+class TestResolveScenarios:
+    def test_none_passes_through(self):
+        assert resolve_scenarios(None) is None
+
+    def test_aliases_and_canonical_mix(self):
+        assert resolve_scenarios(["kill", "torn-write", "hang"]) == [
+            "worker_kill", "torn_write", "hang",
+        ]
+        assert resolve_scenarios(["worker_kill", "kill"]) == [
+            "worker_kill"
+        ]
+
+    def test_empty_strings_ignored(self):
+        assert resolve_scenarios(["", " "]) is None
+
+
+class TestCampaignInvariants:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_all_scenarios_hold_invariants(self, tmp_path, seed):
+        result = run_campaign(
+            tmp_path / "q", seed=seed, jobs=3, requests=60
+        )
+        assert result.ok, result.violations
+        assert all(result.invariants.values())
+        # chaos actually happened: every campaign applies something
+        assert result.counters["applied_events"] >= 1
+        # and every spec converged to done
+        counts = result.counters["queue_counts"]
+        assert counts["pending"] == 0
+        assert counts["claimed"] == 0
+
+    def test_kill_scenario_restarts_workers(self, tmp_path):
+        result = run_campaign(
+            tmp_path / "q", seed=0, scenarios=["kill"],
+            jobs=3, requests=60,
+        )
+        assert result.ok, result.violations
+        codes = result.counters["worker_exit_codes"]
+        assert 137 in codes  # a worker really died
+        assert result.counters["chaos_restarts"] >= 1
+
+    def test_torn_write_scenario_quarantines(self, tmp_path):
+        result = run_campaign(
+            tmp_path / "q", seed=1,
+            scenarios=["torn-write"], jobs=3, requests=60,
+        )
+        assert result.ok, result.violations
+        quarantined = (
+            result.counters["quarantined_records"]
+            + result.counters["quarantined_cache_payloads"]
+        )
+        assert quarantined >= 1
+
+    def test_empty_plan_equals_clean_run(self, tmp_path):
+        result = run_campaign(
+            tmp_path / "q", seed=0, plan=ChaosPlan.empty(),
+            jobs=2, requests=60,
+        )
+        assert result.ok
+        assert result.counters["applied_events"] == 0
+        assert result.counters["resubmitted"] == 0
+        assert result.counters["recovery_rounds"] == 0
+        assert result.counters["chaos_restarts"] == 0
+        assert result.counters["quarantined_records"] == 0
+
+    def test_report_is_json_serialisable(self, tmp_path):
+        result = run_campaign(
+            tmp_path / "q", seed=0, scenarios=["enospc"],
+            jobs=2, requests=60,
+        )
+        report = json.loads(json.dumps(result.to_dict()))
+        assert report["schema"] == "repro-chaos-campaign/1"
+        assert report["ok"] is result.ok
+        assert set(report["invariants"]) == {
+            "no_lost_jobs", "no_divergent_results",
+            "corrupt_quarantined", "cache_integrity",
+        }
+        assert report["plan"]["version"] == 1
+        assert report["counters"]["submitted"] == 2
+
+    def test_scenarios_limit_plan_kinds(self, tmp_path):
+        result = run_campaign(
+            tmp_path / "q", seed=2, scenarios=["clock-skew"],
+            jobs=2, requests=60,
+        )
+        assert result.ok, result.violations
+        kinds = {event["kind"] for event in result.plan.to_dict()["events"]}
+        assert kinds == {"clock_skew"}
+        assert set(CHAOS_KINDS) >= kinds

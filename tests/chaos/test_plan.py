@@ -1,0 +1,158 @@
+"""Chaos-plan generation, validation, and round-trip discipline."""
+
+import json
+
+import pytest
+
+from repro.chaos.failpoints import FAILPOINT_SITES
+from repro.chaos.plan import (
+    CHAOS_KINDS,
+    KIND_SITES,
+    SCENARIO_ALIASES,
+    ChaosEvent,
+    ChaosPlan,
+    load_chaos_plan,
+    validate_chaos_plan,
+    write_chaos_plan,
+)
+
+
+class TestGenerate:
+    def test_deterministic_for_a_seed(self):
+        a = ChaosPlan.generate(7)
+        b = ChaosPlan.generate(7)
+        assert a.to_dict() == b.to_dict()
+
+    def test_different_seeds_differ(self):
+        plans = {
+            json.dumps(ChaosPlan.generate(seed).to_dict())
+            for seed in range(6)
+        }
+        assert len(plans) > 1
+
+    def test_scenarios_restrict_kinds(self):
+        plan = ChaosPlan.generate(
+            0, scenarios=["worker_kill", "torn_write"]
+        )
+        kinds = {event.kind for event in plan}
+        assert kinds <= {"worker_kill", "torn_write"}
+        assert len(plan) >= 2  # at least one event per requested kind
+
+    def test_every_kind_appears_unrestricted(self):
+        plan = ChaosPlan.generate(3)
+        counts = plan.counts_by_kind()
+        assert all(counts[kind] >= 1 for kind in CHAOS_KINDS)
+
+    def test_sites_are_kind_eligible(self):
+        for seed in range(5):
+            for event in ChaosPlan.generate(seed):
+                assert event.site in KIND_SITES[event.kind]
+                assert event.site in FAILPOINT_SITES
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ValueError, match="unknown chaos scenarios"):
+            ChaosPlan.generate(0, scenarios=["meteor-strike"])
+
+    def test_clock_skew_scoped_to_initial_workers(self):
+        plan = ChaosPlan.generate(0, scenarios=["clock_skew"], workers=3)
+        for event in plan:
+            assert event.worker in {"worker-0", "worker-1", "worker-2"}
+            assert event.skew_s > 2.0  # exceeds the default lease
+
+
+class TestValidation:
+    def test_empty_plan_is_valid(self):
+        assert validate_chaos_plan(ChaosPlan.empty().to_dict()) == []
+
+    def test_generated_plans_are_valid(self):
+        for seed in range(5):
+            payload = ChaosPlan.generate(seed).to_dict()
+            assert validate_chaos_plan(payload) == []
+
+    def test_bad_version(self):
+        problems = validate_chaos_plan({"version": 2, "events": []})
+        assert any("version" in p for p in problems)
+
+    def test_unknown_site_and_kind(self):
+        payload = {
+            "version": 1,
+            "events": [{"site": "nope", "kind": "meteor"}],
+        }
+        problems = validate_chaos_plan(payload)
+        assert any("site" in p for p in problems)
+        assert any("kind" in p for p in problems)
+
+    def test_kind_site_mismatch(self):
+        payload = {
+            "version": 1,
+            "events": [
+                {"site": "queue.clock", "kind": "worker_kill"}
+            ],
+        }
+        problems = validate_chaos_plan(payload)
+        assert any("cannot target" in p for p in problems)
+
+    def test_missing_kind_parameters(self):
+        for kind, field in (
+            ("torn_write", "truncate_at"),
+            ("clock_skew", "skew_s"),
+            ("hang", "hang_s"),
+        ):
+            payload = {
+                "version": 1,
+                "events": [
+                    {"site": KIND_SITES[kind][0], "kind": kind}
+                ],
+            }
+            problems = validate_chaos_plan(payload)
+            assert any(field in p for p in problems), (kind, problems)
+
+    def test_stray_parameter_rejected(self):
+        payload = {
+            "version": 1,
+            "events": [
+                {
+                    "site": "service.job.before_run",
+                    "kind": "worker_kill",
+                    "hang_s": 1.0,
+                }
+            ],
+        }
+        problems = validate_chaos_plan(payload)
+        assert any("hang_s" in p for p in problems)
+
+    def test_event_constructor_validates(self):
+        with pytest.raises(ValueError, match="truncate_at"):
+            ChaosEvent(site="queue.record.after_replace",
+                       kind="torn_write")
+
+    def test_aliases_cover_all_kinds(self):
+        assert set(SCENARIO_ALIASES.values()) == set(CHAOS_KINDS)
+
+
+class TestRoundTrip:
+    def test_write_load_round_trip(self, tmp_path):
+        plan = ChaosPlan.generate(11, workers=3)
+        path = tmp_path / "plan.json"
+        write_chaos_plan(plan, path)
+        loaded = load_chaos_plan(path)
+        assert loaded.to_dict() == plan.to_dict()
+        assert loaded.seed == 11
+
+    def test_load_rejects_invalid(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text('{"version": 9, "events": []}')
+        with pytest.raises(ValueError, match="invalid chaos plan"):
+            load_chaos_plan(path)
+
+    def test_validate_chaos_plan_file(self, tmp_path):
+        from repro.tools.validate import validate_chaos_plan_file
+
+        good = tmp_path / "good.json"
+        write_chaos_plan(ChaosPlan.generate(0), good)
+        assert validate_chaos_plan_file(good) == []
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        assert validate_chaos_plan_file(bad)
+        assert validate_chaos_plan_file(tmp_path / "missing.json")

@@ -33,7 +33,8 @@ class TestEnqueueClaimAck:
         assert record["job_id"] == "job-1"
         assert record["spec"] == {"x": 1}
         assert queue.counts() == {
-            "pending": 0, "claimed": 1, "done": 0, "failed": 0
+            "pending": 0, "claimed": 1, "done": 0, "failed": 0,
+            "corrupt": 0,
         }
 
     def test_claim_order_is_sorted(self, queue):
@@ -210,5 +211,6 @@ class TestConcurrency:
         all_claimed = [job for out in outs for job in out]
         assert sorted(all_claimed) == jobs  # every job once, none twice
         assert queue.counts() == {
-            "pending": 0, "claimed": 0, "done": 24, "failed": 0
+            "pending": 0, "claimed": 0, "done": 24, "failed": 0,
+            "corrupt": 0,
         }

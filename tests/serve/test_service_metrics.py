@@ -103,8 +103,9 @@ class TestWorkerMetrics:
         assert not (q / "metrics").exists()
         registry, workers = merged_queue_metrics(q)
         assert workers == []
-        # Only the live queue-depth sample exists.
-        assert registry.sample_count() == 4
+        # Only the live queue-depth samples exist (one per state,
+        # including the corrupt quarantine state).
+        assert registry.sample_count() == 5
 
     def test_status_metrics_flag_embeds_snapshot(self, tmp_path):
         q = tmp_path / "q"
