@@ -13,6 +13,7 @@ Usage (``python -m repro <command> ...``)::
     python -m repro bench --check BENCH_X.json   # regression gate
     python -m repro profile --top 10          # cProfile the bench pass
     python -m repro profile --target kernel --json   # engine microbench
+    python -m repro profile --compare BENCH_X.json   # per-cell deltas
     python -m repro trace limit_study --out trace.json   # Perfetto trace
     python -m repro fig5 --trace fig5.json    # trace any command's runs
     python -m repro report limit_study --html report.html   # analytics
@@ -495,8 +496,25 @@ def _bench(args) -> None:
 
 
 def _profile(args) -> None:
-    from repro.tools.profile import format_profile, run_profile
+    from repro.tools.profile import (
+        format_compare,
+        format_profile,
+        run_compare,
+        run_profile,
+    )
 
+    if args.compare:
+        try:
+            result = run_compare(args.compare, repeats=args.repeats)
+        except (OSError, ValueError) as error:
+            raise SystemExit(f"profile --compare: {error}")
+        if args.json:
+            import json
+
+            print(json.dumps(result, indent=2, sort_keys=True))
+        else:
+            print(format_compare(result))
+        return
     try:
         result = run_profile(
             target=args.target,
@@ -1070,6 +1088,26 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         default=None,
         help="subset of commercial workloads to profile (default: all)",
+    )
+    profile.add_argument(
+        "--compare",
+        metavar="BASELINE",
+        default=None,
+        help=(
+            "delta mode: re-time every cell of a bench snapshot "
+            "(per-workload serial passes, kernel, scheduler kinds) "
+            "and report current vs baseline events/s instead of "
+            "profiling"
+        ),
+    )
+    profile.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help=(
+            "timed passes per cell in --compare mode, best-of "
+            "(default 1)"
+        ),
     )
     # A profiled pass is ~4x slower than a timed one; default smaller.
     profile.set_defaults(requests=2000)

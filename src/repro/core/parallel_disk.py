@@ -22,6 +22,7 @@ multiple channels) live in :mod:`repro.core.extensions`.
 
 from __future__ import annotations
 
+from bisect import insort
 from typing import List, Optional, Tuple
 
 from repro.core.actuator import ArmAssembly
@@ -148,7 +149,10 @@ class ParallelDisk(ConventionalDrive):
         documented ``(total, arm_id)`` key.
         """
         seek_time = self.seek_model.seek_time
-        latency_to = self.spindle.latency_to
+        spindle = self.spindle
+        latency_to = spindle.latency_to
+        period = spindle._period_ms
+        phase = spindle.phase
         seek_scale = self.seek_scale
         rotation_scale = self.rotation_scale
         best: Optional[Tuple[float, ArmAssembly, float, float, int]] = None
@@ -162,9 +166,22 @@ class ParallelDisk(ConventionalDrive):
             if not include_busy and at_time < arm.busy_until:
                 continue
             seek = seek_time(arm.cylinder, cylinder) * seek_scale
-            rotation, head = arm.best_head_latency(
-                latency_to, at_time + seek, sector_angle
-            )
+            angles = arm._head_angles
+            if len(angles) == 1:
+                # Single head per surface (every evaluated design):
+                # Spindle.latency_to inlined, operation for operation,
+                # saving the best_head_latency and latency_to frames on
+                # each arm evaluation.
+                platter = (phase + (at_time + seek) / period) % 1.0
+                gap = (sector_angle - platter - angles[0]) % 1.0
+                if gap >= 1.0:  # float quirk: (-1e-18) % 1.0 == 1.0
+                    gap = 0.0
+                rotation = gap * period
+                head = 0
+            else:
+                rotation, head = arm.best_head_latency(
+                    latency_to, at_time + seek, sector_angle
+                )
             rotation *= rotation_scale
             total = seek + rotation
             if best is None or total < best[0]:
@@ -177,7 +194,11 @@ class ParallelDisk(ConventionalDrive):
     def positioning_estimate(self, request: IORequest) -> float:
         if request.is_read and self.cache.contains(request.lba, request.size):
             return 0.0
-        cylinder, sector_angle = self.geometry.decode_target(request.lba)
+        target = self._target_cache.get(request.request_id)
+        if target is None:
+            target = self.geometry.decode_target(request.lba)
+            self._target_cache[request.request_id] = target
+        cylinder, sector_angle = target
         _, seek, rotation, _ = self._best_arm(
             cylinder, sector_angle, self.env._now
         )
@@ -245,10 +266,18 @@ class ParallelDisk(ConventionalDrive):
 
     # -- service ------------------------------------------------------------
     def _service_media(self, request: IORequest, overhead: float):
-        cylinder, sector_angle = self.geometry.decode_target(request.lba)
-        settle = (
-            0.0 if request.is_read else self.spec.write_settle_ms
-        )
+        spec = self.spec
+        (
+            cylinder,
+            sector_angle,
+            spt,
+            track_crossings,
+            cylinder_crossings,
+            end_cylinder,
+            end_sector,
+            end_spt,
+        ) = self.geometry.service_plan(request.lba, request.size)
+        settle = 0.0 if request.is_read else spec.write_settle_ms
         # The head is ready overhead (+ settle) + seek after now;
         # evaluate the rotational gap for that instant so the charged
         # latency matches the platter's true phase.
@@ -283,8 +312,25 @@ class ParallelDisk(ConventionalDrive):
         # Seek, rotation (estimated at decision time for the instant the
         # head comes ready) and transfer are all fixed here, so one
         # combined timeout reaches the same completion instant as
-        # yielding per phase at a third of the engine-event cost.
-        transfer = self._transfer_time(request)
+        # yielding per phase at a third of the engine-event cost.  With
+        # ``m`` surfaces streaming simultaneously (S-dimension) the
+        # streaming time divides by ``m`` and intra-cylinder head
+        # switches disappear (see :meth:`_transfer_time`).
+        m = self.config.surfaces
+        # Spindle.transfer_time inlined (``(sectors / spt) * period``):
+        # service_plan already validated the request bounds, so the
+        # method's argument checks — and its frame — are redundant here.
+        if m <= 1:
+            transfer = (request.size / spt) * self.spindle._period_ms
+            transfer += (
+                track_crossings - cylinder_crossings
+            ) * spec.head_switch_ms
+            transfer += cylinder_crossings * spec.seek_track_to_track_ms
+        else:
+            transfer = (
+                (request.size / spt) * self.spindle._period_ms / m
+                + cylinder_crossings * spec.seek_track_to_track_ms
+            )
         penalty = (
             self._media_retry_penalty(request) if self._armed_faults else 0.0
         )
@@ -309,24 +355,62 @@ class ParallelDisk(ConventionalDrive):
         request.arm_id = arm.arm_id
         if self.dispatch_listener is not None:
             self.dispatch_listener(request, total)
-        yield self.env.timeout(total)
-        self.stats.transfer_ms += overhead
-        self.stats.seek_ms += seek
-        self.stats.record_arm_seek(arm.arm_id, seek)
+        env = self.env
+        pool = env._timeout_pool
+        if pool:
+            # Inlined Environment.timeout pool path: ``total`` is a sum
+            # of non-negative phases, so the negative-delay check can't
+            # fire.  One combined service wait per media access makes
+            # this the drive's hottest yield.  See engine.timeout for
+            # the canonical body.
+            wait = pool.pop()
+            wait.delay = total
+            wait._value = None
+            wait._ok = True
+            wait.defused = False
+            env._eid += 1
+            calendar = env._calendar
+            if calendar is not None and (
+                calendar._cursor > calendar._nbuckets
+            ):
+                current = calendar._current
+                insort(
+                    current, (-env._now - total, -1, -env._eid, wait)
+                )
+                if len(current) > calendar._spill_limit:
+                    calendar._rest += len(current)
+                    calendar._overflow.extend(current)
+                    del current[:]
+                    calendar._reseed()
+            else:
+                env._queue.push(env._now + total, 1, env._eid, wait)
+            yield wait
+        else:
+            yield env.timeout(total)
+        # Post-service accounting with stats bound once and the
+        # record_arm_seek / record_service / move_to bodies inlined
+        # (drives preallocate per_arm_seek_ms at construction, and
+        # geometry end cylinders are always non-negative, so the
+        # methods' resize/validation branches cannot fire here).
+        stats = self.stats
+        stats.transfer_ms += overhead
+        stats.seek_ms += seek
+        stats.per_arm_seek_ms[arm.arm_id] += seek
         if seek > 0.0:
-            self.stats.nonzero_seeks += 1
-        self.stats.rotational_latency_ms += rotation
+            stats.nonzero_seeks += 1
+        stats.rotational_latency_ms += rotation
         if penalty > 0.0:
-            self.stats.rotational_latency_ms += penalty
-        self.stats.transfer_ms += transfer
-        self.stats.sectors_transferred += request.size
+            stats.rotational_latency_ms += penalty
+        stats.transfer_ms += transfer
+        stats.sectors_transferred += request.size
 
-        arm.record_service(seek)
-        arm.move_to(
-            self.geometry.cylinder_of_lba(request.lba + request.size - 1)
-        )
-        self._current_cylinder = arm.cylinder
-        self._update_cache(request)
+        arm.requests_serviced += 1
+        arm.seek_time_ms += seek
+        if seek > 0.0:
+            arm.seeks += 1
+        arm.cylinder = end_cylinder
+        self._current_cylinder = end_cylinder
+        self._update_cache_planned(request, end_sector, end_spt)
 
     def min_service_ms(self) -> float:
         """Conservative lookahead, tightened for surface parallelism.

@@ -14,9 +14,8 @@ reproduces that experiment with this model.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Tuple
 
 __all__ = ["CacheStats", "DiskCache"]
 
@@ -46,22 +45,6 @@ class CacheStats:
             "write_installs": self.write_installs,
             "hit_ratio": self.hit_ratio,
         }
-
-
-class _Segment:
-    """A contiguous cached run ``[start, end)`` of sectors."""
-
-    __slots__ = ("start", "end")
-
-    def __init__(self, start: int, end: int):
-        self.start = start
-        self.end = end
-
-    def covers(self, lba: int, size: int) -> bool:
-        return self.start <= lba and lba + size <= self.end
-
-    def __len__(self) -> int:
-        return self.end - self.start
 
 
 class DiskCache:
@@ -108,24 +91,28 @@ class DiskCache:
         #: telemetry registry when tracing is enabled; the default
         #: ``None`` keeps the lookup path branch-cheap.
         self.listener: Optional[Callable[[str, int, int], None]] = None
-        # LRU order: oldest first. Keys are opaque ids.
-        self._segments: "OrderedDict[int, _Segment]" = OrderedDict()
-        self._next_id = 0
+        # LRU order, oldest first: each segment is a plain
+        # ``(start, end)`` tuple.  The cache holds at most a few dozen
+        # segments, so a list scan with inline tuple unpacks beats an
+        # OrderedDict of objects on every hot operation.
+        self._segments: List[Tuple[int, int]] = []
 
     def __len__(self) -> int:
         return len(self._segments)
 
     @property
     def cached_sectors(self) -> int:
-        return sum(len(seg) for seg in self._segments.values())
+        return sum(end - start for start, end in self._segments)
 
     def lookup_read(self, lba: int, size: int) -> bool:
         """Check (and record) whether a read fully hits one segment."""
         end = lba + size
         segments = self._segments
-        for key, segment in segments.items():
-            if segment.start <= lba and end <= segment.end:
-                segments.move_to_end(key)
+        for index, segment in enumerate(segments):
+            if segment[0] <= lba and end <= segment[1]:
+                # Refresh LRU position (move to the newest end).
+                del segments[index]
+                segments.append(segment)
                 self.stats.read_hits += 1
                 if self.listener is not None:
                     self.listener("hit", lba, size)
@@ -138,8 +125,8 @@ class DiskCache:
     def contains(self, lba: int, size: int) -> bool:
         """Like :meth:`lookup_read` but without touching statistics/LRU."""
         end = lba + size
-        for segment in self._segments.values():
-            if segment.start <= lba and end <= segment.end:
+        for start, seg_end in self._segments:
+            if start <= lba and end <= seg_end:
                 return True
         return False
 
@@ -185,42 +172,41 @@ class DiskCache:
         stale read segment behind.  Returns segments dropped.
         """
         end = lba + size
-        doomed = [
-            key
-            for key, seg in self._segments.items()
-            if seg.start < end and lba < seg.end
+        segments = self._segments
+        kept = [
+            seg for seg in segments if not (seg[0] < end and lba < seg[1])
         ]
-        for key in doomed:
-            del self._segments[key]
-        if doomed and self.listener is not None:
-            self.listener("invalidate", lba, size)
-        return len(doomed)
+        dropped = len(segments) - len(kept)
+        if dropped:
+            self._segments = kept
+            if self.listener is not None:
+                self.listener("invalidate", lba, size)
+        return dropped
 
     def _install(self, start: int, end: int) -> None:
-        # Merge with any overlapping/adjacent segment (absorb it).
+        # Merge with any overlapping/adjacent segment (absorb it).  The
+        # running [start, end) grows as absorptions are found, exactly
+        # as the single-pass merge always has.
         segments = self._segments
         doomed = None
-        for key, seg in segments.items():
-            seg_start = seg.start
-            seg_end = seg.end
+        for index, (seg_start, seg_end) in enumerate(segments):
             if seg_start <= end and start <= seg_end:
                 if seg_start < start:
                     start = seg_start
                 if seg_end > end:
                     end = seg_end
                 if doomed is None:
-                    doomed = [key]
+                    doomed = [index]
                 else:
-                    doomed.append(key)
+                    doomed.append(index)
         if doomed is not None:
-            for key in doomed:
-                del segments[key]
+            for index in reversed(doomed):
+                del segments[index]
         if end - start > self.segment_capacity:
             start = end - self.segment_capacity
         while len(segments) >= self.segment_count:
-            segments.popitem(last=False)  # evict LRU
-        segments[self._next_id] = _Segment(start, end)
-        self._next_id += 1
+            del segments[0]  # evict LRU
+        segments.append((start, end))
 
     def clear(self) -> None:
-        self._segments.clear()
+        del self._segments[:]

@@ -158,30 +158,32 @@ class RemappingDrive(ConventionalDrive):
             self.remap_detours += 1
 
     def _detour(self, request: IORequest, spare_lba: int):
-        address = self.geometry.to_physical(spare_lba)
+        # One fused decode replaces the to_physical / sector_angle /
+        # zone_of_cylinder triple, and the single-sector streaming time
+        # comes from the drive's precomputed per-zone table (built
+        # through the same transfer_time call, so the detour charge is
+        # bit-identical to the old piecewise recomputation).
+        cylinder, sector_angle, zone_index = (
+            self.geometry.decode_target_zone(spare_lba)
+        )
         seek = (
-            self.seek_model.seek_time(
-                self._current_cylinder, address.cylinder
-            )
+            self.seek_model.seek_time(self._current_cylinder, cylinder)
             * self.seek_scale
         )
         yield self.env.timeout(seek)
         self.stats.seek_ms += seek
         self.stats.record_arm_seek(request.arm_id, seek)
         rotation = (
-            self.spindle.latency_to(
-                self.env.now, self.geometry.sector_angle(address)
-            )
+            self.spindle.latency_to(self.env.now, sector_angle)
             * self.rotation_scale
         )
         yield self.env.timeout(rotation)
         self.stats.rotational_latency_ms += rotation
-        zone = self.geometry.zone_of_cylinder(address.cylinder)
-        transfer = self.spindle.transfer_time(1, zone.sectors_per_track)
+        transfer = self.zone_sector_ms[zone_index]
         yield self.env.timeout(transfer)
         self.stats.transfer_ms += transfer
         self.stats.sectors_transferred += 1
         request.seek_time += seek
         request.rotational_latency += rotation
         request.transfer_time += transfer
-        self._current_cylinder = address.cylinder
+        self._current_cylinder = cylinder

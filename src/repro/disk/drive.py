@@ -18,14 +18,16 @@ power model in :mod:`repro.power`.
 from __future__ import annotations
 
 import zlib
+from bisect import insort
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.disk.cache import DiskCache
 from repro.disk.geometry import DiskGeometry, PhysicalAddress
 from repro.disk.request import IORequest
 from repro.disk.rotation import Spindle
 from repro.disk.scheduler import (
+    FCFSScheduler,
     QueueScheduler,
     SchedulingContext,
     SPTFScheduler,
@@ -181,6 +183,19 @@ class ConventionalDrive:
         seed_text = f"{self.label}#{occurrence}".encode()
         self.spindle.phase = (zlib.crc32(seed_text) % 9973) / 9973.0
         self.cache: DiskCache = spec.build_cache(segments=cache_segments)
+        #: Per-zone service-time table, outermost zone first (index
+        #: matches :attr:`DiskGeometry.zones` and the zone index of
+        #: :meth:`DiskGeometry.decode_target_zone`): the streaming time
+        #: of one sector in that zone.  Computed through the same
+        #: ``Spindle.transfer_time`` call the service paths use, so a
+        #: table lookup is bit-identical to recomputing — the
+        #: retry/degraded paths (defect detours, freeblock excursions)
+        #: price single-sector work from here instead of re-deriving
+        #: zone layout per access.
+        self.zone_sector_ms: Tuple[float, ...] = tuple(
+            self.spindle.transfer_time(1, zone.sectors_per_track)
+            for zone in self.geometry.zones
+        )
 
         self.stats = DriveStats.for_arms(getattr(spec, "actuators", 1))
         #: Observability: resolved once at construction (``env.tracer``
@@ -210,6 +225,10 @@ class ConventionalDrive:
         self._wakeup: Optional[Event] = None
         self._current_cylinder = self.geometry.cylinders // 2
         self._cylinder_cache: Dict[int, int] = {}
+        # SPTF re-estimates every windowed candidate at every dispatch
+        # decision; a queued request's decoded target never changes, so
+        # memoise it for the (common) case of surviving several scans.
+        self._target_cache: Dict[int, Tuple[int, float]] = {}
         # One reusable context object per drive: schedulers only read
         # it, and allocating a fresh one per decision showed up in the
         # dispatch profile.  ``_context()`` refreshes the mutable field.
@@ -242,11 +261,15 @@ class ConventionalDrive:
                 f"{request} exceeds drive capacity "
                 f"({self.geometry.total_sectors} sectors)"
             )
-        completion = self.env.event()
+        # Direct Event construction and ``_ok`` check: submit runs once
+        # per physical request, so the env.event() factory frame and the
+        # ``triggered`` property call are both worth skipping.
+        completion = Event(self.env)
         self._completions[request.request_id] = completion
         self._pending.append(request)
-        if self._wakeup is not None and not self._wakeup.triggered:
-            self._wakeup.succeed()
+        wakeup = self._wakeup
+        if wakeup is not None and wakeup._ok is None:
+            wakeup.succeed()
         return completion
 
     def min_service_ms(self) -> float:
@@ -344,7 +367,11 @@ class ConventionalDrive:
         """
         if request.is_read and self.cache.contains(request.lba, request.size):
             return 0.0
-        cylinder, sector_angle = self.geometry.decode_target(request.lba)
+        target = self._target_cache.get(request.request_id)
+        if target is None:
+            target = self.geometry.decode_target(request.lba)
+            self._target_cache[request.request_id] = target
+        cylinder, sector_angle = target
         seek = (
             self.seek_model.seek_time(self._current_cylinder, cylinder)
             * self.seek_scale
@@ -396,15 +423,58 @@ class ConventionalDrive:
         }
 
     def _serve_loop(self):
+        # When this drive class runs the stock _service, its body is
+        # inlined below: every media/cache-hit resume then traverses
+        # one generator frame fewer, and no _service generator is
+        # created per request.  Subclasses overriding _service (the
+        # DRPM model) keep the delegating call.
+        flat = type(self)._service is ConventionalDrive._service
+        # Exact-type check: FCFS keeps no cross-call state, so picking
+        # the sole queued request without the select frame is safe.  A
+        # stateful policy (VSCAN tracks sweep direction) must see every
+        # selection, single-element queues included.
+        fcfs = type(self.scheduler) is FCFSScheduler
+        env = self.env
+        pending = self._pending
+        select = self.scheduler.select
         while True:
-            while not self._pending:
-                self._wakeup = self.env.event()
+            while not pending:
+                self._wakeup = Event(env)
                 yield self._wakeup
                 self._wakeup = None
-            request = self.scheduler.select(self._pending, self._context())
-            self._pending.remove(request)
-            self._cylinder_cache.pop(request.request_id, None)
-            yield from self._service(request)
+            if fcfs and len(pending) == 1:
+                request = pending.pop()
+            else:
+                request = select(pending, self._context())
+                pending.remove(request)
+            # The decode memos fill only under position-aware policies;
+            # guarding keeps the FCFS path to two truth tests.
+            if self._cylinder_cache:
+                self._cylinder_cache.pop(request.request_id, None)
+            if self._target_cache:
+                self._target_cache.pop(request.request_id, None)
+            if not flat:
+                yield from self._service(request)
+                continue
+            # -- stock _service, inlined -------------------------------
+            request.start_service = env._now
+            if self.tracer.enabled:
+                self.tracer.span(
+                    "queue",
+                    "queue",
+                    request.arrival_time,
+                    env.now - request.arrival_time,
+                    (self.label, "queue"),
+                    args=self._span_args(request),
+                )
+            overhead = self.spec.controller_overhead_ms
+            if request.is_read and self.cache.lookup_read(
+                request.lba, request.size
+            ):
+                yield from self._service_cache_hit(request, overhead)
+            else:
+                yield from self._service_media(request, overhead)
+            self._complete(request)
 
     def _service(self, request: IORequest):
         request.start_service = self.env._now
@@ -446,19 +516,58 @@ class ConventionalDrive:
         request.transfer_time = bus_ms
         if self.dispatch_listener is not None:
             self.dispatch_listener(request, total)
-        yield self.env.timeout(total)
+        env = self.env
+        pool = env._timeout_pool
+        if pool:
+            # Inlined Environment.timeout pool path (``total`` is a sum
+            # of non-negative terms, so its negative-delay check can't
+            # fire); see engine.timeout for the canonical body.
+            wait = pool.pop()
+            wait.delay = total
+            wait._value = None
+            wait._ok = True
+            wait.defused = False
+            env._eid += 1
+            calendar = env._calendar
+            if calendar is not None and (
+                calendar._cursor > calendar._nbuckets
+            ):
+                current = calendar._current
+                insort(
+                    current, (-env._now - total, -1, -env._eid, wait)
+                )
+                if len(current) > calendar._spill_limit:
+                    calendar._rest += len(current)
+                    calendar._overflow.extend(current)
+                    del current[:]
+                    calendar._reseed()
+            else:
+                env._queue.push(env._now + total, 1, env._eid, wait)
+            yield wait
+        else:
+            yield env.timeout(total)
         self.stats.transfer_ms += total
         self.stats.cache_hits += 1
 
     def _service_media(self, request: IORequest, overhead: float):
-        cylinder, sector_angle = self.geometry.decode_target(request.lba)
+        spec = self.spec
+        (
+            cylinder,
+            sector_angle,
+            spt,
+            track_crossings,
+            cylinder_crossings,
+            end_cylinder,
+            end_sector,
+            end_spt,
+        ) = self.geometry.service_plan(request.lba, request.size)
         seek = (
             self.seek_model.seek_time(self._current_cylinder, cylinder)
             * self.seek_scale
         )
-        if not request.is_read and self.spec.write_settle_ms > 0.0:
+        if not request.is_read and spec.write_settle_ms > 0.0:
             # Writes need a tighter servo settle before the transfer.
-            seek += self.spec.write_settle_ms
+            seek += spec.write_settle_ms
         # Every phase duration is fixed at dispatch: the rotational gap
         # is a pure function of the (absolute) time the head comes
         # ready, and the transfer time of the layout.  One combined
@@ -470,7 +579,9 @@ class ConventionalDrive:
             )
             * self.rotation_scale
         )
-        transfer = self._transfer_time(request)
+        transfer = self.spindle.transfer_time(request.size, spt)
+        transfer += (track_crossings - cylinder_crossings) * spec.head_switch_ms
+        transfer += cylinder_crossings * spec.seek_track_to_track_ms
         # Armed media faults are rare; the healthy path pays only the
         # emptiness check, and adding 0.0 to the combined timeout is a
         # float identity, so fault support changes no healthy figure.
@@ -506,10 +617,8 @@ class ConventionalDrive:
         self.stats.transfer_ms += transfer
         self.stats.sectors_transferred += request.size
 
-        self._current_cylinder = self.geometry.cylinder_of_lba(
-            request.lba + request.size - 1
-        )
-        self._update_cache(request)
+        self._current_cylinder = end_cylinder
+        self._update_cache_planned(request, end_sector, end_spt)
 
     def _record_phase_spans(
         self,
@@ -557,6 +666,29 @@ class ConventionalDrive:
         time += cylinder_crossings * self.spec.seek_track_to_track_ms
         return time
 
+    def _update_cache_planned(
+        self, request: IORequest, end_sector: int, end_spt: int
+    ) -> None:
+        """:meth:`_update_cache` for callers holding a service plan.
+
+        The end-of-transfer decode already happened inside
+        ``geometry.service_plan``; this variant just consumes it.
+        """
+        if request.is_read:
+            remaining_on_track = end_spt - end_sector - 1
+            to_disk_end = (
+                self.geometry.total_sectors - request.lba - request.size
+            )
+            if to_disk_end < remaining_on_track:
+                remaining_on_track = to_disk_end
+            self.cache.install_read(
+                request.lba, request.size, read_ahead_limit=remaining_on_track
+            )
+        elif self.cache.cache_writes:
+            self.cache.install_write(request.lba, request.size)
+        else:
+            self.cache.invalidate(request.lba, request.size)
+
     def _update_cache(
         self, request: IORequest, address: Optional[PhysicalAddress] = None
     ) -> None:
@@ -585,11 +717,30 @@ class ConventionalDrive:
                 self.cache.invalidate(request.lba, request.size)
 
     def _complete(self, request: IORequest) -> None:
-        request.completion_time = self.env._now
-        self.stats.requests_completed += 1
+        env = self.env
+        request.completion_time = env._now
+        stats = self.stats
+        stats.requests_completed += 1
         if request.is_read:
-            self.stats.reads_completed += 1
+            stats.reads_completed += 1
         completion = self._completions.pop(request.request_id)
-        completion.succeed(request)
+        # Event.succeed inlined: the pop above happens exactly once per
+        # request (a double completion would KeyError there first), so
+        # the already-triggered guard cannot trip.  See engine.Event
+        # for the canonical body, including the calendar push.
+        completion._ok = True
+        completion._value = request
+        env._eid += 1
+        calendar = env._calendar
+        if calendar is not None and calendar._cursor > calendar._nbuckets:
+            current = calendar._current
+            insort(current, (-env._now, -1, -env._eid, completion))
+            if len(current) > calendar._spill_limit:
+                calendar._rest += len(current)
+                calendar._overflow.extend(current)
+                del current[:]
+                calendar._reseed()
+        else:
+            env._queue.push(env._now, 1, env._eid, completion)
         for callback in self.on_complete:
             callback(request)

@@ -115,9 +115,23 @@ class FreeblockDrive(ConventionalDrive):
         foreground request's completion time is *unchanged* — that is
         the whole point of freeblock scheduling.
         """
-        address = self.geometry.to_physical(request.lba)
+        # One service_plan pass replaces the former to_physical /
+        # sector_angle / transfer_geometry / end-decode quartet (same
+        # zone tables, same formulas — the per-phase charges are
+        # bit-identical to the piecewise lookups).
+        spec = self.spec
+        (
+            cylinder,
+            sector_angle,
+            spt,
+            track_crossings,
+            cylinder_crossings,
+            end_cylinder,
+            end_sector,
+            end_spt,
+        ) = self.geometry.service_plan(request.lba, request.size)
         seek = (
-            self.seek_model.seek_time(self._current_cylinder, address.cylinder)
+            self.seek_model.seek_time(self._current_cylinder, cylinder)
             * self.seek_scale
         )
         yield self.env.timeout(overhead + seek)
@@ -128,13 +142,11 @@ class FreeblockDrive(ConventionalDrive):
             self.stats.nonzero_seeks += 1
 
         rotation = (
-            self.spindle.latency_to(
-                self.env.now, self.geometry.sector_angle(address)
-            )
+            self.spindle.latency_to(self.env.now, sector_angle)
             * self.rotation_scale
         )
         window = rotation - self.guard_ms
-        plan = self._plan_background(address.cylinder, window)
+        plan = self._plan_background(cylinder, window)
         if plan is not None:
             yield from self._run_background(plan, rotation)
         else:
@@ -143,7 +155,11 @@ class FreeblockDrive(ConventionalDrive):
             yield self.env.timeout(rotation)
             self.stats.rotational_latency_ms += rotation
 
-        transfer = self._transfer_time(request)
+        transfer = self.spindle.transfer_time(request.size, spt)
+        transfer += (
+            track_crossings - cylinder_crossings
+        ) * spec.head_switch_ms
+        transfer += cylinder_crossings * spec.seek_track_to_track_ms
         yield self.env.timeout(transfer)
         self.stats.transfer_ms += transfer
         self.stats.sectors_transferred += request.size
@@ -151,10 +167,8 @@ class FreeblockDrive(ConventionalDrive):
         request.seek_time = seek
         request.rotational_latency = rotation
         request.transfer_time = transfer
-        self._current_cylinder = self.geometry.to_physical(
-            request.lba + request.size - 1
-        ).cylinder
-        self._update_cache(request, address)
+        self._current_cylinder = end_cylinder
+        self._update_cache_planned(request, end_sector, end_spt)
 
     def _plan_background(
         self, foreground_cylinder: int, window_ms: float
@@ -184,22 +198,34 @@ class FreeblockDrive(ConventionalDrive):
     def _excursion(
         self, candidate: IORequest, foreground_cylinder: int
     ) -> Tuple[float, float, float, float]:
-        address = self.geometry.to_physical(candidate.lba)
+        # Candidate pricing runs up to ``max_candidates`` times per
+        # foreground window, so the one-pass service_plan (in place of
+        # three separate decodes plus transfer_geometry) matters; the
+        # phase charges are bit-identical to the piecewise lookups.
+        spec = self.spec
+        (
+            cylinder,
+            sector_angle,
+            spt,
+            track_crossings,
+            cylinder_crossings,
+            end_cylinder,
+            _end_sector,
+            _end_spt,
+        ) = self.geometry.service_plan(candidate.lba, candidate.size)
         seek_out = (
-            self.seek_model.seek_time(foreground_cylinder, address.cylinder)
+            self.seek_model.seek_time(foreground_cylinder, cylinder)
             * self.seek_scale
         )
         rotation = (
-            self.spindle.latency_to(
-                self.env.now + seek_out,
-                self.geometry.sector_angle(address),
-            )
+            self.spindle.latency_to(self.env.now + seek_out, sector_angle)
             * self.rotation_scale
         )
-        transfer = self._transfer_time(candidate)
-        end_cylinder = self.geometry.to_physical(
-            candidate.lba + candidate.size - 1
-        ).cylinder
+        transfer = self.spindle.transfer_time(candidate.size, spt)
+        transfer += (
+            track_crossings - cylinder_crossings
+        ) * spec.head_switch_ms
+        transfer += cylinder_crossings * spec.seek_track_to_track_ms
         seek_back = (
             self.seek_model.seek_time(end_cylinder, foreground_cylinder)
             * self.seek_scale

@@ -224,6 +224,28 @@ class DiskGeometry:
         skew = surface * self.track_skew + cylinder * self.cylinder_skew
         return cylinder, ((sector + skew) % spt) / spt
 
+    def decode_target_zone(self, lba: int) -> Tuple[int, float, int]:
+        """``(cylinder, sector_angle, zone_index)`` in one lookup.
+
+        :meth:`decode_target` with the zone index riding along, so
+        callers holding a per-zone table (e.g. the drives' precomputed
+        service-time tables) can finish their pricing without another
+        bisect.  The zone index orders outermost-first, matching
+        :attr:`zones`.
+        """
+        if not 0 <= lba < self.total_sectors:
+            self._check_lba(lba)
+        index = bisect_right(self._zone_first_lbas, lba) - 1
+        spt = self._zone_spts[index]
+        cylinder, rem = divmod(
+            lba - self._zone_first_lbas[index],
+            self._zone_sectors_per_cyl[index],
+        )
+        surface, sector = divmod(rem, spt)
+        cylinder += self._zone_first_cyls[index]
+        skew = surface * self.track_skew + cylinder * self.cylinder_skew
+        return cylinder, ((sector + skew) % spt) / spt, index
+
     def cylinder_of_lba(self, lba: int) -> int:
         """Cylinder holding an LBA (no full decode, no allocation)."""
         if not 0 <= lba < self.total_sectors:
@@ -292,6 +314,66 @@ class DiskGeometry:
         track_crossings = end_track - start_track
         cylinder_crossings = end_cyl - start_cyl
         return start_spt, track_crossings, cylinder_crossings
+
+    def service_plan(
+        self, lba: int, size: int
+    ) -> Tuple[int, float, int, int, int, int, int, int]:
+        """Every layout fact one media service needs, in a single pass.
+
+        Returns ``(cylinder, sector_angle, start_spt, track_crossings,
+        cylinder_crossings, end_cylinder, end_sector, end_spt)``.  The
+        first pair equals :meth:`decode_target`, the middle triple
+        equals :meth:`transfer_geometry`, and the final triple
+        describes ``decode(lba + size - 1)`` — the arm's parking
+        cylinder and the read-ahead room left on the last track.  The
+        drive service paths previously derived these from four separate
+        lookups over the same span; one call shares the zone bisects.
+        """
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        if not 0 <= lba < self.total_sectors:
+            self._check_lba(lba)
+        end = lba + size - 1
+        if end >= self.total_sectors:
+            raise ValueError(
+                f"transfer [{lba}, {lba + size}) exceeds capacity "
+                f"{self.total_sectors}"
+            )
+        first_lbas = self._zone_first_lbas
+        index = bisect_right(first_lbas, lba) - 1
+        spt = self._zone_spts[index]
+        cylinder, rem = divmod(
+            lba - first_lbas[index], self._zone_sectors_per_cyl[index]
+        )
+        surface, sector = divmod(rem, spt)
+        cylinder += self._zone_first_cyls[index]
+        skew = surface * self.track_skew + cylinder * self.cylinder_skew
+        sector_angle = ((sector + skew) % spt) / spt
+        # Transfers almost never leave their starting zone; only bisect
+        # again when the end sector provably lives past its boundary.
+        next_index = index + 1
+        if next_index < len(first_lbas) and end >= first_lbas[next_index]:
+            index = bisect_right(first_lbas, end) - 1
+        end_spt = self._zone_spts[index]
+        end_cylinder, rem = divmod(
+            end - first_lbas[index], self._zone_sectors_per_cyl[index]
+        )
+        end_surface, end_sector = divmod(rem, end_spt)
+        end_cylinder += self._zone_first_cyls[index]
+        surfaces = self.surfaces
+        track_crossings = (end_cylinder * surfaces + end_surface) - (
+            cylinder * surfaces + surface
+        )
+        return (
+            cylinder,
+            sector_angle,
+            spt,
+            track_crossings,
+            end_cylinder - cylinder,
+            end_cylinder,
+            end_sector,
+            end_spt,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

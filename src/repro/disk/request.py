@@ -10,14 +10,23 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional
 
-__all__ = ["IORequest", "SECTOR_BYTES"]
+__all__ = ["IORequest", "SECTOR_BYTES", "new_request", "release_request"]
 
 #: Size of one logical sector, in bytes.
 SECTOR_BYTES = 512
 
 _request_ids = itertools.count()
+
+#: Slab pool: dead request shells available for reuse.  The fast
+#: constructors (:func:`new_request`, :meth:`IORequest.clone_slice`)
+#: draw shells from here instead of allocating, and the RAID
+#: controller returns each physical slice via :func:`release_request`
+#: once its measurements are copied out.  Every field — including a
+#: fresh ``request_id`` from the shared counter — is overwritten on
+#: reuse, so pooling is invisible to everything but the allocator.
+_slab: List["IORequest"] = []
 
 #: Workload-identity fields :meth:`IORequest.clone` may override on its
 #: allocation-free fast path.
@@ -172,7 +181,7 @@ class IORequest:
             raise ValueError(f"lba must be non-negative, got {lba}")
         if size <= 0:
             raise ValueError(f"size must be positive, got {size}")
-        new = object.__new__(IORequest)
+        new = _slab.pop() if _slab else object.__new__(IORequest)
         new.lba = lba
         new.size = size
         new.is_read = is_read
@@ -197,3 +206,55 @@ class IORequest:
             f"IORequest#{self.request_id}({kind} lba={self.lba} "
             f"size={self.size} t={self.arrival_time:.3f})"
         )
+
+
+def new_request(
+    lba: int,
+    size: int,
+    is_read: bool,
+    arrival_time: float = 0.0,
+    source_disk: int = 0,
+) -> IORequest:
+    """Slab-backed fast constructor for workload generators.
+
+    Equivalent to ``IORequest(lba=..., size=..., is_read=...,
+    arrival_time=..., source_disk=...)`` — same validation, same id
+    sequence — without the dataclass ``__init__``/``__post_init__``
+    frames, and reusing a pooled shell when one is free.  Generators
+    build whole traces through this, which is where the batched
+    front end gets its allocation savings.
+    """
+    if lba < 0:
+        raise ValueError(f"lba must be non-negative, got {lba}")
+    if size <= 0:
+        raise ValueError(f"size must be positive, got {size}")
+    new = _slab.pop() if _slab else object.__new__(IORequest)
+    new.lba = lba
+    new.size = size
+    new.is_read = is_read
+    new.arrival_time = arrival_time
+    new.source_disk = source_disk
+    new.background = False
+    new.request_id = next(_request_ids)
+    new.start_service = None
+    new.completion_time = None
+    new.seek_time = 0.0
+    new.rotational_latency = 0.0
+    new.transfer_time = 0.0
+    new.cache_hit = False
+    new.arm_id = 0
+    new.media_error = False
+    new.retries = 0
+    return new
+
+
+def release_request(request: IORequest) -> None:
+    """Return a dead request shell to the slab pool.
+
+    The caller asserts nothing will touch ``request`` again: the RAID
+    controller releases each physical slice after copying its
+    measurements to the logical request, and drive tests may release
+    requests they own.  Releasing a request something still references
+    is undefined — the shell's every field changes on reuse.
+    """
+    _slab.append(request)

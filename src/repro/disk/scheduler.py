@@ -113,11 +113,32 @@ class FCFSScheduler(QueueScheduler):
     def select(
         self, pending: Sequence[IORequest], context: SchedulingContext
     ) -> IORequest:
-        self._require_pending(pending)
-        candidates = self._candidates(pending)
-        return min(
-            candidates, key=lambda r: (r.arrival_time, r.request_id)
-        )
+        # Inlined _require_pending/_candidates: this select runs once
+        # per dispatched request, and both helpers reduce to one test
+        # each.
+        if not pending:
+            raise ValueError("scheduler invoked with an empty queue")
+        window = self.window
+        if window is None or len(pending) <= window:
+            candidates = pending
+        else:
+            candidates = pending[:window]
+        # Manual first-minimal scan over (arrival_time, request_id):
+        # drives keep ``pending`` in arrival order, so this is usually
+        # one pass of never-taken branches — min() with a tuple key
+        # built one lambda frame and one tuple per candidate.
+        best = candidates[0]
+        best_arrival = best.arrival_time
+        best_id = best.request_id
+        for request in candidates:
+            arrival = request.arrival_time
+            if arrival < best_arrival or (
+                arrival == best_arrival and request.request_id < best_id
+            ):
+                best = request
+                best_arrival = arrival
+                best_id = request.request_id
+        return best
 
 
 class SSTFScheduler(QueueScheduler):

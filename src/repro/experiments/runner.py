@@ -10,6 +10,7 @@ breakdown, and run metadata.
 from __future__ import annotations
 
 import time
+from bisect import insort
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
@@ -146,15 +147,30 @@ def run_trace(
     warmup_remaining = int(len(trace) * warmup_fraction)
     warmed_up = 0
 
-    def record(request: IORequest) -> None:
-        nonlocal warmed_up
-        if warmed_up < warmup_remaining:
-            warmed_up += 1
-            return
-        collector.record(request)
-
-    system.on_complete.append(record)
-    fresh: List[IORequest] = [request.clone() for request in trace]
+    if warmup_remaining:
+        def record(request: IORequest) -> None:
+            nonlocal warmed_up
+            if warmed_up < warmup_remaining:
+                warmed_up += 1
+                return
+            collector.record(request)
+        system.on_complete.append(record)
+    else:
+        # No warmup (the default): skip the wrapper frame and let the
+        # completion hook call the collector directly.
+        system.on_complete.append(collector.record)
+    # ``clone()`` with no overrides is exactly this positional fast
+    # path; calling it directly skips one wrapper frame per request.
+    fresh: List[IORequest] = [
+        request.clone_slice(
+            request.lba,
+            request.size,
+            request.is_read,
+            request.arrival_time,
+            request.source_disk,
+        )
+        for request in trace
+    ]
     # A Trace validates (or sorts) arrival order at construction, but
     # ``trace`` may be any iterable of requests.  The producer below
     # stamps each request's arrival at submission time, so an
@@ -173,10 +189,43 @@ def run_trace(
     def producer():
         timeout = env.timeout
         submit = system.submit
+        pool = env._timeout_pool
         for request in fresh:
             delay = request.arrival_time - env._now
             if delay > 0:
-                yield timeout(delay)
+                if pool:
+                    # Inlined Environment.timeout pool path (the
+                    # ``delay > 0`` guard above subsumes its negative-
+                    # delay check); one inter-arrival wait per request
+                    # makes this the producer's hottest line.  See
+                    # engine.timeout for the canonical body.
+                    wait = pool.pop()
+                    wait.delay = delay
+                    wait._value = None
+                    wait._ok = True
+                    wait.defused = False
+                    env._eid += 1
+                    calendar = env._calendar
+                    if calendar is not None and (
+                        calendar._cursor > calendar._nbuckets
+                    ):
+                        current = calendar._current
+                        insort(
+                            current,
+                            (-env._now - delay, -1, -env._eid, wait),
+                        )
+                        if len(current) > calendar._spill_limit:
+                            calendar._rest += len(current)
+                            calendar._overflow.extend(current)
+                            del current[:]
+                            calendar._reseed()
+                    else:
+                        env._queue.push(
+                            env._now + delay, 1, env._eid, wait
+                        )
+                    yield wait
+                else:
+                    yield timeout(delay)
             request.arrival_time = env._now
             submit(request)
 

@@ -56,7 +56,10 @@ class RequestCollector:
         # the exact operation order of OnlineStats.add and
         # BucketHistogram.add so merged/streamed results stay
         # bit-identical to the method-call path.
-        response = request.response_time
+        # ``request.response_time`` inlined (completion - arrival): the
+        # property's not-yet-complete guard costs a frame per request
+        # and completion hooks only ever see completed requests.
+        response = request.completion_time - request.arrival_time
         self.completed += 1
         stats = self.response_stats
         stats.count = count = stats.count + 1
@@ -91,7 +94,16 @@ class RequestCollector:
             histogram = self.rotational_histogram
             histogram.counts[bisect_left(histogram.edges, rotational)] += 1
             histogram.total += 1
-            self.seek_stats.add(seek)
+            stats = self.seek_stats
+            stats.count = count = stats.count + 1
+            stats.total += seek
+            delta = seek - stats._mean
+            stats._mean = mean = stats._mean + delta / count
+            stats._m2 += delta * (seek - mean)
+            if seek < stats.minimum:
+                stats.minimum = seek
+            if seek > stats.maximum:
+                stats.maximum = seek
             if seek > 0.0:
                 self.nonzero_seeks += 1
             if self.keep_samples:

@@ -11,14 +11,15 @@ critical path.
 
 from __future__ import annotations
 
+from bisect import insort
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.disk.drive import ConventionalDrive
-from repro.disk.request import IORequest
+from repro.disk.request import IORequest, release_request
 from repro.faults.errors import DataLossError
 from repro.faults.policy import RetryPolicy
 from repro.obs.tracer import tracer_for
-from repro.raid.layout import Layout, Slice
+from repro.raid.layout import ConcatLayout, JBODLayout, Layout, Slice
 from repro.sim.engine import Environment, Event
 
 __all__ = ["DiskArray"]
@@ -93,6 +94,21 @@ class DiskArray:
         self.unrecovered_requests = 0
         self.aborted_requests = 0
         self._external_feedback = False
+        #: Pre-resolved single-slice translation for the passthrough
+        #: layouts (JBOD routes by source disk unchanged; concatenation
+        #: lands ``base[source] + lba`` on drive 0).  ``submit`` uses it
+        #: to skip the ``_map``/``map_request``/``Slice`` round trip on
+        #: the healthy, policy-free path; anything it cannot validate
+        #: falls back to ``_map`` so error behaviour is unchanged.
+        #: Exact-type checks: a layout subclass may override mapping.
+        self._fast_map: Optional[tuple] = None
+        if type(layout) is JBODLayout:
+            self._fast_map = (list(layout.disk_capacities), None)
+        elif type(layout) is ConcatLayout:
+            self._fast_map = (
+                list(layout.source_capacities),
+                list(layout._bases),
+            )
 
     # -- drive-like interface -------------------------------------------------
     @property
@@ -144,8 +160,41 @@ class DiskArray:
 
     def submit(self, request: IORequest) -> Event:
         """Issue a logical request; returns its completion event."""
+        fast = self._fast_map
+        if (
+            fast is not None
+            and self._failed_disk is None
+            and self.retry_policy is None
+        ):
+            capacities, bases = fast
+            source = request.source_disk
+            lba = request.lba
+            size = request.size
+            if 0 <= source < len(capacities) and (
+                lba + size <= capacities[source]
+            ):
+                env = self.env
+                completion = Event(env)
+                self._outstanding[request.request_id] = completion
+                if bases is None:
+                    disk = source
+                else:
+                    disk = 0
+                    lba += bases[source]
+                physical = request.clone_slice(
+                    lba, size, request.is_read, env._now, disk
+                )
+                self.drives[disk].submit(physical).callbacks.append(
+                    lambda event: self._finish_single(
+                        request, physical, completion
+                    )
+                )
+                return completion
+            # Out-of-range extent: let the layout raise its own error.
         slices = self._map(request)
-        completion = self.env.event()
+        # Direct Event construction: one logical completion per submit,
+        # so the env.event() factory frame is pure overhead.
+        completion = Event(self.env)
         self._outstanding[request.request_id] = completion
         if self.retry_policy is not None:
             # Robust path: a coordinating process that can resubmit
@@ -183,7 +232,7 @@ class DiskArray:
         completion: Event,
     ) -> None:
         """Complete a one-slice logical request from its physical twin."""
-        if completion.triggered:
+        if completion._ok is not None:  # ``triggered`` sans property frame
             # The logical request was already failed (member loss on a
             # non-redundant layout) while the physical slice was still
             # in flight; the late slice completion is a no-op.
@@ -198,11 +247,32 @@ class DiskArray:
         request.arm_id = physical.arm_id
         request.media_error = physical.media_error
         request.retries += physical.retries
+        # The slice's measurements are copied out and the drive has
+        # dropped it from every structure; recycle the shell so the
+        # next clone_slice reuses it instead of allocating.
+        release_request(physical)
         self.requests_completed += 1
         self._outstanding.pop(request.request_id, None)
         if self.tracer.enabled:
             self._record_logical_span(request, slices=1, phases=1)
-        completion.succeed(request)
+        # Event.succeed inlined (the ``_ok`` guard above already
+        # established the event is untriggered); see engine.Event for
+        # the canonical body, including the calendar push.
+        completion._ok = True
+        completion._value = request
+        env = self.env
+        env._eid += 1
+        calendar = env._calendar
+        if calendar is not None and calendar._cursor > calendar._nbuckets:
+            current = calendar._current
+            insort(current, (-env._now, -1, -env._eid, completion))
+            if len(current) > calendar._spill_limit:
+                calendar._rest += len(current)
+                calendar._overflow.extend(current)
+                del current[:]
+                calendar._reseed()
+        else:
+            env._queue.push(env._now, 1, env._eid, completion)
         for callback in self.on_complete:
             callback(request)
 

@@ -1,0 +1,501 @@
+"""Calendar-queue event schedulers for the DES engine.
+
+The engine orders events by ``(time, priority, eid)`` tuples.  Until
+PR 10 the schedule was a binary heap (`heapq`); this module provides
+the calendar/ladder queue that replaced it, the heap retained as an
+escape hatch, and a differential wrapper that cross-checks every pop
+against the heap oracle.  All three expose one interface:
+
+``push(time, priority, eid, event)``
+    Insert one schedule entry.
+``pop()``
+    Remove and return the least entry as a ``(time, priority, eid,
+    event)`` tuple; raises ``IndexError`` when empty.
+``pop_bounded(bound)``
+    Pop the least entry only if its time is ``<= bound``; returns
+    ``None`` otherwise (or when empty).  The window barrier of
+    :meth:`Environment.run_bounded`.
+``peek_time()`` / ``peek_event()``
+    Time (``inf`` when empty) / event of the least entry, not removed.
+``entries()``
+    Snapshot of all entries as raw tuples, in no particular order —
+    the shard workers use it to narrow an inherited schedule.
+``__len__``
+    Entry count (drives ``bool(queue)`` and ``scheduled_events``).
+
+Every implementation accepts ``entries=`` (an iterable of raw tuples)
+so a filtered schedule can be rebuilt as the same kind of queue.
+
+Order preservation
+------------------
+
+A calendar queue is only usable here if it reproduces the heap's total
+order *bit for bit* — the figures digest, the PR 6 sharded merge and
+the equal-time tie-break tests all depend on it.  Two design rules
+make the order exact rather than approximate:
+
+* **Exact bucket mapping.**  The bucket index of an entry is
+  ``int(time * inv_width)`` where ``inv_width`` is always an exact
+  power of two.  Multiplying a float by a power of two is exact (only
+  the exponent changes), and ``int()`` truncation is monotone, so
+  ``t1 < t2`` can never map ``t1`` to a later bucket than ``t2``.
+  There is no boundary fuzz: the split into buckets merely partitions
+  the key space, it never perturbs comparisons.
+* **One sorted drain segment.**  Buckets hold unsorted entries with
+  their keys negated (``(-time, -priority, -eid, event)``).  When the
+  cursor reaches a bucket it is sorted ascending once (C ``list.sort``)
+  and becomes the *current* segment: the least entry is at the end, so
+  ``pop`` is an O(1) ``list.pop()`` with zero comparisons.  Entries
+  that arrive for a bucket the cursor has passed are placed into the
+  current segment by ``bisect.insort`` — exactly where the heap would
+  have surfaced them.
+
+Lazy cancellation needs no support here: the engine marks dead entries
+``_stale`` and discards them when they surface (unchanged from the
+heap), so the queue never removes from the middle.
+
+Bucket-width auto-resizing
+--------------------------
+
+The ring is rebuilt ("reseeded") from the overflow list whenever it
+drains: the new width is ``~3x`` the mean inter-event gap of the
+pending population (rounded to a power of two) and the bucket count
+tracks the population (8..4096), so the queue adapts as a simulation's
+event density drifts.  Two degenerate shapes are handled explicitly:
+an equal-time flood collapses to a single bucket and one C sort (a
+heapsort, the right fallback), and a long tail of pushes behind an
+exhausted ring spills back to the overflow list so the next pop
+re-adapts instead of degrading to O(n) inserts.
+
+Selection
+---------
+
+:func:`make_queue` picks the implementation from the ``ENGINE_QUEUE``
+environment variable: ``calendar`` (the default), ``heap`` (the
+pre-PR 10 scheduler, kept as an escape hatch), or ``differential``
+(calendar + heap in lockstep, asserting every pop matches — the
+reference oracle mode the property tests run under).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from bisect import insort
+from heapq import heapify, heappop, heappush
+from typing import Any, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "CalendarQueue",
+    "DifferentialQueue",
+    "HeapQueue",
+    "QUEUE_KINDS",
+    "make_queue",
+]
+
+_INF = float("inf")
+
+#: Entries tolerated in the current segment once the ring is exhausted
+#: before spilling back to the overflow list for a fresh reseed.
+#: Largest reseed population drained as a single sorted segment (no
+#: ring).  DES schedules in this package idle around a few dozen
+#: pending events, where one C sort per drain batch plus O(1) pops
+#: beats maintaining a bucket ring; the ring engages above this.
+_SORTED_MODE_MAX = 128
+
+#: Bucket-count bounds for a reseeded ring (powers of two).
+_MIN_BUCKET_BITS = 3
+_MAX_BUCKET_BITS = 12
+
+
+class CalendarQueue:
+    """Calendar/ladder queue with exact ``(time, priority, eid)`` order.
+
+    Internal layout (see the module docstring for the invariants):
+
+    * ``_current`` — the promoted drain segment: negated-key entries,
+      ascending, least entry last.
+    * ``_buckets`` — the ring: ``_nbuckets`` unsorted lists covering
+      absolute bucket indices ``[_ring_start + _cursor, _ring_start +
+      _nbuckets)``.
+    * ``_overflow`` — unsorted entries beyond the ring (and the seed
+      population before the first pop).
+    * ``_rest`` — entries not in ``_current`` (ring + overflow), so
+      ``len`` is O(1).
+    """
+
+    __slots__ = (
+        "_current",
+        "_buckets",
+        "_nbuckets",
+        "_cursor",
+        "_ring_start",
+        "_width",
+        "_inv_width",
+        "_overflow",
+        "_rest",
+        "_spill_limit",
+    )
+
+    def __init__(
+        self, entries: Optional[Iterable[Tuple]] = None
+    ) -> None:
+        self._current: List[Tuple] = []
+        self._buckets: List[List[Tuple]] = []
+        self._nbuckets = 0
+        self._cursor = 0
+        self._ring_start = 0
+        self._width = 1.0
+        self._inv_width = 1.0
+        self._overflow: List[Tuple] = []
+        self._rest = 0
+        self._spill_limit = _SORTED_MODE_MAX
+        if entries:
+            push = self.push
+            for time, priority, eid, event in entries:
+                push(time, priority, eid, event)
+
+    def __len__(self) -> int:
+        return len(self._current) + self._rest
+
+    def push(
+        self, time: float, priority: int, eid: int, event: Any
+    ) -> None:
+        entry = (-time, -priority, -eid, event)
+        rel = int(time * self._inv_width) - self._ring_start
+        if rel < self._cursor:
+            # The cursor has passed this entry's bucket (or the time
+            # precedes the ring): merge into the sorted drain segment.
+            current = self._current
+            insort(current, entry)
+            if (
+                len(current) > self._spill_limit
+                and self._cursor >= self._nbuckets
+            ):
+                # Exhausted ring (or sorted mode) absorbing far more
+                # inserts than the segment was seeded with: rebuild
+                # around the live population with a fresh width.  The
+                # reseed must happen *now*, not at the next pop — once
+                # current is spilled it may hold the minimum pending
+                # entries, and a later insert behind the stale cursor
+                # would be drained ahead of them.
+                self._rest += len(current)
+                self._overflow.extend(current)
+                del current[:]
+                self._reseed()
+        elif rel < self._nbuckets:
+            self._buckets[rel].append(entry)
+            self._rest += 1
+        else:
+            self._overflow.append(entry)
+            self._rest += 1
+
+    def pop(self) -> Tuple:
+        current = self._current
+        if not current:
+            if not self._ensure():
+                raise IndexError("pop from an empty CalendarQueue")
+            current = self._current
+        t, p, e, ev = current.pop()
+        return (-t, -p, -e, ev)
+
+    def pop_bounded(self, bound: float) -> Optional[Tuple]:
+        current = self._current
+        if not current:
+            if not self._ensure():
+                return None
+            current = self._current
+        entry = current[-1]
+        t = -entry[0]
+        if t > bound:
+            return None
+        del current[-1]
+        return (t, -entry[1], -entry[2], entry[3])
+
+    def peek_time(self) -> float:
+        current = self._current
+        if not current:
+            if not self._ensure():
+                return _INF
+            current = self._current
+        return -current[-1][0]
+
+    def peek_event(self) -> Any:
+        current = self._current
+        if not current:
+            if not self._ensure():
+                raise IndexError("peek on an empty CalendarQueue")
+            current = self._current
+        return current[-1][3]
+
+    def entries(self) -> List[Tuple]:
+        out = [(-t, -p, -e, ev) for (t, p, e, ev) in self._current]
+        for bucket in self._buckets:
+            out.extend((-t, -p, -e, ev) for (t, p, e, ev) in bucket)
+        out.extend(
+            (-t, -p, -e, ev) for (t, p, e, ev) in self._overflow
+        )
+        return out
+
+    # -- internal -------------------------------------------------------
+    def _ensure(self) -> bool:
+        """Make ``_current`` non-empty; False when the queue is empty."""
+        while True:
+            buckets = self._buckets
+            cursor = self._cursor
+            nbuckets = self._nbuckets
+            while cursor < nbuckets:
+                bucket = buckets[cursor]
+                cursor += 1
+                if bucket:
+                    bucket.sort()
+                    buckets[cursor - 1] = []
+                    self._cursor = cursor
+                    self._current = bucket
+                    self._rest -= len(bucket)
+                    return True
+            self._cursor = cursor
+            if not self._overflow:
+                return False
+            self._reseed()
+            if self._current:
+                # Sorted-segment reseed filled current directly.
+                return True
+
+    def _reseed(self) -> None:
+        """Rebuild from the overflow population; ``_current`` is empty.
+
+        This is where the structure auto-resizes.  A small population
+        becomes a single sorted drain segment (one C sort, O(1) pops,
+        ``insort`` merges — the degenerate one-segment calendar that
+        wins at the queue depths this package's simulations run at).
+        A large one rebuilds the bucket ring: the new width is about
+        three mean inter-event gaps, rounded down to a power of two so
+        the bucket map stays exact, and the bucket count tracks the
+        population size.
+        """
+        overflow = self._overflow
+        count = len(overflow)
+        if count <= _SORTED_MODE_MAX:
+            # Sorted-segment mode: the whole population is the drain
+            # segment and *every* push merges into it by insort — the
+            # boundary is pushed beyond any representable time, so the
+            # bucket map sends nothing to the (empty) ring or the
+            # overflow list.  This is the ladder queue's bottom rung:
+            # at the queue depths this package's simulations idle at,
+            # one binary insert per push and O(1) pops beat both the
+            # heap and a bucket ring, and no reseed happens again until
+            # the population outgrows ``_spill_limit``.
+            overflow.sort()
+            self._current = overflow
+            self._overflow = []
+            self._buckets = []
+            self._nbuckets = 0
+            self._cursor = 1
+            self._width = 1.0
+            self._inv_width = 1.0
+            # ``rel = int(time) - _ring_start < _cursor`` for any time
+            # a float can exactly represent as an integer below 2**62.
+            self._ring_start = 1 << 62
+            self._rest -= count
+            self._spill_limit = (count << 1) + _SORTED_MODE_MAX
+            return
+        hi = lo = overflow[0][0]
+        for entry in overflow:
+            value = entry[0]
+            if value > hi:
+                hi = value
+            elif value < lo:
+                lo = value
+        min_time = -hi
+        span = -lo - min_time
+        if span > 0.0:
+            _mantissa, exponent = math.frexp(3.0 * span / count)
+            exponent = min(max(exponent, -500), 500)
+            width = 2.0 ** (exponent - 1)
+            inv_width = 2.0 ** (1 - exponent)
+            bits = min(
+                max(count.bit_length(), _MIN_BUCKET_BITS),
+                _MAX_BUCKET_BITS,
+            )
+            nbuckets = 1 << bits
+        else:
+            # Equal-time flood: one bucket, one sort.
+            width = 1.0
+            inv_width = 1.0
+            nbuckets = 1
+        ring_start = int(min_time * inv_width)
+        buckets: List[List[Tuple]] = [[] for _ in range(nbuckets)]
+        leftover: List[Tuple] = []
+        for entry in overflow:
+            rel = int(-entry[0] * inv_width) - ring_start
+            if rel < nbuckets:
+                buckets[rel].append(entry)
+            else:
+                leftover.append(entry)
+        self._buckets = buckets
+        self._nbuckets = nbuckets
+        self._cursor = 0
+        self._ring_start = ring_start
+        self._width = width
+        self._inv_width = inv_width
+        self._overflow = leftover
+        self._spill_limit = (count << 1) + _SORTED_MODE_MAX
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CalendarQueue len={len(self)} buckets={self._nbuckets} "
+            f"width={self._width!r}>"
+        )
+
+
+class HeapQueue:
+    """The pre-PR 10 binary-heap scheduler behind the shared interface.
+
+    Kept as the ``ENGINE_QUEUE=heap`` escape hatch and as the oracle
+    half of :class:`DifferentialQueue`.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(
+        self, entries: Optional[Iterable[Tuple]] = None
+    ) -> None:
+        self._data: List[Tuple] = list(entries) if entries else []
+        if self._data:
+            heapify(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def push(
+        self, time: float, priority: int, eid: int, event: Any
+    ) -> None:
+        heappush(self._data, (time, priority, eid, event))
+
+    def pop(self) -> Tuple:
+        return heappop(self._data)
+
+    def pop_bounded(self, bound: float) -> Optional[Tuple]:
+        data = self._data
+        if data and data[0][0] <= bound:
+            return heappop(data)
+        return None
+
+    def peek_time(self) -> float:
+        data = self._data
+        return data[0][0] if data else _INF
+
+    def peek_event(self) -> Any:
+        return self._data[0][3]
+
+    def entries(self) -> List[Tuple]:
+        return list(self._data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<HeapQueue len={len(self._data)}>"
+
+
+class DifferentialQueue:
+    """Calendar queue cross-checked pop-by-pop against the heap oracle.
+
+    Every mutation is applied to both implementations and every pop
+    (and bounded pop, and peek) asserts that the calendar queue
+    surfaced exactly the entry the heap would have.  This is the
+    reference mode the property tests run whole simulations under
+    (``ENGINE_QUEUE=differential``); it is never the default, since it
+    does double work by construction.
+    """
+
+    __slots__ = ("_calendar", "_heap", "pops")
+
+    def __init__(
+        self, entries: Optional[Iterable[Tuple]] = None
+    ) -> None:
+        seed = list(entries) if entries else []
+        self._calendar = CalendarQueue(seed)
+        self._heap = HeapQueue(seed)
+        #: Pops verified against the oracle so far.
+        self.pops = 0
+
+    def __len__(self) -> int:
+        return len(self._calendar)
+
+    def push(
+        self, time: float, priority: int, eid: int, event: Any
+    ) -> None:
+        self._calendar.push(time, priority, eid, event)
+        self._heap.push(time, priority, eid, event)
+
+    def _check(self, got: Optional[Tuple], want: Optional[Tuple]):
+        if got != want:
+            raise AssertionError(
+                "calendar queue diverged from the heap oracle after "
+                f"{self.pops} verified pops: calendar produced "
+                f"{got!r}, heap produced {want!r}"
+            )
+        self.pops += 1
+        return got
+
+    def pop(self) -> Tuple:
+        got = self._calendar.pop()
+        return self._check(got, self._heap.pop())
+
+    def pop_bounded(self, bound: float) -> Optional[Tuple]:
+        got = self._calendar.pop_bounded(bound)
+        return self._check(got, self._heap.pop_bounded(bound))
+
+    def peek_time(self) -> float:
+        got = self._calendar.peek_time()
+        want = self._heap.peek_time()
+        if got != want:
+            raise AssertionError(
+                f"calendar peek_time {got!r} != heap {want!r}"
+            )
+        return got
+
+    def peek_event(self) -> Any:
+        got = self._calendar.peek_event()
+        want = self._heap.peek_event()
+        if got is not want:
+            raise AssertionError(
+                f"calendar peek_event {got!r} is not heap {want!r}"
+            )
+        return got
+
+    def entries(self) -> List[Tuple]:
+        return self._calendar.entries()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DifferentialQueue len={len(self)} pops={self.pops}>"
+
+
+#: ``ENGINE_QUEUE`` value → implementation.
+QUEUE_KINDS = {
+    "calendar": CalendarQueue,
+    "heap": HeapQueue,
+    "differential": DifferentialQueue,
+}
+
+#: Environment variable consulted by :func:`make_queue`.
+ENGINE_QUEUE_VAR = "ENGINE_QUEUE"
+
+
+def make_queue(kind: Optional[str] = None):
+    """Build the scheduler selected by ``kind`` or ``$ENGINE_QUEUE``.
+
+    ``kind=None`` (the normal path) consults the ``ENGINE_QUEUE``
+    environment variable, defaulting to the calendar queue; an unknown
+    value raises ``ValueError`` rather than silently simulating on an
+    unintended scheduler.
+    """
+    if kind is None:
+        kind = os.environ.get(ENGINE_QUEUE_VAR) or "calendar"
+    try:
+        implementation = QUEUE_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine queue {kind!r}; choose from "
+            f"{sorted(QUEUE_KINDS)}"
+        ) from None
+    return implementation()

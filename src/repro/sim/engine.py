@@ -4,7 +4,11 @@ The engine is deliberately small and deterministic:
 
 * Simulated time is a float (this package uses milliseconds throughout).
 * Events are totally ordered by ``(time, priority, sequence)``, so two
-  events scheduled for the same instant fire in scheduling order.
+  events scheduled for the same instant fire in scheduling order.  The
+  schedule itself is a calendar queue (:mod:`repro.sim.calqueue`) that
+  preserves that total order bit-for-bit; ``ENGINE_QUEUE=heap`` selects
+  the pre-PR 10 binary heap and ``ENGINE_QUEUE=differential`` runs both
+  in lockstep with every pop cross-checked.
 * A :class:`Process` wraps a generator.  The generator yields events;
   when a yielded event triggers, the process is resumed with the event's
   value (or the event's exception is thrown into it).
@@ -34,9 +38,10 @@ order or any observable value:
 
 from __future__ import annotations
 
-import heapq
-from heapq import heappop, heappush
+from bisect import insort
 from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.sim.calqueue import CalendarQueue, make_queue
 
 __all__ = [
     "AllOf",
@@ -127,7 +132,22 @@ class Event:
         self._value = value
         env = self.env
         env._eid += 1
-        heappush(env._queue, (env._now, NORMAL, env._eid, self))
+        # Inlined calendar push (sorted-drain mode only): one insort in
+        # place of the push() frame.  ``_cursor > _nbuckets`` uniquely
+        # marks sorted mode, where every entry merges into the drain
+        # segment; any other queue state (ring mode, heap escape hatch,
+        # differential oracle) takes the generic method.
+        calendar = env._calendar
+        if calendar is not None and calendar._cursor > calendar._nbuckets:
+            current = calendar._current
+            insort(current, (-env._now, -1, -env._eid, self))
+            if len(current) > calendar._spill_limit:
+                calendar._rest += len(current)
+                calendar._overflow.extend(current)
+                del current[:]
+                calendar._reseed()
+        else:
+            env._queue.push(env._now, NORMAL, env._eid, self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -183,7 +203,18 @@ class Timeout(Event):
         self._pooled = False
         self.delay = delay
         env._eid += 1
-        heappush(env._queue, (env._now + delay, NORMAL, env._eid, self))
+        # Inlined calendar push (sorted-drain mode); see Event.succeed.
+        calendar = env._calendar
+        if calendar is not None and calendar._cursor > calendar._nbuckets:
+            current = calendar._current
+            insort(current, (-env._now - delay, -1, -env._eid, self))
+            if len(current) > calendar._spill_limit:
+                calendar._rest += len(current)
+                calendar._overflow.extend(current)
+                del current[:]
+                calendar._reseed()
+        else:
+            env._queue.push(env._now + delay, NORMAL, env._eid, self)
 
 
 class Initialize(Event):
@@ -200,7 +231,7 @@ class Initialize(Event):
         self._waiter = None
         self._stale = False
         env._eid += 1
-        heappush(env._queue, (env._now, URGENT, env._eid, self))
+        env._queue.push(env._now, URGENT, env._eid, self)
 
 
 class Process(Event):
@@ -278,13 +309,28 @@ class Process(Event):
                 self._ok = True
                 self._value = exc.value
                 env._eid += 1
-                heappush(env._queue, (env._now, NORMAL, env._eid, self))
+                # Inlined calendar push (sorted-drain mode); see
+                # Event.succeed.
+                calendar = env._calendar
+                if (
+                    calendar is not None
+                    and calendar._cursor > calendar._nbuckets
+                ):
+                    current = calendar._current
+                    insort(current, (-env._now, -1, -env._eid, self))
+                    if len(current) > calendar._spill_limit:
+                        calendar._rest += len(current)
+                        calendar._overflow.extend(current)
+                        del current[:]
+                        calendar._reseed()
+                else:
+                    env._queue.push(env._now, NORMAL, env._eid, self)
                 break
             except BaseException as exc:
                 self._ok = False
                 self._value = exc
                 env._eid += 1
-                heappush(env._queue, (env._now, NORMAL, env._eid, self))
+                env._queue.push(env._now, NORMAL, env._eid, self)
                 break
             if not isinstance(next_event, Event):
                 exc = SimulationError(
@@ -422,9 +468,25 @@ class Environment:
     null tracer unless a traced session is active.
     """
 
-    def __init__(self, initial_time: float = 0.0, tracer: Any = None):
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        tracer: Any = None,
+        queue: Optional[str] = None,
+    ):
         self._now = float(initial_time)
-        self._queue: List[tuple] = []
+        #: The pending-event schedule.  ``queue`` selects the scheduler
+        #: kind (``"calendar"``/``"heap"``/``"differential"``); ``None``
+        #: defers to the ``ENGINE_QUEUE`` environment variable, which
+        #: defaults to the calendar queue.
+        self._queue = make_queue(queue)
+        #: The queue again when it is a plain CalendarQueue, else None.
+        #: Hot paths branch on this to inline sorted-mode pushes and
+        #: pops; anything that replaces ``_queue`` (the shard workers'
+        #: schedule narrowing) must refresh this alias too.
+        self._calendar = (
+            self._queue if type(self._queue) is CalendarQueue else None
+        )
         self._eid = 0
         self._active_process: Optional[Process] = None
         #: Free list of fired timeouts available for reuse.
@@ -479,8 +541,24 @@ class Environment:
             timeout._ok = True
             timeout.defused = False
             self._eid += 1
-            heappush(self._queue, (self._now + delay, NORMAL, self._eid,
-                                   timeout))
+            # Inlined calendar push (sorted-drain mode); see
+            # Event.succeed.  This is the hottest push site: every
+            # steady-state mechanical delay reschedules through here.
+            calendar = self._calendar
+            if calendar is not None and calendar._cursor > calendar._nbuckets:
+                current = calendar._current
+                insort(
+                    current, (-self._now - delay, -1, -self._eid, timeout)
+                )
+                if len(current) > calendar._spill_limit:
+                    calendar._rest += len(current)
+                    calendar._overflow.extend(current)
+                    del current[:]
+                    calendar._reseed()
+            else:
+                self._queue.push(
+                    self._now + delay, NORMAL, self._eid, timeout
+                )
             return timeout
         timeout = Timeout(self, delay, value)
         timeout._pooled = True
@@ -498,13 +576,11 @@ class Environment:
     # -- scheduling -------------------------------------------------------
     def _schedule(self, event: Event, priority: int, delay: float) -> None:
         self._eid += 1
-        heappush(
-            self._queue, (self._now + delay, priority, self._eid, event)
-        )
+        self._queue.push(self._now + delay, priority, self._eid, event)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._queue.peek_time()
 
     def schedule_at(
         self, event: Event, time: float, priority: int = NORMAL
@@ -528,14 +604,14 @@ class Environment:
                 "outcome before scheduling"
             )
         self._eid += 1
-        heappush(self._queue, (time, priority, self._eid, event))
+        self._queue.push(time, priority, self._eid, event)
 
     def step(self) -> None:
         """Process the next scheduled event."""
-        queue = self._queue
-        if not queue:
-            raise EmptySchedule()
-        self._now, _, _, event = heappop(queue)
+        try:
+            self._now, _, _, event = self._queue.pop()
+        except IndexError:
+            raise EmptySchedule() from None
         if event._stale:
             event._stale = False
             self._stale_events -= 1
@@ -574,20 +650,39 @@ class Environment:
                 stop._ok = True
                 # Urgent so the clock stops before same-time events fire.
                 self._eid += 1
-                heapq.heappush(self._queue, (at, URGENT, self._eid, stop))
+                self._queue.push(at, URGENT, self._eid, stop)
             stop.callbacks.append(_StopSignal.throw)
         # Inlined step() loop: one event dispatch per iteration with the
-        # heap-pop, the queue, and the timeout free list bound to locals.
-        # This loop is the hottest frame of every simulation, so it
-        # avoids the per-event method call and attribute lookups of the
-        # public step() API.
+        # queue pop and the timeout free list bound to locals.  This
+        # loop is the hottest frame of every simulation, so it avoids
+        # the per-event attribute lookups of the public step() API; the
+        # queue signals exhaustion by raising IndexError from pop(),
+        # which costs nothing on the non-raising iterations.  On the
+        # default calendar queue the pop itself is inlined too: the
+        # drain segment is a plain list with the least entry last, so
+        # one ``list.pop()`` replaces the method call, the un-negation
+        # of the unused key fields, and the result-tuple round trip.
         queue = self._queue
-        pop = heappop
+        calendar = self._calendar
+        pop = queue.pop
         pool_append = self._timeout_pool.append
         eid_at_entry = self._eid
         try:
-            while queue:
-                self._now, _, _, event = pop(queue)
+            while True:
+                if calendar is not None:
+                    current = calendar._current
+                    if not current:
+                        if not calendar._ensure():
+                            break
+                        current = calendar._current
+                    entry = current.pop()
+                    self._now = -entry[0]
+                    event = entry[3]
+                else:
+                    try:
+                        self._now, _, _, event = pop()
+                    except IndexError:
+                        break
                 waiter = event._waiter
                 if waiter is not None:
                     event._waiter = None
@@ -657,13 +752,17 @@ class Environment:
         shards.  Run-level telemetry is not recorded — the caller owns
         the run lifecycle.
         """
-        # Inlined step() loop, as in run(): see the comments there.
-        queue = self._queue
-        pop = heappop
+        # Inlined step() loop, as in run(): see the comments there.  The
+        # window barrier is the queue's pop_bounded, which returns None
+        # once the head passes ``bound`` (or nothing remains).
+        pop_bounded = self._queue.pop_bounded
         pool_append = self._timeout_pool.append
         fired = 0
-        while queue and queue[0][0] <= bound:
-            self._now, _, _, event = pop(queue)
+        while True:
+            entry = pop_bounded(bound)
+            if entry is None:
+                break
+            self._now, _, _, event = entry
             fired += 1
             waiter = event._waiter
             if waiter is not None:

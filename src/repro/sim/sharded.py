@@ -25,7 +25,7 @@ Protocol sketch
 * **Windows.**  The controller's window limit is
   ``min(pending-submission floors t+L, reported completion times)``.
   Everything at or below the limit is known, so reported completions
-  up to the limit are injected into the controller heap (ordered by
+  up to the limit are injected into the controller schedule (ordered by
   ``(time, priority, seq)`` — completion time, then dispatch time,
   then submission sequence) and the controller drains its own events
   up to the limit in global time order.  Shards then advance to the
@@ -52,6 +52,7 @@ import traceback
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.metrics import metrics_for
+from repro.sim.calqueue import CalendarQueue
 from repro.sim.engine import NORMAL, URGENT, Environment, Event
 
 __all__ = [
@@ -195,29 +196,32 @@ def _shard_worker_main(
     The worker inherits the pre-run environment by fork.  It first
     narrows the inherited schedule to its own drives' serve loops, then
     answers ``advance`` rounds: apply submissions/control ops shipped
-    by the controller, run the local heap up to the window bound, and
-    report every *scheduled* completion (known in full at dispatch).
-    In lockstep mode it refuses to fire a completion the controller
-    has not acknowledged, so controller feedback can never arrive in
-    the shard's local past.
+    by the controller, run the local schedule up to the window bound,
+    and report every *scheduled* completion (known in full at
+    dispatch).  In lockstep mode it refuses to fire a completion the
+    controller has not acknowledged, so controller feedback can never
+    arrive in the shard's local past.
     """
     try:
         # -- narrow the inherited schedule to this shard's drives.
-        # At fork time nothing has run: the heap holds only the
+        # At fork time nothing has run: the schedule holds only the
         # Initialize events of processes created before the run (drive
         # serve loops, the trace producer, fault replay).  Keep our
-        # serve loops; the controller runs everything else.
-        import heapq
-
+        # serve loops; the controller runs everything else.  The
+        # narrowed schedule is rebuilt as the same queue kind the
+        # controller runs — sharded and serial share one scheduler
+        # implementation (repro.sim.calqueue).
         servers = {drive._server for drive in drives}
         kept = [
             entry
-            for entry in env._queue
+            for entry in env._queue.entries()
             if entry[3].callbacks
             and getattr(entry[3].callbacks[0], "__self__", None) in servers
         ]
-        heapq.heapify(kept)
-        env._queue = kept
+        env._queue = type(env._queue)(kept)
+        env._calendar = (
+            env._queue if type(env._queue) is CalendarQueue else None
+        )
         env._stale_events = 0
 
         # -- per-process observability: fresh span/telemetry state, and
@@ -302,7 +306,7 @@ def _shard_worker_main(
                 env.run_bounded(bound)
                 return
             while queue:
-                head_time = queue[0][0]
+                head_time = queue.peek_time()
                 if head_time > bound:
                     break
                 if held:
@@ -311,7 +315,7 @@ def _shard_worker_main(
                         # Only break for the held completion itself:
                         # same-time events scheduled before it still
                         # fire, exactly as serially.
-                        waiter = queue[0][3]._waiter
+                        waiter = queue.peek_event()._waiter
                         drive = server_to_drive.get(waiter)
                         if drive is not None:
                             hold = held.get(drive)
@@ -539,7 +543,7 @@ class ShardedEngine:
         return limit
 
     def _inject(self, record: _Pending) -> None:
-        """Materialise one shard completion in the controller heap."""
+        """Materialise one shard completion in the controller schedule."""
         (_seq, completes, _dispatch, seek, rotation, transfer, cache_hit,
          arm_id, media_error, retries) = record.report
         request = record.request
@@ -593,7 +597,7 @@ class ShardedEngine:
         env = self.env
         queue = env._queue
         seq_before = self._seq
-        while queue and queue[0][0] <= limit:
+        while queue and queue.peek_time() <= limit:
             env.step()
             if self._seq != seq_before:
                 seq_before = self._seq

@@ -9,10 +9,10 @@ snapshots from the same machine and interpreter are directly
 comparable, and the recorded figure digest doubles as a regression
 check: serial and parallel runs must produce byte-identical figures.
 
-The JSON schema (``repro-bench/5``)::
+The JSON schema (``repro-bench/6``)::
 
     {
-      "schema": "repro-bench/5",
+      "schema": "repro-bench/6",
       "date": "2026-08-06",
       "python": "3.11.x ...",
       "cpu_count": 8,
@@ -30,6 +30,12 @@ The JSON schema (``repro-bench/5``)::
       "kernel": {                  # pure-engine microbenchmark
         "processes": 50, "timeouts": 2000, "events": ...,
         "wall_s": ..., "events_per_s": ...
+      },
+      "scheduler": {               # calendar vs heap head-to-head
+        "processes": 50, "timeouts": 2000, "events": ...,
+        "calendar": {"wall_s": ..., "events_per_s": ...},
+        "heap": {"wall_s": ..., "events_per_s": ...},
+        "calendar_speedup_vs_heap": ...   # heap wall / calendar wall
       },
       "results": [
         {"workers": 1, "wall_s": ..., "events_per_s": ...,
@@ -76,6 +82,14 @@ of metering and checking the metered figures are bit-identical.  The
 cell is informational, never a gate: ``--check`` ignores it, because
 the overhead of a few counter increments is far below shared-runner
 noise.  Migrated v1-v4 snapshots carry a ``null`` ``metrics_overhead``.
+v6 added the ``scheduler`` cell: the engine-kernel microbenchmark run
+once under each pending-event scheduler kind (the default calendar
+queue and the ``ENGINE_QUEUE=heap`` binary-heap fallback), recording
+both throughputs and the calendar-over-heap speedup.  Both runs must
+schedule the identical event count — the scheduler changes wall-clock,
+never the event stream.  The cell is informational (non-gating), since
+the ratio is host-dependent; migrated v1-v5 snapshots carry a ``null``
+``scheduler``.
 
 Worker counts above ``cpu_count`` are never timed: on an oversubscribed
 host a "parallel" pass measures scheduler contention, not speedup (a
@@ -119,12 +133,14 @@ __all__ = [
     "run_bench",
     "run_kernel_bench",
     "run_metrics_overhead_bench",
+    "run_scheduler_bench",
     "run_shard_bench",
     "validate_bench",
     "write_bench",
 ]
 
-BENCH_SCHEMA = "repro-bench/5"
+BENCH_SCHEMA = "repro-bench/6"
+BENCH_SCHEMA_V5 = "repro-bench/5"
 BENCH_SCHEMA_V4 = "repro-bench/4"
 BENCH_SCHEMA_V3 = "repro-bench/3"
 BENCH_SCHEMA_V2 = "repro-bench/2"
@@ -207,15 +223,19 @@ KERNEL_PROCESSES = 50
 KERNEL_TIMEOUTS = 2000
 
 
-def _kernel_pass(processes: int, timeouts: int) -> int:
+def _kernel_pass(
+    processes: int, timeouts: int, queue: Optional[str] = None
+) -> int:
     """One pure-engine pass; returns the events scheduled.
 
     Each process cycles through ``timeouts`` awaited timeouts at a
     process-specific delay, so every firing takes the single-waiter
     direct-dispatch path and recycles its Timeout through the pool —
     the simulation-kernel hot loop with nothing else attached.
+    ``queue`` pins the pending-event scheduler kind (``"calendar"`` /
+    ``"heap"``); ``None`` uses the process default.
     """
-    env = Environment()
+    env = Environment(queue=queue)
 
     def cycle(delay: float):
         timeout = env.timeout
@@ -232,8 +252,14 @@ def run_kernel_bench(
     processes: int = KERNEL_PROCESSES,
     timeouts: int = KERNEL_TIMEOUTS,
     repeats: int = 3,
+    queue: Optional[str] = None,
 ) -> Dict:
-    """Time the engine-only microbenchmark (best of ``repeats``)."""
+    """Time the engine-only microbenchmark (best of ``repeats``).
+
+    ``queue`` pins the scheduler kind for the timed environments; the
+    default ``None`` keeps the process-wide default (calendar unless
+    ``ENGINE_QUEUE`` overrides it).
+    """
     if processes < 1 or timeouts < 1:
         raise ValueError(
             f"processes and timeouts must be >= 1, got "
@@ -245,7 +271,7 @@ def run_kernel_bench(
     events = 0
     for _ in range(repeats):
         start = time.perf_counter()
-        events = _kernel_pass(processes, timeouts)
+        events = _kernel_pass(processes, timeouts, queue)
         wall = min(wall, time.perf_counter() - start)
     return {
         "processes": processes,
@@ -253,6 +279,47 @@ def run_kernel_bench(
         "events": events,
         "wall_s": round(wall, 6),
         "events_per_s": round(events / wall, 1),
+    }
+
+
+def run_scheduler_bench(
+    processes: int = KERNEL_PROCESSES,
+    timeouts: int = KERNEL_TIMEOUTS,
+    repeats: int = 3,
+) -> Dict:
+    """Time the kernel microbenchmark under both scheduler kinds.
+
+    Runs the identical engine-only workload once under the calendar
+    queue and once under the binary-heap fallback
+    (``ENGINE_QUEUE=heap``), so the snapshot records the actual
+    scheduler speedup on the recording host rather than leaving it to
+    be inferred from two differently-shaped cells.  The two runs must
+    schedule the same event count — a scheduler may only change
+    wall-clock, never the event stream — and the cell is informational
+    (non-gating) because the ratio is host-dependent.
+    """
+    calendar = run_kernel_bench(processes, timeouts, repeats, "calendar")
+    heap = run_kernel_bench(processes, timeouts, repeats, "heap")
+    if calendar["events"] != heap["events"]:
+        raise RuntimeError(
+            "scheduler bench event counts diverged: calendar="
+            f"{calendar['events']} heap={heap['events']}"
+        )
+    return {
+        "processes": processes,
+        "timeouts": timeouts,
+        "events": calendar["events"],
+        "calendar": {
+            "wall_s": calendar["wall_s"],
+            "events_per_s": calendar["events_per_s"],
+        },
+        "heap": {
+            "wall_s": heap["wall_s"],
+            "events_per_s": heap["events_per_s"],
+        },
+        "calendar_speedup_vs_heap": round(
+            heap["wall_s"] / calendar["wall_s"], 3
+        ),
     }
 
 
@@ -461,7 +528,7 @@ def run_bench(
     repeats: int = 3,
     workloads: Optional[Sequence[str]] = None,
 ) -> Dict:
-    """Time the reference workload; returns the ``repro-bench/5`` dict.
+    """Time the reference workload; returns the ``repro-bench/6`` dict.
 
     ``workers`` adds a second timed configuration beyond the serial
     baseline (pass 1, the default, to time only the baseline); the
@@ -566,6 +633,7 @@ def run_bench(
         "figures_identical": figures_identical,
         "workload_results": workload_results,
         "kernel": run_kernel_bench(repeats=repeats),
+        "scheduler": run_scheduler_bench(repeats=repeats),
         "results": results,
         # The scaling cell tracks the caller's request budget (capped
         # at its reference size) so a smoke-sized bench stays smoke
@@ -645,6 +713,15 @@ def format_bench(result: Dict) -> str:
             f"events/s ({kernel['processes']} processes x "
             f"{kernel['timeouts']} timeouts)"
         )
+    scheduler = result.get("scheduler")
+    if scheduler:
+        lines.append(
+            "scheduler microbench (non-gating): calendar "
+            f"{scheduler['calendar']['events_per_s']:.0f} events/s vs "
+            f"heap {scheduler['heap']['events_per_s']:.0f} = "
+            f"{scheduler['calendar_speedup_vs_heap']:.2f}x "
+            f"({scheduler['events']} events per pass)"
+        )
     shard_scaling = result.get("shard_scaling")
     if shard_scaling:
         shard_rows = [
@@ -715,6 +792,7 @@ def validate_bench(snapshot: Dict, source: str = "snapshot") -> None:
         raise ValueError(f"{source}: missing 'schema' field")
     supported = (
         BENCH_SCHEMA,
+        BENCH_SCHEMA_V5,
         BENCH_SCHEMA_V4,
         BENCH_SCHEMA_V3,
         BENCH_SCHEMA_V2,
@@ -726,19 +804,29 @@ def validate_bench(snapshot: Dict, source: str = "snapshot") -> None:
             f"of {', '.join(supported)})"
         )
     missing = [key for key in REQUIRED_KEYS if key not in snapshot]
-    if schema in (BENCH_SCHEMA, BENCH_SCHEMA_V4, BENCH_SCHEMA_V3):
+    if schema in (
+        BENCH_SCHEMA,
+        BENCH_SCHEMA_V5,
+        BENCH_SCHEMA_V4,
+        BENCH_SCHEMA_V3,
+    ):
         missing.extend(
             key
             for key in ("workload_results", "kernel")
             if key not in snapshot
         )
     if (
-        schema in (BENCH_SCHEMA, BENCH_SCHEMA_V4)
+        schema in (BENCH_SCHEMA, BENCH_SCHEMA_V5, BENCH_SCHEMA_V4)
         and "shard_scaling" not in snapshot
     ):
         missing.append("shard_scaling")
-    if schema == BENCH_SCHEMA and "metrics_overhead" not in snapshot:
+    if (
+        schema in (BENCH_SCHEMA, BENCH_SCHEMA_V5)
+        and "metrics_overhead" not in snapshot
+    ):
         missing.append("metrics_overhead")
+    if schema == BENCH_SCHEMA and "scheduler" not in snapshot:
+        missing.append("scheduler")
     if missing:
         raise ValueError(f"{source}: missing keys {missing}")
     if not isinstance(snapshot["results"], list) or not snapshot["results"]:
@@ -755,7 +843,7 @@ def validate_bench(snapshot: Dict, source: str = "snapshot") -> None:
 
 
 def migrate_bench(snapshot: Dict) -> Dict:
-    """Normalise a snapshot to the current ``repro-bench/5`` schema.
+    """Normalise a snapshot to the current ``repro-bench/6`` schema.
 
     Migrations chain version by version:
 
@@ -775,6 +863,9 @@ def migrate_bench(snapshot: Dict) -> Dict:
     * **v4 → v5** — the metrics-overhead cell.  Older runs never
       timed the live-metrics registry, so migrated snapshots carry a
       ``None`` ``metrics_overhead``.
+    * **v5 → v6** — the scheduler head-to-head cell.  Older runs only
+      timed the kernel under one scheduler kind, so migrated snapshots
+      carry a ``None`` ``scheduler``.
 
     The result is stamped with the schema it now satisfies plus the
     schema it ``migrated_from``.  Current-schema snapshots are
@@ -814,6 +905,9 @@ def migrate_bench(snapshot: Dict) -> Dict:
         migrated["schema"] = BENCH_SCHEMA_V4
     if migrated["schema"] == BENCH_SCHEMA_V4:
         migrated["metrics_overhead"] = None
+        migrated["schema"] = BENCH_SCHEMA_V5
+    if migrated["schema"] == BENCH_SCHEMA_V5:
+        migrated["scheduler"] = None
         migrated["schema"] = BENCH_SCHEMA
     migrated["migrated_from"] = original
     return migrated
@@ -823,8 +917,8 @@ def load_bench(path: str) -> Dict:
     """Read, validate and migrate a bench snapshot from ``path``.
 
     Unknown or missing schemas raise ``ValueError`` (no more silently
-    comparing incompatible snapshots); v1/v2/v3/v4 snapshots come back
-    migrated to ``repro-bench/5``.
+    comparing incompatible snapshots); v1-v5 snapshots come back
+    migrated to ``repro-bench/6``.
     """
     with open(path, encoding="utf-8") as handle:
         try:

@@ -14,6 +14,16 @@ pstats' text layout.  For the kernel target, ``--shards N`` times the
 microbenchmark one shard partition at a time and reports a row per
 shard (``kernel_shards`` in the JSON); ``--shards 1`` is the classic
 single-kernel microbenchmark, bit-for-bit.
+
+``--compare BASELINE.json`` switches to delta mode: instead of
+profiling, it re-times every comparable cell of a committed bench
+snapshot — each per-workload serial pass, the engine-kernel
+microbenchmark and (for v6 baselines) both scheduler kinds — and
+reports current events/second against the baseline's, cell by cell.
+That answers "*where* did the throughput move?" after an engine
+change, which the bench's single aggregate number cannot.  Older
+baselines are migrated on load; cells the baseline never recorded are
+skipped.
 """
 
 from __future__ import annotations
@@ -24,7 +34,12 @@ import pstats
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["format_profile", "run_profile"]
+__all__ = [
+    "format_compare",
+    "format_profile",
+    "run_compare",
+    "run_profile",
+]
 
 #: Sort keys accepted by ``--sort`` (a curated subset of pstats').
 SORT_KEYS = ("cumulative", "tottime", "ncalls")
@@ -174,6 +189,124 @@ def run_profile(
         "total_time_s": round(total_time, 6),
         "entries": entries[:top],
     }
+
+
+def run_compare(baseline_path: str, repeats: int = 1) -> Dict:
+    """Re-time a bench snapshot's cells and report per-cell deltas.
+
+    Loads (and, for older schemas, migrates) the baseline snapshot,
+    then re-runs every cell it recorded a throughput for — one serial
+    pass per workload at the baseline's request count, the kernel
+    microbenchmark at the baseline's shape, and both scheduler kinds
+    when the baseline carries the v6 cell.  Each fresh wall-clock is
+    the best of ``repeats`` passes.  Deltas are informational: the
+    caller decides what counts as a regression (host noise on shared
+    machines easily reaches several percent).
+    """
+    from repro.tools.bench import (
+        _bench_job,
+        load_bench,
+        run_kernel_bench,
+        run_scheduler_bench,
+    )
+
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    baseline = load_bench(baseline_path)
+    requests = baseline["requests"]
+    cells: List[Dict] = []
+
+    def add_cell(name: str, base_rate: float, rate: float) -> None:
+        cells.append(
+            {
+                "cell": name,
+                "baseline_events_per_s": base_rate,
+                "current_events_per_s": rate,
+                "delta_fraction": (
+                    round(rate / base_rate - 1.0, 4) if base_rate else None
+                ),
+            }
+        )
+
+    for entry in baseline.get("workload_results") or []:
+        name = entry["workload"]
+        wall = float("inf")
+        events = 0
+        for _ in range(repeats):
+            outcome = _bench_job(name, requests)
+            wall = min(wall, outcome["wall_s"])
+            events = outcome["events"]
+        add_cell(
+            f"workload:{name}",
+            entry["events_per_s"],
+            round(events / wall, 1),
+        )
+
+    kernel = baseline.get("kernel")
+    if kernel:
+        fresh = run_kernel_bench(
+            kernel["processes"], kernel["timeouts"], repeats
+        )
+        add_cell("kernel", kernel["events_per_s"], fresh["events_per_s"])
+
+    scheduler = baseline.get("scheduler")
+    if scheduler:
+        fresh = run_scheduler_bench(
+            scheduler["processes"], scheduler["timeouts"], repeats
+        )
+        for kind in ("calendar", "heap"):
+            add_cell(
+                f"scheduler:{kind}",
+                scheduler[kind]["events_per_s"],
+                fresh[kind]["events_per_s"],
+            )
+
+    return {
+        "baseline_path": baseline_path,
+        "baseline_date": baseline.get("date"),
+        "baseline_schema": baseline.get("migrated_from", baseline["schema"]),
+        "requests": requests,
+        "repeats": repeats,
+        "cells": cells,
+    }
+
+
+def format_compare(result: Dict) -> str:
+    """Plain-text table of a :func:`run_compare` result."""
+    from repro.metrics.report import format_table
+
+    rows = [
+        (
+            entry["cell"],
+            entry["baseline_events_per_s"],
+            entry["current_events_per_s"],
+            (
+                f"{entry['delta_fraction'] * 100:+.1f}%"
+                if entry["delta_fraction"] is not None
+                else "n/a"
+            ),
+        )
+        for entry in result["cells"]
+    ]
+    table = format_table(
+        ["cell", "baseline_ev_s", "current_ev_s", "delta"],
+        rows,
+        title=(
+            f"Per-cell events/s vs {result['baseline_path']} "
+            f"({result['baseline_date']}, {result['requests']} "
+            f"requests, best of {result['repeats']})"
+        ),
+        float_format="{:.1f}",
+    )
+    footer = (
+        "deltas are informational: wall-clocks are host-dependent, "
+        "only the bench digest gates"
+    )
+    if not result["cells"]:
+        footer = (
+            "baseline recorded no comparable cells (pre-v3 snapshot?)"
+        )
+    return "\n".join([table, footer])
 
 
 def format_profile(result: Dict) -> str:

@@ -38,11 +38,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, replace
+from math import log
 from typing import Dict, List, Optional, Tuple
 
 import dataclasses
 
-from repro.disk.request import IORequest
+from repro.disk.request import IORequest, new_request
 from repro.disk.specs import CHEETAH_10K, DriveSpec, GB, TPCH_DRIVE
 from repro.workloads.trace import Trace
 
@@ -130,26 +131,35 @@ class CommercialWorkload:
         size_high = self._max_size()
         size_fixed = size_high <= size_low
         size_steps = 0 if size_fixed else (size_high - size_low) // 8
+        size_draws = size_steps + 1
         random_value = rng.random
-        randrange = rng.randrange
+        # Draw-kernel inlining, stream-exact by construction:
+        # ``randrange(n)``/``randint(0, n)`` reduce to one
+        # ``_randbelow(n)``/``_randbelow(n + 1)`` call (the stdlib fast
+        # path, minus two wrapper frames), and ``expovariate(rate)`` is
+        # ``-log(1 - random()) / rate`` — the same underlying draws in
+        # the same order, so every seed reproduces the same trace (and
+        # the same figures digest) as the wrapped calls.
+        randbelow = rng._randbelow
+        gauss = rng.gauss
         requests: List[IORequest] = []
         clock = 0.0
         last_end: Dict[int, int] = {}
-        disk = randrange(disks)
-        hotspot = randrange(hotspots_per_disk)
+        disk = randbelow(disks)
+        hotspot = randbelow(hotspots_per_disk)
         for _ in range(count):
-            clock += rng.expovariate(arrival_rate)
+            clock += -log(1.0 - random_value()) / arrival_rate
             if random_value() < switch_probability:
-                disk = randrange(disks)
-                hotspot = randrange(hotspots_per_disk)
-            # Sizes come in 8-sector (4 KB page) multiples; the randint
+                disk = randbelow(disks)
+                hotspot = randbelow(hotspots_per_disk)
+            # Sizes come in 8-sector (4 KB page) multiples; the size
             # draw happens whenever the spread is non-degenerate, even
             # for a zero step count, exactly like _draw_size, so the
             # RNG stream (and every downstream draw) is unchanged.
             size = (
                 size_low
                 if size_fixed
-                else size_low + 8 * rng.randint(0, size_steps)
+                else size_low + 8 * randbelow(size_draws)
             )
             limit = capacity - size - 1
             if random_value() < hot_fraction:
@@ -161,22 +171,23 @@ class CommercialWorkload:
                     lba = previous
                 else:
                     center = centers[target_disk][hotspot]
-                    lba = int(rng.gauss(center, sigma))
+                    lba = int(gauss(center, sigma))
                     if lba > limit:
                         lba = limit
                     if lba < 0:
                         lba = 0
             else:
-                target_disk = randrange(disks)
-                lba = rng.randint(0, limit)
-            request = IORequest(
-                lba=lba,
-                size=size,
-                is_read=random_value() < read_fraction,
-                arrival_time=clock,
-                source_disk=target_disk,
+                target_disk = randbelow(disks)
+                lba = randbelow(limit + 1)
+            requests.append(
+                new_request(
+                    lba,
+                    size,
+                    random_value() < read_fraction,
+                    clock,
+                    target_disk,
+                )
             )
-            requests.append(request)
             last_end[target_disk] = lba + size
         return Trace(requests, name=f"{self.name}-{count}")
 

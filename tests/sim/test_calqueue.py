@@ -1,0 +1,218 @@
+"""Property tests for the calendar-queue scheduler (repro.sim.calqueue).
+
+The calendar queue replaced the binary heap as the engine's pending-
+event schedule; its one correctness obligation is *exact* order parity:
+every pop sequence must match what a ``(time, priority, eid)`` heap
+would produce, byte for byte, under any interleaving of pushes, pops
+and bounded pops — including the adversarial shapes the reseed logic
+exists for (equal-time floods, cursor-passed inserts, spill-triggered
+rebuilds).  These tests drive randomized operation sequences against
+:class:`HeapQueue` (the pre-calendar scheduler, kept as the
+``ENGINE_QUEUE=heap`` escape hatch) as the oracle, plus full engine
+runs with timeout-pool revival and interrupt-driven cancellation under
+both queue kinds.
+"""
+
+import random
+
+import pytest
+
+from repro.sim.calqueue import CalendarQueue, HeapQueue
+from repro.sim.engine import Environment, Interrupt
+
+SEEDS = range(12)
+
+
+def random_ops(seed, steps=1500):
+    """Drive one randomized push/pop/pop_bounded interleaving.
+
+    Time scales are mixed (0.1 through 1e4) so pushes land in the
+    drain segment, the bucket ring and the overflow list; 10% of
+    pushes reuse the current time to exercise equal-time ordering.
+    """
+    rng = random.Random(seed)
+    cal, heap = CalendarQueue(), HeapQueue()
+    eid = 0
+    now = 0.0
+    for step in range(steps):
+        op = rng.random()
+        if op < 0.55 or not len(heap):
+            for _ in range(rng.randrange(1, 4)):
+                eid += 1
+                if rng.random() < 0.1:
+                    time = now  # equal-time flood
+                else:
+                    scale = rng.choice([0.1, 1.0, 50.0, 1e4])
+                    time = now + rng.random() * scale
+                priority = rng.choice([0, 1])
+                cal.push(time, priority, eid, ("ev", eid))
+                heap.push(time, priority, eid, ("ev", eid))
+        elif op < 0.9:
+            got, expected = cal.pop(), heap.pop()
+            assert got == expected, (seed, step, got, expected)
+            now = got[0]
+        else:
+            bound = now + rng.random() * 10
+            got = cal.pop_bounded(bound)
+            expected = heap.pop_bounded(bound)
+            assert got == expected, (seed, step, got, expected)
+            if got:
+                now = got[0]
+        assert len(cal) == len(heap)
+    while len(heap):
+        got, expected = cal.pop(), heap.pop()
+        assert got == expected, (seed, got, expected)
+    with pytest.raises(IndexError):
+        cal.pop()
+
+
+class TestOrderParityWithHeapOracle:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_interleavings_pop_identically(self, seed):
+        random_ops(seed)
+
+    def test_equal_time_flood_breaks_ties_by_priority_then_eid(self):
+        # Hundreds of entries at one instant force the single-bucket
+        # reseed branch; order must still be (priority, eid) exact.
+        cal, heap = CalendarQueue(), HeapQueue()
+        rng = random.Random(99)
+        entries = [(5.0, rng.choice([0, 1]), eid) for eid in range(400)]
+        rng.shuffle(entries)
+        for time, priority, eid in entries:
+            cal.push(time, priority, eid, eid)
+            heap.push(time, priority, eid, eid)
+        drained = [cal.pop() for _ in range(len(entries))]
+        assert drained == [heap.pop() for _ in range(len(entries))]
+        keys = [(priority, eid) for (_, priority, eid, _) in drained]
+        assert keys == sorted(keys)
+
+    def test_pushes_behind_the_cursor_merge_into_drain_order(self):
+        # Pop far enough to move the cursor, then insert *earlier*
+        # times than the last pop's bucket: they must come out next,
+        # not wait for a ring lap.
+        cal, heap = CalendarQueue(), HeapQueue()
+        for eid in range(300):
+            cal.push(float(eid), 1, eid, eid)
+            heap.push(float(eid), 1, eid, eid)
+        for _ in range(150):
+            assert cal.pop() == heap.pop()
+        for eid in range(300, 600):
+            cal.push(150.5, 1, eid, eid)
+            heap.push(150.5, 1, eid, eid)
+        while len(heap):
+            assert cal.pop() == heap.pop()
+
+    def test_spill_triggers_reseed_not_reorder(self):
+        # Drain into sorted mode, then flood the segment far past its
+        # spill limit; the mid-stream rebuild must preserve order.
+        rng = random.Random(7)
+        entries = [(rng.random(), 1, eid, eid) for eid in range(1, 41)]
+        cal, heap = CalendarQueue(entries), HeapQueue(entries)
+        for _ in range(20):
+            assert cal.pop() == heap.pop()
+        rng = random.Random(8)
+        for eid in range(1000, 2500):
+            time = 2.0 + rng.random() * 100.0
+            cal.push(time, 1, eid, eid)
+            heap.push(time, 1, eid, eid)
+        while len(heap):
+            assert cal.pop() == heap.pop()
+
+    def test_peek_matches_oracle_head(self):
+        rng = random.Random(3)
+        entries = [
+            (rng.random() * 100, rng.choice([0, 1]), eid, eid)
+            for eid in range(200)
+        ]
+        cal, heap = CalendarQueue(entries), HeapQueue(entries)
+        while len(heap):
+            expected = heap.pop()
+            assert cal.peek_time() == expected[0]
+            assert cal.peek_event() == expected[3]
+            assert cal.pop() == expected
+
+    def test_empty_queue_contract(self):
+        cal = CalendarQueue()
+        assert len(cal) == 0
+        assert cal.peek_time() == float("inf")
+        assert cal.pop_bounded(1e9) is None
+        with pytest.raises(IndexError):
+            cal.pop()
+        with pytest.raises(IndexError):
+            cal.peek_event()
+
+    def test_entries_reports_the_live_population(self):
+        rng = random.Random(5)
+        cal = CalendarQueue()
+        pushed = []
+        for eid in range(500):
+            time = rng.random() * 1000
+            cal.push(time, 1, eid, eid)
+            pushed.append((time, 1, eid, eid))
+        for _ in range(100):
+            pushed.remove(cal.pop())
+        assert sorted(cal.entries()) == sorted(pushed)
+
+
+def chaotic_run(queue_kind, seed, processes=20, cycles=30):
+    """One engine run full of schedule/cancel/revive traffic.
+
+    Each process awaits pooled timeouts (revive: fired timeouts are
+    recycled through ``env._timeout_pool``); sibling processes
+    randomly interrupt each other mid-wait (cancel: the interrupted
+    wait's schedule entry goes stale and is lazily dropped).  Returns
+    the full resumption record — order, simulated times, and per-
+    process interrupt counts — which must be identical under every
+    queue kind.
+    """
+    rng = random.Random(seed)
+    env = Environment(queue=queue_kind)
+    log = []
+    workers = []
+
+    def worker(me):
+        interrupted = 0
+        for cycle in range(cycles):
+            delay = 0.25 + rng.random() * rng.choice([1.0, 10.0, 200.0])
+            try:
+                yield env.timeout(delay)
+            except Interrupt:
+                interrupted += 1
+            log.append((me, cycle, env.now, interrupted))
+            if workers and rng.random() < 0.15:
+                victim = workers[rng.randrange(len(workers))]
+                if victim._ok is None and victim is not env.active_process:
+                    victim.interrupt(cause=me)
+
+    for index in range(processes):
+        workers.append(env.process(worker(index)))
+    env.run()
+    return log, env.total_events, env.now
+
+
+class TestEngineDifferential:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_cancel_revive_runs_identical_under_both_queues(self, seed):
+        calendar = chaotic_run("calendar", seed)
+        heap = chaotic_run("heap", seed)
+        assert calendar == heap
+
+    def test_timeout_pool_revival_is_order_neutral(self):
+        # Serial awaited timeouts recycle through the pool; the pooled
+        # fast path must not perturb inter-process ordering at shared
+        # firing times under either queue kind.
+        def run(kind):
+            env = Environment(queue=kind)
+            order = []
+
+            def ticker(name, delay):
+                for _ in range(50):
+                    yield env.timeout(delay)
+                    order.append((name, env.now))
+
+            for name in range(8):
+                env.process(ticker(name, 1.0))  # all collide every tick
+            env.run()
+            return order, env.total_events
+
+        assert run("calendar") == run("heap")

@@ -9,7 +9,12 @@ import json
 import pytest
 
 from repro.cli import main
-from repro.tools.profile import format_profile, run_profile
+from repro.tools.profile import (
+    format_compare,
+    format_profile,
+    run_compare,
+    run_profile,
+)
 
 ENTRY_KEYS = {
     "function",
@@ -115,6 +120,78 @@ class TestRunProfile:
 
 
 @pytest.mark.bench_smoke
+class TestRunCompare:
+    @pytest.fixture(scope="class")
+    def baseline_path(self, tmp_path_factory):
+        from repro.tools.bench import run_bench, write_bench
+
+        result = run_bench(
+            requests=200, workers=1, repeats=1, workloads=("websearch",)
+        )
+        directory = tmp_path_factory.mktemp("compare")
+        return write_bench(result, str(directory / "base.json"))
+
+    def test_cells_cover_workloads_kernel_and_scheduler(
+        self, baseline_path
+    ):
+        result = run_compare(baseline_path)
+        names = [cell["cell"] for cell in result["cells"]]
+        assert names == [
+            "workload:websearch",
+            "kernel",
+            "scheduler:calendar",
+            "scheduler:heap",
+        ]
+        for cell in result["cells"]:
+            assert cell["baseline_events_per_s"] > 0
+            assert cell["current_events_per_s"] > 0
+            assert cell["delta_fraction"] is not None
+        assert result["requests"] == 200
+        assert result["baseline_schema"] == "repro-bench/6"
+
+    def test_result_is_json_serialisable(self, baseline_path):
+        result = run_compare(baseline_path)
+        assert json.loads(json.dumps(result)) == result
+
+    def test_migrated_baseline_skips_unrecorded_cells(self, tmp_path):
+        from repro.tools.bench import (
+            BENCH_SCHEMA_V5,
+            load_bench,
+            run_bench,
+            write_bench,
+        )
+
+        snapshot = run_bench(
+            requests=200, workers=1, repeats=1, workloads=("websearch",)
+        )
+        # Demote the fresh snapshot to v5: no scheduler cell recorded.
+        snapshot["schema"] = BENCH_SCHEMA_V5
+        del snapshot["scheduler"]
+        path = write_bench(snapshot, str(tmp_path / "v5.json"))
+        assert load_bench(path)["scheduler"] is None
+        result = run_compare(path)
+        names = [cell["cell"] for cell in result["cells"]]
+        assert names == ["workload:websearch", "kernel"]
+        assert result["baseline_schema"] == BENCH_SCHEMA_V5
+
+    def test_format_lists_every_cell(self, baseline_path):
+        result = run_compare(baseline_path)
+        text = format_compare(result)
+        assert "Per-cell events/s vs" in text
+        assert "workload:websearch" in text
+        assert "scheduler:heap" in text
+        assert "%" in text
+
+    def test_bad_inputs_rejected(self, baseline_path, tmp_path):
+        with pytest.raises(ValueError, match="repeats"):
+            run_compare(baseline_path, repeats=0)
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            run_compare(str(bad))
+
+
+@pytest.mark.bench_smoke
 class TestProfileCli:
     def test_cli_table_output(self, capsys):
         assert main(["profile", "--target", "kernel", "--top", "3"]) == 0
@@ -141,3 +218,33 @@ class TestProfileCli:
     def test_cli_unknown_workload_exits_cleanly(self):
         with pytest.raises(SystemExit, match="profile:"):
             main(["profile", "--requests", "100", "--workloads", "nope"])
+
+    def test_cli_compare_table(self, tmp_path, capsys):
+        from repro.tools.bench import run_bench, write_bench
+
+        result = run_bench(
+            requests=200, workers=1, repeats=1, workloads=("websearch",)
+        )
+        path = write_bench(result, str(tmp_path / "base.json"))
+        assert main(["profile", "--compare", path]) == 0
+        out = capsys.readouterr().out
+        assert "Per-cell events/s vs" in out
+        assert "workload:websearch" in out
+
+    def test_cli_compare_json(self, tmp_path, capsys):
+        from repro.tools.bench import run_bench, write_bench
+
+        snapshot = run_bench(
+            requests=200, workers=1, repeats=1, workloads=("websearch",)
+        )
+        path = write_bench(snapshot, str(tmp_path / "base.json"))
+        assert main(["profile", "--compare", path, "--json"]) == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["baseline_path"] == path
+        assert [c["cell"] for c in result["cells"]][0] == (
+            "workload:websearch"
+        )
+
+    def test_cli_compare_missing_file_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="profile --compare"):
+            main(["profile", "--compare", "/no/such/base.json"])

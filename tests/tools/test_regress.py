@@ -12,6 +12,7 @@ from repro.tools.bench import (
     BENCH_SCHEMA_V2,
     BENCH_SCHEMA_V3,
     BENCH_SCHEMA_V4,
+    BENCH_SCHEMA_V5,
     load_bench,
     migrate_bench,
     validate_bench,
@@ -93,12 +94,24 @@ def snapshot(**overrides):
             "overhead_fraction": 0.01,
             "figures_identical": True,
         },
+        "scheduler": {
+            "processes": 50,
+            "timeouts": 2000,
+            "events": 100050,
+            "calendar": {"wall_s": 0.3, "events_per_s": 333500.0},
+            "heap": {"wall_s": 0.6, "events_per_s": 166750.0},
+            "calendar_speedup_vs_heap": 2.0,
+        },
     }
     base.update(overrides)
     if base["schema"] != BENCH_SCHEMA:
-        # Older schemas predate the metrics-overhead cell.
+        # Older schemas predate the scheduler head-to-head cell.
+        base.pop("scheduler", None)
+    if base["schema"] not in (BENCH_SCHEMA, BENCH_SCHEMA_V5):
+        # v1-v4 also predate the metrics-overhead cell.
         base.pop("metrics_overhead", None)
-    if base["schema"] not in (BENCH_SCHEMA, BENCH_SCHEMA_V4):
+    if base["schema"] not in (BENCH_SCHEMA, BENCH_SCHEMA_V5,
+                              BENCH_SCHEMA_V4):
         # v1/v2/v3 also predate the shard-scaling section.
         base.pop("shard_scaling", None)
     if base["schema"] in (BENCH_SCHEMA_V1, BENCH_SCHEMA_V2):
@@ -182,9 +195,18 @@ class TestValidateBench:
         validate_bench(snapshot(schema=BENCH_SCHEMA_V4))
 
     def test_v5_requires_metrics_overhead(self):
-        bad = snapshot()
+        bad = snapshot(schema=BENCH_SCHEMA_V5)
         del bad["metrics_overhead"]
         with pytest.raises(ValueError, match="metrics_overhead"):
+            validate_bench(bad)
+
+    def test_v5_accepted_without_scheduler(self):
+        validate_bench(snapshot(schema=BENCH_SCHEMA_V5))
+
+    def test_v6_requires_scheduler(self):
+        bad = snapshot()
+        del bad["scheduler"]
+        with pytest.raises(ValueError, match="scheduler"):
             validate_bench(bad)
 
 
@@ -195,11 +217,21 @@ class TestMigrateBench:
         assert migrated == original
         assert migrated is not original
 
+    def test_v5_gains_null_scheduler(self):
+        migrated = migrate_bench(snapshot(schema=BENCH_SCHEMA_V5))
+        assert migrated["schema"] == BENCH_SCHEMA
+        assert migrated["migrated_from"] == BENCH_SCHEMA_V5
+        assert migrated["scheduler"] is None
+        # v5 sections survive the hop untouched.
+        assert migrated["metrics_overhead"]["workload"] == "websearch"
+        assert migrated["shard_scaling"]["disks"] == 16
+
     def test_v4_gains_null_metrics_overhead(self):
         migrated = migrate_bench(snapshot(schema=BENCH_SCHEMA_V4))
         assert migrated["schema"] == BENCH_SCHEMA
         assert migrated["migrated_from"] == BENCH_SCHEMA_V4
         assert migrated["metrics_overhead"] is None
+        assert migrated["scheduler"] is None
         # v4 sections survive the hop untouched.
         assert migrated["shard_scaling"]["disks"] == 16
 
@@ -209,6 +241,7 @@ class TestMigrateBench:
         assert migrated["migrated_from"] == BENCH_SCHEMA_V3
         assert migrated["shard_scaling"] is None
         assert migrated["metrics_overhead"] is None
+        assert migrated["scheduler"] is None
         # v3 sections survive the hop untouched.
         assert migrated["kernel"]["processes"] == 50
         assert migrated["workload_results"]
@@ -239,6 +272,8 @@ class TestMigrateBench:
         assert migrated["workload_results"] == []
         assert migrated["kernel"] is None
         assert migrated["shard_scaling"] is None
+        assert migrated["metrics_overhead"] is None
+        assert migrated["scheduler"] is None
 
     def test_v1_oversubscribed_entries_demoted(self):
         v1 = snapshot(
